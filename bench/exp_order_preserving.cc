@@ -1,0 +1,129 @@
+// E11 — the related-work comparison: sparse tables (packed-memory arrays)
+// also solve storage reallocation, but maintain the objects in id order —
+// "which makes the problem harder and the reallocation cost
+// correspondingly larger" (paper, related work). On a uniform-size random-
+// rank workload the PMA pays Θ(log² n) moves per update while the
+// unordered reallocators pay O(1)-ish — the price of order.
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "bench_util.h"
+#include "cosr/common/random.h"
+#include "cosr/core/cost_oblivious_reallocator.h"
+#include "cosr/cost/cost_battery.h"
+#include "cosr/metrics/cost_meter.h"
+#include "cosr/realloc/packed_memory_array.h"
+#include "cosr/realloc/size_class_reallocator.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+namespace {
+
+struct Result {
+  double moves_per_op = 0;
+  double footprint_ratio = 0;
+  bool ordered = false;
+};
+
+Result RunUnitChurn(Reallocator& realloc, AddressSpace& space,
+                    std::uint64_t n, std::uint64_t seed) {
+  CostBattery battery = MakeDefaultBattery();
+  CostMeter meter(&battery);
+  space.AddListener(&meter);
+  Rng rng(seed);
+  std::set<ObjectId> live;
+  std::uint64_t ops = 0;
+  // Grow to n, then churn n more updates at steady state.
+  while (live.size() < n) {
+    ObjectId id = rng.UniformRange(1, 1u << 24);
+    while (live.count(id) > 0) ++id;
+    if (realloc.Insert(id, 1).ok()) live.insert(id);
+    ++ops;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.5) && !live.empty()) {
+      auto it = live.begin();
+      std::advance(it, rng.UniformU64(live.size()));
+      (void)realloc.Delete(*it);
+      live.erase(it);
+    } else {
+      ObjectId id = rng.UniformRange(1, 1u << 24);
+      while (live.count(id) > 0) ++id;
+      (void)realloc.Insert(id, 1).ok();
+      live.insert(id);
+    }
+    ++ops;
+  }
+  realloc.Quiesce();
+  Result result;
+  result.moves_per_op =
+      static_cast<double>(meter.moves()) / static_cast<double>(ops);
+  result.footprint_ratio = static_cast<double>(realloc.reserved_footprint()) /
+                           static_cast<double>(realloc.volume());
+  // Order check: is the physical layout sorted by id?
+  result.ordered = true;
+  ObjectId previous = 0;
+  for (const auto& [id, extent] : space.Snapshot()) {
+    if (id < previous) result.ordered = false;
+    previous = id;
+  }
+  space.RemoveListener(&meter);
+  return result;
+}
+
+void Run() {
+  bench::Banner(
+      "E11: the price of order preservation (related work: sparse tables)",
+      "order-maintaining reallocation (packed-memory array) pays "
+      "Theta(log^2 n) moves per update; unordered reallocation pays O(1)");
+  bench::Table table({"n", "structure", "keeps order", "moves/op",
+                      "log2(n)^2 (reference)", "footprint/V"});
+  bool separation = true;
+  for (const std::uint64_t n : {1000u, 4000u, 16000u}) {
+    const double reference =
+        std::log2(static_cast<double>(n)) * std::log2(static_cast<double>(n));
+    {
+      AddressSpace space;
+      PackedMemoryArray pma(&space);
+      Result r = RunUnitChurn(pma, space, n, n);
+      separation &= r.ordered;
+      separation &= r.moves_per_op > 3.0;  // clearly super-constant
+      table.AddRow({std::to_string(n), "pma (ordered)",
+                    r.ordered ? "yes" : "NO", bench::Fmt(r.moves_per_op, 2),
+                    bench::Fmt(reference, 0),
+                    bench::Fmt(r.footprint_ratio, 2)});
+    }
+    {
+      AddressSpace space;
+      SizeClassReallocator unordered(&space);
+      Result r = RunUnitChurn(unordered, space, n, n);
+      separation &= r.moves_per_op < 3.0;
+      table.AddRow({std::to_string(n), "size-class (unordered)",
+                    r.ordered ? "yes" : "no", bench::Fmt(r.moves_per_op, 2),
+                    "-", bench::Fmt(r.footprint_ratio, 2)});
+    }
+    {
+      AddressSpace space;
+      CostObliviousReallocator unordered(&space);
+      Result r = RunUnitChurn(unordered, space, n, n);
+      table.AddRow({std::to_string(n), "cost-oblivious (unordered)",
+                    r.ordered ? "yes" : "no", bench::Fmt(r.moves_per_op, 2),
+                    "-", bench::Fmt(r.footprint_ratio, 2)});
+    }
+  }
+  table.Print();
+  bench::Verdict(separation,
+                 "the PMA maintains sorted order at polylog moves per "
+                 "update; dropping the order constraint (as the paper does) "
+                 "collapses the move count — exactly the related-work claim");
+}
+
+}  // namespace
+}  // namespace cosr
+
+int main() {
+  cosr::Run();
+  return 0;
+}

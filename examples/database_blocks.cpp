@@ -1,0 +1,94 @@
+// Database block store: the paper's motivating scenario (TokuDB's block
+// translation layer). Blocks are named, rewritten copy-on-write, and looked
+// up through a translation table that is persisted at checkpoints. The
+// checkpointed reallocator keeps the disk footprint within (1+eps) of the
+// live data while never overwriting any byte a crash might still need —
+// verified here by byte-for-byte recovery checks after simulated crashes.
+//
+//   $ ./database_blocks
+
+#include <cstdio>
+
+#include "cosr/common/random.h"
+#include "cosr/core/checkpointed_reallocator.h"
+#include "cosr/db/block_translation_layer.h"
+#include "cosr/storage/checkpoint_manager.h"
+#include "cosr/storage/simulated_disk.h"
+
+int main() {
+  using namespace cosr;
+
+  CheckpointManager manager;
+  AddressSpace space(&manager);  // enforces the durability rules
+  SimulatedDisk disk;            // byte-level medium
+  space.AddListener(&disk);
+
+  CheckpointedReallocator::Options options;
+  options.epsilon = 0.25;
+  CheckpointedReallocator realloc(&space, options);
+  BlockTranslationLayer btl(&space, &realloc);
+
+  Rng rng(2014);
+  std::uint64_t writes = 0, rewrites = 0, erases = 0, crashes_survived = 0;
+  std::uint64_t next_block = 1;
+
+  for (int op = 0; op < 20000; ++op) {
+    const double dice = rng.UniformDouble();
+    if (dice < 0.50 || btl.block_count() < 32) {
+      // Write a block: new, or a copy-on-write rewrite of a hot block.
+      const bool rewrite = rng.Bernoulli(0.6) && next_block > 1;
+      const std::uint64_t name =
+          rewrite ? rng.UniformRange(1, next_block - 1) : next_block++;
+      if (btl.block_exists(name)) ++rewrites; else ++writes;
+      if (Status s = btl.Put(name, rng.UniformRange(64, 4096)); !s.ok()) {
+        std::printf("put failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    } else if (dice < 0.70) {
+      const std::uint64_t name = rng.UniformRange(1, next_block - 1);
+      if (btl.block_exists(name)) {
+        (void)btl.Erase(name);
+        ++erases;
+      }
+    } else if (dice < 0.75) {
+      // The system takes a checkpoint: the translation table is persisted
+      // and space freed before it becomes reusable.
+      space.Checkpoint();
+    }
+    if (op % 500 == 0) {
+      // Simulated crash: everything in memory is lost; the last
+      // checkpointed table must point at intact bytes.
+      if (Status s = btl.VerifyRecoverable(disk); !s.ok()) {
+        std::printf("CRASH RECOVERY FAILED at op %d: %s\n", op,
+                    s.ToString().c_str());
+        return 1;
+      }
+      ++crashes_survived;
+    }
+  }
+  space.Checkpoint();
+  if (Status s = btl.VerifyRecoverable(disk); !s.ok()) {
+    std::printf("final recovery failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const double ratio = static_cast<double>(realloc.reserved_footprint()) /
+                       static_cast<double>(realloc.volume());
+  std::printf("block store simulation complete\n");
+  std::printf("  new blocks written:    %llu\n",
+              static_cast<unsigned long long>(writes));
+  std::printf("  copy-on-write rewrites:%llu\n",
+              static_cast<unsigned long long>(rewrites));
+  std::printf("  blocks erased:         %llu\n",
+              static_cast<unsigned long long>(erases));
+  std::printf("  live blocks:           %zu\n", btl.block_count());
+  std::printf("  checkpoints:           %llu (max %llu per flush)\n",
+              static_cast<unsigned long long>(manager.checkpoint_count()),
+              static_cast<unsigned long long>(
+                  realloc.max_checkpoints_per_flush()));
+  std::printf("  disk footprint:        %.3fx the live data (bound 1+O(eps))\n",
+              ratio);
+  std::printf("  simulated crashes survived with full recovery: %llu\n",
+              static_cast<unsigned long long>(crashes_survived));
+  return 0;
+}

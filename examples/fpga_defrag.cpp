@@ -1,0 +1,88 @@
+// FPGA module defragmentation (the Fekete et al. 2012 application from the
+// paper's related work): modules occupy contiguous column ranges on a
+// reconfigurable device; the nonoverlapping constraint lets modules keep
+// running while copies are made. Here we sort scattered modules by
+// remaining lease time using the cost-oblivious defragmenter in
+// (1+eps)V + delta working space — far less than the naive 2V.
+//
+//   $ ./fpga_defrag
+
+#include <cstdio>
+#include <vector>
+
+#include "cosr/common/math_util.h"
+#include "cosr/common/random.h"
+#include "cosr/core/defragmenter.h"
+#include "cosr/storage/address_space.h"
+#include "cosr/viz/layout_renderer.h"
+
+int main() {
+  using namespace cosr;
+
+  AddressSpace device;  // columns of the reconfigurable fabric
+  Rng rng(7);
+
+  // 40 modules with sizes 4-48 columns and random lease deadlines,
+  // scattered with fragmentation across a (1+eps)V region.
+  const double eps = 0.25;
+  struct Module {
+    ObjectId id;
+    std::uint64_t columns;
+    std::uint64_t lease;  // remaining lease time
+  };
+  std::vector<Module> modules;
+  std::uint64_t volume = 0;
+  for (ObjectId id = 1; id <= 40; ++id) {
+    const std::uint64_t columns = rng.UniformRange(4, 48);
+    modules.push_back(Module{id, columns, rng.UniformRange(1, 1000)});
+    volume += columns;
+  }
+  const std::uint64_t arena = FloorScale(eps, volume) + volume;
+  std::uint64_t slack = arena - volume;
+  std::uint64_t cursor = 0;
+  std::vector<ObjectId> ids;
+  for (const Module& m : modules) {
+    const std::uint64_t gap = slack > 0 ? rng.UniformU64(slack / 8 + 1) : 0;
+    slack -= std::min(slack, gap);
+    cursor += gap;
+    device.Place(m.id, Extent{cursor, m.columns});
+    cursor += m.columns;
+    ids.push_back(m.id);
+  }
+
+  std::printf("fragmented device (%llu columns used of %llu):\n%s\n",
+              static_cast<unsigned long long>(volume),
+              static_cast<unsigned long long>(arena),
+              RenderSpace(device, arena, 96).c_str());
+
+  // Sort modules by lease so expiring modules cluster at the front and the
+  // free fabric stays contiguous for large incoming modules.
+  auto by_lease = [&modules](ObjectId a, ObjectId b) {
+    return modules[a - 1].lease < modules[b - 1].lease;
+  };
+  Defragmenter::Options options;
+  options.epsilon = eps;
+  options.compact_to_front = true;
+  Defragmenter::Stats stats;
+  if (Status s = Defragmenter::Sort(&device, ids, by_lease, options, &stats);
+      !s.ok()) {
+    std::printf("defragmentation failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\ndefragmented, sorted by remaining lease:\n%s\n",
+              RenderSpace(device, arena, 96).c_str());
+  std::printf("\n  modules:            %zu\n", ids.size());
+  std::printf("  reconfigurations:   %llu (%.1f per module)\n",
+              static_cast<unsigned long long>(stats.total_moves),
+              static_cast<double>(stats.total_moves) /
+                  static_cast<double>(ids.size()));
+  std::printf("  peak fabric used:   %llu columns (bound (1+eps)V + delta = "
+              "%llu; naive needs %llu)\n",
+              static_cast<unsigned long long>(stats.max_footprint),
+              static_cast<unsigned long long>(stats.arena_limit),
+              static_cast<unsigned long long>(2 * volume));
+  std::printf("  final footprint:    %llu columns (= live volume)\n",
+              static_cast<unsigned long long>(device.footprint()));
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Trace replay tool: generate workload traces to a file, or replay a trace
+// file against any of the implemented (re)allocators and print the full
+// measurement report. Useful for comparing algorithms on a captured
+// allocation trace from a real system (format: "I <id> <size>" / "D <id>").
+//
+//   $ ./replay_trace generate churn /tmp/trace.txt
+//   $ ./replay_trace replay cost-oblivious /tmp/trace.txt 0.25
+//   $ ./replay_trace replay first-fit /tmp/trace.txt
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "cosr/cost/cost_battery.h"
+#include "cosr/metrics/run_harness.h"
+#include "cosr/realloc/factory.h"
+#include "cosr/storage/checkpoint_manager.h"
+#include "cosr/workload/adversary.h"
+#include "cosr/workload/workload_generator.h"
+
+namespace {
+
+using namespace cosr;
+
+int Usage() {
+  std::printf(
+      "usage:\n"
+      "  replay_trace generate <churn|growshrink|database|lowerbound> <path>\n"
+      "  replay_trace replay <algorithm> <path> [epsilon]\n"
+      "algorithms: first-fit best-fit buddy log-compact size-class oracle\n"
+      "            cost-oblivious checkpointed deamortized\n");
+  return 2;
+}
+
+int Generate(const std::string& kind, const std::string& path) {
+  Trace trace;
+  if (kind == "churn") {
+    trace = MakeChurnTrace({.operations = 20000,
+                            .target_live_volume = 1u << 20,
+                            .max_size = 2048,
+                            .seed = 42});
+  } else if (kind == "growshrink") {
+    trace = MakeGrowShrinkTrace({.cycles = 4,
+                                 .peak_volume = 1u << 20,
+                                 .shrink_fraction = 0.25,
+                                 .max_size = 2048,
+                                 .seed = 42});
+  } else if (kind == "database") {
+    trace = MakeDatabaseBlockTrace(
+        {.operations = 10000, .blocks = 512, .seed = 42});
+  } else if (kind == "lowerbound") {
+    trace = MakeLowerBoundTrace(4096);
+  } else {
+    return Usage();
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << trace.Serialize();
+  std::printf("wrote %zu requests (peak volume %llu, delta %llu) to %s\n",
+              trace.size(),
+              static_cast<unsigned long long>(trace.max_live_volume()),
+              static_cast<unsigned long long>(trace.max_object_size()),
+              path.c_str());
+  return 0;
+}
+
+int Replay(const std::string& algorithm, const std::string& path,
+           double epsilon) {
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Trace trace;
+  if (Status s = Trace::Parse(buffer.str(), &trace); !s.ok()) {
+    std::printf("parse error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = trace.Validate(); !s.ok()) {
+    std::printf("invalid trace: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<CheckpointManager> manager;
+  if (AlgorithmNeedsCheckpointManager(algorithm)) {
+    manager = std::make_unique<CheckpointManager>();
+  }
+  AddressSpace space(manager.get());
+  ReallocatorSpec spec;
+  spec.algorithm = algorithm;
+  spec.epsilon = epsilon;
+  std::unique_ptr<Reallocator> realloc;
+  if (Status s = MakeReallocator(spec, &space, &realloc); !s.ok()) {
+    std::printf("%s\n", s.ToString().c_str());
+    return Usage();
+  }
+
+  CostBattery battery = MakeDefaultBattery();
+  RunOptions options;
+  options.min_volume_for_ratio = trace.max_live_volume() / 4;
+  RunReport report = RunTrace(*realloc, space, trace, battery, options);
+
+  std::printf("algorithm:        %s\n", report.algorithm.c_str());
+  std::printf("requests:         %llu (%llu inserts, %llu deletes)\n",
+              static_cast<unsigned long long>(report.operations),
+              static_cast<unsigned long long>(report.inserts),
+              static_cast<unsigned long long>(report.deletes));
+  std::printf("moves:            %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(report.moves),
+              static_cast<unsigned long long>(report.bytes_moved));
+  std::printf("footprint ratio:  max %.3f  avg %.3f  final %.3f\n",
+              report.max_footprint_ratio, report.avg_footprint_ratio,
+              report.final_footprint_ratio);
+  if (report.flushes > 0) {
+    std::printf("flushes:          %llu\n",
+                static_cast<unsigned long long>(report.flushes));
+  }
+  if (report.checkpoints > 0) {
+    std::printf("checkpoints:      %llu (max %llu per flush)\n",
+                static_cast<unsigned long long>(report.checkpoints),
+                static_cast<unsigned long long>(
+                    report.max_checkpoints_per_flush));
+  }
+  std::printf("cost ratios (reallocation / allocation):\n");
+  for (const FunctionReport& fn : report.functions) {
+    std::printf("  %-8s  %8.3f   (worst single op: %.0f)\n", fn.name.c_str(),
+                fn.realloc_ratio, fn.max_op_cost);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string mode = argv[1];
+  if (mode == "generate") return Generate(argv[2], argv[3]);
+  if (mode == "replay") {
+    const double epsilon = argc >= 5 ? std::atof(argv[4]) : 0.25;
+    return Replay(argv[2], argv[3], epsilon);
+  }
+  return Usage();
+}

@@ -1,0 +1,92 @@
+// The scheduling interpretation (paper, Section 1): storage reallocation is
+// the planning problem 1 | f(w) realloc | Cmax — maintain a uniprocessor
+// schedule under online job arrivals and departures so the makespan stays
+// within (1+eps) of the total processing time, while the total rescheduling
+// cost (f of each re-planned job) stays within a constant of the arrivals'
+// cost. Offsets are start times; the footprint is the makespan.
+//
+//   $ ./scheduling
+
+#include <cstdio>
+#include <vector>
+
+#include "cosr/common/random.h"
+#include "cosr/core/cost_oblivious_reallocator.h"
+#include "cosr/cost/cost_battery.h"
+#include "cosr/metrics/cost_meter.h"
+#include "cosr/storage/address_space.h"
+
+int main() {
+  using namespace cosr;
+
+  AddressSpace timeline;  // address = start time, extent = processing slot
+  CostBattery battery = MakeDefaultBattery();
+  CostMeter meter(&battery);
+  timeline.AddListener(&meter);
+
+  CostObliviousReallocator::Options options;
+  options.epsilon = 0.125;  // tight makespan target: 1.125x optimal
+  CostObliviousReallocator scheduler(&timeline, options);
+
+  Rng rng(99);
+  std::vector<ObjectId> active_jobs;
+  ObjectId next_job = 1;
+  std::uint64_t arrivals = 0, completions = 0;
+  double worst_makespan_ratio = 0;
+
+  for (int event = 0; event < 30000; ++event) {
+    const bool arrive = active_jobs.size() < 50 || rng.Bernoulli(0.5);
+    if (arrive) {
+      const std::uint64_t processing = rng.UniformRange(1, 500);
+      if (Status s = scheduler.Insert(next_job, processing); !s.ok()) {
+        std::printf("arrival failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      active_jobs.push_back(next_job++);
+      ++arrivals;
+    } else {
+      const std::size_t k = rng.UniformU64(active_jobs.size());
+      if (Status s = scheduler.Delete(active_jobs[k]); !s.ok()) {
+        std::printf("departure failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      active_jobs[k] = active_jobs.back();
+      active_jobs.pop_back();
+      ++completions;
+    }
+    if (scheduler.volume() > 0) {
+      const double ratio =
+          static_cast<double>(scheduler.reserved_footprint()) /
+          static_cast<double>(scheduler.volume());
+      worst_makespan_ratio = std::max(worst_makespan_ratio, ratio);
+    }
+  }
+
+  std::printf("online scheduling complete\n");
+  std::printf("  job arrivals:    %llu   completions: %llu   active: %zu\n",
+              static_cast<unsigned long long>(arrivals),
+              static_cast<unsigned long long>(completions),
+              active_jobs.size());
+  std::printf("  total work:      %llu time units\n",
+              static_cast<unsigned long long>(scheduler.volume()));
+  std::printf("  makespan:        %llu time units\n",
+              static_cast<unsigned long long>(
+                  scheduler.reserved_footprint()));
+  std::printf("  worst makespan / total work: %.4f  (target 1+O(eps), eps="
+              "0.125)\n",
+              worst_makespan_ratio);
+  const int linear = battery.IndexOf("linear");
+  const int constant = battery.IndexOf("constant");
+  std::printf("  rescheduling cost, f(w)=w:  %.0f  (%.2fx the arrivals')\n",
+              meter.totals(linear).total_write_cost -
+                  meter.totals(linear).allocation_cost,
+              meter.ReallocRatio(linear));
+  std::printf("  rescheduling cost, f(w)=1:  %.0f jobs re-planned "
+              "(%.2fx the arrivals)\n",
+              meter.totals(constant).total_write_cost -
+                  meter.totals(constant).allocation_cost,
+              meter.ReallocRatio(constant));
+  std::printf("  (the same schedule is near-optimal for BOTH cost models — "
+              "the planner never saw f)\n");
+  return 0;
+}

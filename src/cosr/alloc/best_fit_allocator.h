@@ -1,0 +1,35 @@
+#ifndef COSR_ALLOC_BEST_FIT_ALLOCATOR_H_
+#define COSR_ALLOC_BEST_FIT_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "cosr/alloc/free_list.h"
+#include "cosr/realloc/reallocator.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+
+/// Classical Best Fit memory allocation: each object is placed in the
+/// smallest adequate gap and never moves.
+class BestFitAllocator : public Reallocator {
+ public:
+  explicit BestFitAllocator(AddressSpace* space) : space_(space) {}
+  BestFitAllocator(const BestFitAllocator&) = delete;
+  BestFitAllocator& operator=(const BestFitAllocator&) = delete;
+
+  Status Insert(ObjectId id, std::uint64_t size) override;
+  Status Delete(ObjectId id) override;
+  std::uint64_t reserved_footprint() const override {
+    return free_list_.frontier();
+  }
+  std::uint64_t volume() const override { return space_->live_volume(); }
+  const char* name() const override { return "best-fit"; }
+
+ private:
+  AddressSpace* space_;
+  FreeList free_list_;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_ALLOC_BEST_FIT_ALLOCATOR_H_

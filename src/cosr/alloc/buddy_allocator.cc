@@ -1,0 +1,97 @@
+#include "cosr/alloc/buddy_allocator.h"
+
+#include <algorithm>
+
+#include "cosr/common/check.h"
+#include "cosr/common/math_util.h"
+
+namespace cosr {
+
+void BuddyAllocator::GrowArena(int min_order) {
+  // Keep doubling: the current arena [0, arena_size_) becomes the low buddy
+  // of a new top-level block of twice the size; the high half is freed.
+  if (arena_size_ == 0) {
+    arena_size_ = std::uint64_t{1} << min_order;
+    free_lists_[min_order].insert(0);
+    return;
+  }
+  int added_order;
+  do {
+    added_order = FloorLog2(arena_size_);
+    COSR_CHECK_LT(added_order + 1, kMaxOrder);
+    const std::uint64_t offset = arena_size_;
+    arena_size_ *= 2;
+    FreeBlock(offset, added_order);
+  } while (added_order < min_order);
+}
+
+std::uint64_t BuddyAllocator::TakeBlock(int order) {
+  int source = -1;
+  for (int o = order; o < kMaxOrder; ++o) {
+    if (!free_lists_[o].empty()) {
+      source = o;
+      break;
+    }
+  }
+  if (source < 0) {
+    GrowArena(order);
+    for (int o = order; o < kMaxOrder; ++o) {
+      if (!free_lists_[o].empty()) {
+        source = o;
+        break;
+      }
+    }
+    COSR_CHECK_MSG(source >= 0, "buddy arena growth failed");
+  }
+  std::uint64_t offset = *free_lists_[source].begin();
+  free_lists_[source].erase(free_lists_[source].begin());
+  // Split down to the requested order, freeing the high halves.
+  while (source > order) {
+    --source;
+    const std::uint64_t half = std::uint64_t{1} << source;
+    free_lists_[source].insert(offset + half);
+  }
+  return offset;
+}
+
+void BuddyAllocator::FreeBlock(std::uint64_t offset, int order) {
+  // Coalesce with the buddy as long as it is free.
+  while (order + 1 < kMaxOrder) {
+    const std::uint64_t size = std::uint64_t{1} << order;
+    if (offset + size > arena_size_) break;
+    const std::uint64_t buddy = offset ^ size;
+    auto it = free_lists_[order].find(buddy);
+    if (it == free_lists_[order].end()) break;
+    free_lists_[order].erase(it);
+    offset = std::min(offset, buddy);
+    ++order;
+  }
+  free_lists_[order].insert(offset);
+}
+
+Status BuddyAllocator::Insert(ObjectId id, std::uint64_t size) {
+  if (size == 0) return Status::InvalidArgument("size must be positive");
+  if (space_->contains(id)) {
+    return Status::AlreadyExists("object " + std::to_string(id));
+  }
+  const int order = FloorLog2(NextPowerOfTwo(size));
+  const std::uint64_t offset = TakeBlock(order);
+  order_of_[id] = order;
+  space_->Place(id, Extent{offset, size});
+  high_water_ = std::max(high_water_, offset + (std::uint64_t{1} << order));
+  return Status::Ok();
+}
+
+Status BuddyAllocator::Delete(ObjectId id) {
+  if (!space_->contains(id)) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  const Extent extent = space_->extent_of(id);
+  const int order = order_of_.at(id);
+  order_of_.erase(id);
+  space_->Remove(id);
+  FreeBlock(extent.offset, order);
+  return Status::Ok();
+}
+
+}  // namespace cosr

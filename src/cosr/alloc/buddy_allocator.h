@@ -1,0 +1,54 @@
+#ifndef COSR_ALLOC_BUDDY_ALLOCATOR_H_
+#define COSR_ALLOC_BUDDY_ALLOCATOR_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cosr/realloc/reallocator.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+
+/// The Buddy System [Knowlton 1965]: sizes round up to powers of two; blocks
+/// split recursively and merge with their buddy (offset ^ size) on free.
+/// Objects never move. The arena grows by doubling when no block fits, so the
+/// address space stays "arbitrarily large".
+class BuddyAllocator : public Reallocator {
+ public:
+  explicit BuddyAllocator(AddressSpace* space) : space_(space) {}
+  BuddyAllocator(const BuddyAllocator&) = delete;
+  BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+
+  Status Insert(ObjectId id, std::uint64_t size) override;
+  Status Delete(ObjectId id) override;
+
+  /// Largest end address of any allocated block (internal rounding counts
+  /// against the footprint, as in the classical analyses).
+  std::uint64_t reserved_footprint() const override { return high_water_; }
+  std::uint64_t volume() const override { return space_->live_volume(); }
+  const char* name() const override { return "buddy"; }
+
+  std::uint64_t arena_size() const { return arena_size_; }
+
+ private:
+  static constexpr int kMaxOrder = 48;
+
+  /// Pops a free block of exactly `order`, splitting larger blocks as
+  /// needed; grows the arena when none exists.
+  std::uint64_t TakeBlock(int order);
+  void FreeBlock(std::uint64_t offset, int order);
+  void GrowArena(int min_order);
+
+  AddressSpace* space_;
+  std::vector<std::set<std::uint64_t>> free_lists_ =
+      std::vector<std::set<std::uint64_t>>(kMaxOrder);
+  std::unordered_map<ObjectId, int> order_of_;
+  std::uint64_t arena_size_ = 0;
+  std::uint64_t high_water_ = 0;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_ALLOC_BUDDY_ALLOCATOR_H_

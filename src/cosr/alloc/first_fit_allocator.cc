@@ -1,0 +1,31 @@
+#include "cosr/alloc/first_fit_allocator.h"
+
+namespace cosr {
+
+Status FirstFitAllocator::Insert(ObjectId id, std::uint64_t size) {
+  if (size == 0) return Status::InvalidArgument("size must be positive");
+  if (space_->contains(id)) {
+    return Status::AlreadyExists("object " + std::to_string(id));
+  }
+  std::uint64_t offset;
+  if (auto fit = free_list_.FindFirstFit(size); fit.has_value()) {
+    offset = *fit;
+  } else {
+    offset = free_list_.frontier();
+  }
+  free_list_.Reserve(offset, size);
+  space_->Place(id, Extent{offset, size});
+  return Status::Ok();
+}
+
+Status FirstFitAllocator::Delete(ObjectId id) {
+  if (!space_->contains(id)) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  const Extent extent = space_->extent_of(id);
+  space_->Remove(id);
+  free_list_.Release(extent);
+  return Status::Ok();
+}
+
+}  // namespace cosr

@@ -1,0 +1,37 @@
+#ifndef COSR_ALLOC_FIRST_FIT_ALLOCATOR_H_
+#define COSR_ALLOC_FIRST_FIT_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "cosr/alloc/free_list.h"
+#include "cosr/realloc/reallocator.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+
+/// Classical First Fit memory allocation: each object is placed at the
+/// lowest address where it fits, and never moves. This is the baseline
+/// regime of the paper's introduction, whose footprint competitive ratio has
+/// a logarithmic lower bound [Luby et al. 1996].
+class FirstFitAllocator : public Reallocator {
+ public:
+  explicit FirstFitAllocator(AddressSpace* space) : space_(space) {}
+  FirstFitAllocator(const FirstFitAllocator&) = delete;
+  FirstFitAllocator& operator=(const FirstFitAllocator&) = delete;
+
+  Status Insert(ObjectId id, std::uint64_t size) override;
+  Status Delete(ObjectId id) override;
+  std::uint64_t reserved_footprint() const override {
+    return free_list_.frontier();
+  }
+  std::uint64_t volume() const override { return space_->live_volume(); }
+  const char* name() const override { return "first-fit"; }
+
+ private:
+  AddressSpace* space_;
+  FreeList free_list_;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_ALLOC_FIRST_FIT_ALLOCATOR_H_

@@ -1,0 +1,91 @@
+#include "cosr/alloc/free_list.h"
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+std::optional<std::uint64_t> FreeList::FindFirstFit(std::uint64_t size) const {
+  for (const auto& [offset, length] : gaps_) {
+    if (length >= size) return offset;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> FreeList::FindBestFit(std::uint64_t size) const {
+  std::optional<std::uint64_t> best;
+  std::uint64_t best_length = 0;
+  for (const auto& [offset, length] : gaps_) {
+    if (length < size) continue;
+    if (!best.has_value() || length < best_length) {
+      best = offset;
+      best_length = length;
+    }
+  }
+  return best;
+}
+
+void FreeList::Reserve(std::uint64_t offset, std::uint64_t size) {
+  COSR_CHECK(size > 0);
+  if (offset >= frontier_) {
+    // Allocation in untracked space: any skipped space becomes a gap.
+    if (offset > frontier_) {
+      gaps_.emplace(frontier_, offset - frontier_);
+      free_volume_ += offset - frontier_;
+    }
+    frontier_ = offset + size;
+    return;
+  }
+  // Find the gap containing [offset, offset+size).
+  auto it = gaps_.upper_bound(offset);
+  COSR_CHECK_MSG(it != gaps_.begin(), "reserve outside any gap");
+  --it;
+  const std::uint64_t gap_offset = it->first;
+  const std::uint64_t gap_length = it->second;
+  COSR_CHECK_LE(gap_offset, offset);
+  COSR_CHECK_LE(offset + size, gap_offset + gap_length);
+  gaps_.erase(it);
+  free_volume_ -= gap_length;
+  if (offset > gap_offset) {
+    gaps_.emplace(gap_offset, offset - gap_offset);
+    free_volume_ += offset - gap_offset;
+  }
+  const std::uint64_t tail_offset = offset + size;
+  const std::uint64_t gap_end = gap_offset + gap_length;
+  if (gap_end > tail_offset) {
+    gaps_.emplace(tail_offset, gap_end - tail_offset);
+    free_volume_ += gap_end - tail_offset;
+  }
+}
+
+void FreeList::Release(const Extent& extent) {
+  COSR_CHECK(extent.length > 0);
+  COSR_CHECK_LE(extent.end(), frontier_);
+  std::uint64_t offset = extent.offset;
+  std::uint64_t end = extent.end();
+
+  // Merge with the following gap if adjacent.
+  auto next = gaps_.find(end);
+  if (next != gaps_.end()) {
+    end += next->second;
+    free_volume_ -= next->second;
+    gaps_.erase(next);
+  }
+  // Merge with the preceding gap if adjacent.
+  auto it = gaps_.lower_bound(offset);
+  if (it != gaps_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == offset) {
+      offset = prev->first;
+      free_volume_ -= prev->second;
+      gaps_.erase(prev);
+    }
+  }
+  if (end == frontier_) {
+    frontier_ = offset;  // trailing gap: shrink the frontier
+    return;
+  }
+  gaps_.emplace(offset, end - offset);
+  free_volume_ += end - offset;
+}
+
+}  // namespace cosr

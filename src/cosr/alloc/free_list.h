@@ -1,0 +1,47 @@
+#ifndef COSR_ALLOC_FREE_LIST_H_
+#define COSR_ALLOC_FREE_LIST_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "cosr/storage/extent.h"
+
+namespace cosr {
+
+/// An index of free space inside [0, frontier) with coalescing on release.
+/// Space at or beyond the frontier is implicitly free and unbounded (the
+/// paper's arbitrarily large array); allocating past the frontier extends it.
+/// Shared by the first-fit and best-fit allocators.
+class FreeList {
+ public:
+  FreeList() = default;
+
+  /// Lowest-offset free gap of length >= size, or nullopt when none exists
+  /// below the frontier.
+  std::optional<std::uint64_t> FindFirstFit(std::uint64_t size) const;
+
+  /// Smallest adequate gap (ties broken by lowest offset), or nullopt.
+  std::optional<std::uint64_t> FindBestFit(std::uint64_t size) const;
+
+  /// Claims [offset, offset+size). The range must lie in a tracked gap or
+  /// start at/beyond the frontier (which then advances).
+  void Reserve(std::uint64_t offset, std::uint64_t size);
+
+  /// Returns an extent to the free pool, merging adjacent gaps. Gaps
+  /// touching the frontier shrink the frontier instead of being tracked.
+  void Release(const Extent& extent);
+
+  std::uint64_t frontier() const { return frontier_; }
+  std::uint64_t free_volume() const { return free_volume_; }
+  std::size_t gap_count() const { return gaps_.size(); }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> gaps_;  // offset -> length
+  std::uint64_t frontier_ = 0;
+  std::uint64_t free_volume_ = 0;  // tracked gaps only (below frontier)
+};
+
+}  // namespace cosr
+
+#endif  // COSR_ALLOC_FREE_LIST_H_

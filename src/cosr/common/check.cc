@@ -1,0 +1,26 @@
+#include "cosr/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cosr {
+namespace internal_check {
+
+void CheckFail(const char* expr, const char* file, int line,
+               const std::string& message) {
+  std::fprintf(stderr, "COSR_CHECK failed: %s at %s:%d", expr, file, line);
+  if (!message.empty()) {
+    std::fprintf(stderr, " (%s)", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::string BinaryMessage(const char* op, std::uint64_t lhs,
+                          std::uint64_t rhs) {
+  return std::to_string(lhs) + " " + op + " " + std::to_string(rhs);
+}
+
+}  // namespace internal_check
+}  // namespace cosr

@@ -1,0 +1,69 @@
+#ifndef COSR_COMMON_CHECK_H_
+#define COSR_COMMON_CHECK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cosr {
+namespace internal_check {
+
+/// Prints a fatal-check diagnostic and aborts. Never returns.
+[[noreturn]] void CheckFail(const char* expr, const char* file, int line,
+                            const std::string& message);
+
+/// Renders "lhs op rhs" for the binary CHECK macros.
+std::string BinaryMessage(const char* op, std::uint64_t lhs,
+                          std::uint64_t rhs);
+
+}  // namespace internal_check
+}  // namespace cosr
+
+/// Fatal assertion: aborts with a diagnostic when `cond` is false.
+/// Used for programming errors and violated data-structure invariants;
+/// recoverable conditions use cosr::Status instead.
+#define COSR_CHECK(cond)                                                  \
+  ((cond) ? (void)0                                                      \
+          : ::cosr::internal_check::CheckFail(#cond, __FILE__, __LINE__, \
+                                              std::string()))
+
+/// Fatal assertion with an explanatory message (any std::string expression).
+#define COSR_CHECK_MSG(cond, msg)                                         \
+  ((cond) ? (void)0                                                      \
+          : ::cosr::internal_check::CheckFail(#cond, __FILE__, __LINE__, \
+                                              (msg)))
+
+#define COSR_CHECK_EQ(a, b)                                                  \
+  (((a) == (b))                                                              \
+       ? (void)0                                                             \
+       : ::cosr::internal_check::CheckFail(                                  \
+             #a " == " #b, __FILE__, __LINE__,                               \
+             ::cosr::internal_check::BinaryMessage(                          \
+                 "==", static_cast<std::uint64_t>(a),                        \
+                 static_cast<std::uint64_t>(b))))
+
+#define COSR_CHECK_LE(a, b)                                                  \
+  (((a) <= (b))                                                              \
+       ? (void)0                                                             \
+       : ::cosr::internal_check::CheckFail(                                  \
+             #a " <= " #b, __FILE__, __LINE__,                               \
+             ::cosr::internal_check::BinaryMessage(                          \
+                 "<=", static_cast<std::uint64_t>(a),                        \
+                 static_cast<std::uint64_t>(b))))
+
+#define COSR_CHECK_LT(a, b)                                                  \
+  (((a) < (b))                                                               \
+       ? (void)0                                                             \
+       : ::cosr::internal_check::CheckFail(                                  \
+             #a " < " #b, __FILE__, __LINE__,                                \
+             ::cosr::internal_check::BinaryMessage(                          \
+                 "<", static_cast<std::uint64_t>(a),                         \
+                 static_cast<std::uint64_t>(b))))
+
+/// Fatal check that a cosr::Status expression is OK.
+#define COSR_CHECK_OK(status_expr)                                        \
+  do {                                                                    \
+    const ::cosr::Status _cosr_check_status = (status_expr);              \
+    COSR_CHECK_MSG(_cosr_check_status.ok(), _cosr_check_status.ToString()); \
+  } while (0)
+
+#endif  // COSR_COMMON_CHECK_H_

@@ -1,0 +1,35 @@
+#include "cosr/common/math_util.h"
+
+#include <cmath>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+int FloorLog2(std::uint64_t x) {
+  COSR_CHECK(x > 0);
+  return 63 - __builtin_clzll(x);
+}
+
+bool IsPowerOfTwo(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+std::uint64_t NextPowerOfTwo(std::uint64_t x) {
+  COSR_CHECK(x >= 1);
+  if (IsPowerOfTwo(x)) return x;
+  const int lg = FloorLog2(x);
+  COSR_CHECK_LT(lg, 63);
+  return std::uint64_t{1} << (lg + 1);
+}
+
+std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  COSR_CHECK(b > 0);
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+std::uint64_t FloorScale(double eps, std::uint64_t x) {
+  const double product = eps * static_cast<double>(x);
+  if (product <= 0.0) return 0;
+  return static_cast<std::uint64_t>(std::floor(product));
+}
+
+}  // namespace cosr

@@ -1,0 +1,27 @@
+#ifndef COSR_COMMON_MATH_UTIL_H_
+#define COSR_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+
+namespace cosr {
+
+/// Floor of log2(x). Requires x > 0.
+int FloorLog2(std::uint64_t x);
+
+/// True when x is a power of two (x > 0).
+bool IsPowerOfTwo(std::uint64_t x);
+
+/// Smallest power of two >= x. Requires x >= 1 and x <= 2^63.
+std::uint64_t NextPowerOfTwo(std::uint64_t x);
+
+/// ceil(a / b). Requires b > 0.
+std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b);
+
+/// floor(eps * x) computed without floating-point drift for the payload/
+/// buffer sizing rule of the paper (Invariant 2.4). `eps` is expected in
+/// (0, 1]; negative products clamp to 0.
+std::uint64_t FloorScale(double eps, std::uint64_t x);
+
+}  // namespace cosr
+
+#endif  // COSR_COMMON_MATH_UTIL_H_

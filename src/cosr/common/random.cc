@@ -1,0 +1,94 @@
+#include "cosr/common/random.h"
+
+#include <cmath>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (auto& word : s_) {
+    word = SplitMix64(state);
+  }
+}
+
+std::uint64_t Rng::Next() {
+  // xoshiro256++ by Blackman & Vigna (public domain reference algorithm).
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformU64(std::uint64_t bound) {
+  COSR_CHECK(bound > 0);
+  // Debiased modulo (rejection sampling on the top of the range).
+  const std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) % bound
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::UniformRange(std::uint64_t lo, std::uint64_t hi) {
+  COSR_CHECK_LE(lo, hi);
+  return lo + UniformU64(hi - lo + 1);
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double s) : n_(n) {
+  COSR_CHECK(n > 0);
+  cumulative_.reserve(n);
+  double total = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i), s);
+    cumulative_.push_back(total);
+  }
+  for (auto& c : cumulative_) c /= total;
+}
+
+std::uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  // Binary search for the first cumulative weight >= u.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = n_ - 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (cumulative_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+}  // namespace cosr

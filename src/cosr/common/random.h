@@ -1,0 +1,54 @@
+#ifndef COSR_COMMON_RANDOM_H_
+#define COSR_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cosr {
+
+/// Deterministic, platform-independent PRNG (xoshiro256++ seeded via
+/// splitmix64). Standard-library distributions are implementation-defined,
+/// so all sampling helpers are implemented here to keep traces reproducible
+/// across compilers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  std::uint64_t UniformU64(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t UniformRange(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over {1, ..., n} using the inverse-CDF over precomputed
+/// cumulative weights. Deterministic given the Rng.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::uint64_t n, double s);
+
+  /// Samples a value in [1, n].
+  std::uint64_t Sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::vector<double> cumulative_;  // cumulative_[i] = P(X <= i + 1)
+};
+
+}  // namespace cosr
+
+#endif  // COSR_COMMON_RANDOM_H_

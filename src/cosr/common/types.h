@@ -1,0 +1,17 @@
+#ifndef COSR_COMMON_TYPES_H_
+#define COSR_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace cosr {
+
+/// Identifier for an allocated object. Assigned by the caller (or by a
+/// translation layer); the library never reuses or interprets ids.
+using ObjectId = std::uint64_t;
+
+/// Sentinel id. Used internally to mark dummy delete records in buffers.
+inline constexpr ObjectId kInvalidObjectId = ~static_cast<ObjectId>(0);
+
+}  // namespace cosr
+
+#endif  // COSR_COMMON_TYPES_H_

@@ -1,0 +1,65 @@
+#ifndef COSR_CORE_CHECKPOINTED_REALLOCATOR_H_
+#define COSR_CORE_CHECKPOINTED_REALLOCATOR_H_
+
+#include <cstdint>
+
+#include "cosr/core/size_class_layout.h"
+
+namespace cosr {
+
+/// The Section 3.2 variant: footprint minimization under the database
+/// durability model. The address space must have a CheckpointManager
+/// attached, which enforces that no write ever lands on a location freed
+/// since the last checkpoint and that moves are nonoverlapping (old copies
+/// survive until the translation map is persisted).
+///
+/// Differences from the amortized variant:
+///  * a flush-triggering insert is placed *before* the flush, at the end of
+///    the last buffer segment (filling and exceeding its capacity);
+///  * the flush works in an overflow area at max(L, L') + B + ∆ and proceeds
+///    in phases — pack payloads rightward ending at that offset, then unpack
+///    leftward to final positions — each phase moving at most B + ∆ (and,
+///    when stopped early, more than B) worth of target addresses, with a
+///    checkpoint between phases (Lemmas 3.1-3.3);
+///  * the in-flush footprint is bounded by (1 + O(eps)) V + ∆ and the number
+///    of checkpoints per flush by O(1/eps).
+class CheckpointedReallocator : public SizeClassLayout {
+ public:
+  struct Options {
+    double epsilon = 0.25;  // the paper's eps', in (0, 1]
+  };
+
+  /// `space` must have a CheckpointManager attached and outlive the
+  /// reallocator.
+  CheckpointedReallocator(AddressSpace* space, Options options);
+  explicit CheckpointedReallocator(AddressSpace* space)
+      : CheckpointedReallocator(space, Options()) {}
+  CheckpointedReallocator(const CheckpointedReallocator&) = delete;
+  CheckpointedReallocator& operator=(const CheckpointedReallocator&) = delete;
+
+  Status Insert(ObjectId id, std::uint64_t size) override;
+  Status Delete(ObjectId id) override;
+  const char* name() const override { return "checkpointed"; }
+
+  std::uint64_t checkpoints_in_last_flush() const {
+    return checkpoints_in_last_flush_;
+  }
+  std::uint64_t max_checkpoints_per_flush() const {
+    return max_checkpoints_per_flush_;
+  }
+
+ private:
+  /// Flushes regions >= boundary under the checkpointing discipline.
+  /// `trigger_size` is the size of the flush-triggering insert (0 for a
+  /// delete-triggered flush) and `structure_end` the reserved end before the
+  /// triggering insert was placed (the paper's L).
+  void FlushWithCheckpoints(int boundary, std::uint64_t trigger_size,
+                            std::uint64_t structure_end);
+
+  std::uint64_t checkpoints_in_last_flush_ = 0;
+  std::uint64_t max_checkpoints_per_flush_ = 0;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_CORE_CHECKPOINTED_REALLOCATOR_H_

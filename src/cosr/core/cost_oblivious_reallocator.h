@@ -1,0 +1,84 @@
+#ifndef COSR_CORE_COST_OBLIVIOUS_REALLOCATOR_H_
+#define COSR_CORE_COST_OBLIVIOUS_REALLOCATOR_H_
+
+#include <cstdint>
+
+#include "cosr/core/size_class_layout.h"
+
+namespace cosr {
+
+/// The paper's primary contribution (Section 2): a cost-oblivious storage
+/// reallocator that is (Fsa, 1+eps, O((1/eps) log(1/eps)))-competitive.
+///
+/// Objects are kept partially sorted by size class. Region i holds a payload
+/// segment (class-i objects only) followed by a buffer segment (classes
+/// <= i, plus dummy delete records). An update goes to the earliest buffer
+/// j >= its class with room; when none has room, a buffer flush rebuilds a
+/// suffix of regions: buffered objects evacuate to a temporary overflow
+/// segment, payloads compact left, payloads unpack right-to-left to their
+/// final positions, and buffered objects land at the ends of their payload
+/// segments, leaving all flushed buffers empty (Figure 3).
+///
+/// This is the amortized variant: a single request may trigger the
+/// reallocation of every active object, and self-overlapping slides are
+/// permitted (use CheckpointedReallocator for the database model of
+/// Section 3). The algorithm never consults a cost function — cost is
+/// measured externally by listeners on the AddressSpace.
+class CostObliviousReallocator : public SizeClassLayout {
+ public:
+  struct Options {
+    /// The paper's eps' = Theta(eps): each buffer segment gets
+    /// floor(eps * payload volume) capacity. Must be in (0, 1].
+    double epsilon = 0.25;
+    /// The paper's placement rule sends an update to the earliest buffer
+    /// j >= its class with room. Setting this to false restricts updates
+    /// to their own class's buffer — an ablation that shows why upward
+    /// spilling matters (small classes flush constantly without it).
+    bool spill_to_higher_buffers = true;
+  };
+
+  /// `space` must not have a CheckpointManager attached (this variant uses
+  /// overlapping slides) and must outlive the reallocator.
+  CostObliviousReallocator(AddressSpace* space, Options options);
+  explicit CostObliviousReallocator(AddressSpace* space)
+      : CostObliviousReallocator(space, Options()) {}
+  CostObliviousReallocator(const CostObliviousReallocator&) = delete;
+  CostObliviousReallocator& operator=(const CostObliviousReallocator&) =
+      delete;
+
+  Status Insert(ObjectId id, std::uint64_t size) override;
+  Status Delete(ObjectId id) override;
+  const char* name() const override { return "cost-oblivious"; }
+
+  /// Adopts an object that is already placed in the address space (outside
+  /// this structure), moving it into a buffer/payload position. Used by the
+  /// defragmenter, which feeds existing objects into the structure.
+  Status InsertExisting(ObjectId id);
+
+  /// Removes an object from the structure by *moving* it to
+  /// `target_offset` (caller-owned space) instead of freeing it, then
+  /// applies normal delete bookkeeping. The defragmenter's extraction step.
+  Status ExtractTo(ObjectId id, std::uint64_t target_offset);
+
+ private:
+  enum class PendingKind { kInsert, kDelete };
+  struct Pending {
+    PendingKind kind = PendingKind::kDelete;
+    ObjectId id = kInvalidObjectId;
+    std::uint64_t size = 0;
+    int size_class = 0;
+    bool already_placed = false;
+  };
+
+  Status InsertImpl(ObjectId id, std::uint64_t size, bool already_placed);
+  Status DeleteImpl(ObjectId id, bool extract, std::uint64_t target_offset);
+
+  /// Flushes all regions >= boundary (the four-step procedure of Section 2),
+  /// then places the pending insert, if any, at the end of its payload
+  /// segment.
+  void Flush(int boundary, const Pending& pending);
+};
+
+}  // namespace cosr
+
+#endif  // COSR_CORE_COST_OBLIVIOUS_REALLOCATOR_H_

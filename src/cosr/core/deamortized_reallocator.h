@@ -1,0 +1,163 @@
+#ifndef COSR_CORE_DEAMORTIZED_REALLOCATOR_H_
+#define COSR_CORE_DEAMORTIZED_REALLOCATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "cosr/core/size_class_layout.h"
+
+namespace cosr {
+
+/// The Section 3.3 variant: the (partially) deamortized reallocator.
+/// Worst-case reallocated volume per size-w update is (work_factor/eps)*w
+/// plus at most one ∆-sized overrun, which yields the paper's worst-case
+/// cost bound O((1/eps) * w * f(1) + f(∆)) for subadditive f, while the
+/// amortized cost and footprint bounds are unchanged.
+///
+/// Two additions over the checkpointed structure:
+///  * a *tail buffer* of capacity floor(eps * V_f) after all regions, where
+///    V_f is the volume at the start of the previous flush. Objects go to
+///    the tail only when every earlier buffer is full; a flush is triggered
+///    only when the tail fills.
+///  * a *log* after the flush's working space. Updates arriving mid-flush
+///    append to the log; each size-w update also executes the next
+///    (work_factor/eps)*w volume of the flush plan. When the plan is done,
+///    logged updates are replayed in order (the re-insert/re-delete phase);
+///    Lemma 3.4 shows the log drains before the next tail fill.
+///
+/// Requires a CheckpointManager (the variant builds on the checkpointing
+/// flush; phase boundaries request checkpoints exactly as in Section 3.2).
+class DeamortizedReallocator : public SizeClassLayout {
+ public:
+  struct Options {
+    double epsilon = 0.25;     // the paper's eps'
+    double work_factor = 4.0;  // flush work per update: (work_factor/eps)*w
+  };
+
+  DeamortizedReallocator(AddressSpace* space, Options options);
+  explicit DeamortizedReallocator(AddressSpace* space)
+      : DeamortizedReallocator(space, Options()) {}
+  DeamortizedReallocator(const DeamortizedReallocator&) = delete;
+  DeamortizedReallocator& operator=(const DeamortizedReallocator&) = delete;
+
+  Status Insert(ObjectId id, std::uint64_t size) override;
+  Status Delete(ObjectId id) override;
+  const char* name() const override { return "deamortized"; }
+
+  /// Runs the in-progress flush (and log drain) to completion.
+  void Quiesce() override;
+
+  std::uint64_t reserved_footprint() const override;
+
+  bool flush_in_progress() const { return active_; }
+  std::uint64_t tail_capacity() const { return tail_capacity_; }
+  std::uint64_t tail_used() const { return tail_used_; }
+  std::uint64_t log_size() const { return log_.size(); }
+
+  /// Largest volume physically moved by any single update (the quantity
+  /// bounded by (work_factor/eps)*w + ∆ in Lemma 3.6).
+  std::uint64_t max_op_moved_volume() const { return max_op_moved_volume_; }
+  std::uint64_t max_checkpoints_per_op() const {
+    return max_checkpoints_per_op_;
+  }
+
+  /// Full invariant checks apply only when no flush is in progress; while
+  /// active, only global space consistency is verified.
+  Status CheckInvariants() const override;
+
+ private:
+  static constexpr int kTailRegion = -1;
+  static constexpr int kLogRegion = -2;
+
+  enum class Stage { kEvacuate = 0, kPack = 1, kUnpack = 2, kPlace = 3 };
+  struct PlannedMove {
+    ObjectId id = kInvalidObjectId;
+    std::uint64_t target = 0;
+    std::uint64_t size = 0;
+    Stage stage = Stage::kEvacuate;
+  };
+  struct LogEntry {
+    bool is_delete = false;
+    ObjectId id = kInvalidObjectId;
+    std::uint64_t size = 0;
+    int size_class = 0;
+  };
+  struct RegionPlan {
+    std::uint64_t payload_start = 0;
+    std::uint64_t payload_capacity = 0;
+    std::uint64_t buffer_capacity = 0;
+    // Overflow objects to append to the region's payload list on install.
+    std::vector<ObjectId> arrivals;
+  };
+
+  /// Appends zero-capacity regions so that classes up to `cls` exist.
+  void ExtendClasses(int cls);
+
+  std::uint64_t TailStart() const { return regions_.back().region_end(); }
+
+  /// Places an already-positioned object at the end of the tail buffer
+  /// (moving it there) and requests a flush when the tail is full.
+  void TailInsert(ObjectId id, std::uint64_t size, int cls,
+                  bool already_placed);
+
+  /// Applies delete bookkeeping for an object in a region buffer, the tail,
+  /// or a payload segment. When no buffer has room for the dummy record,
+  /// triggers (or schedules) a flush without consuming space.
+  void ApplyDelete(ObjectId id);
+
+  /// Builds the flush plan (stages A-D) and activates incremental mode.
+  void BeginFlush(int trigger_class);
+
+  /// Executes up to `budget` volume of plan moves / log replays.
+  void DoWork(std::uint64_t budget);
+
+  /// Installs the new region metadata after the last plan move.
+  void InstallMetadata();
+  void FinishFlush();
+  void CheckpointNow();
+
+  /// Wraps a public update: runs the op's flush work share and maintains
+  /// the per-op worst-case statistics.
+  void AfterUpdate(std::uint64_t op_size);
+
+  // Tail buffer state.
+  std::uint64_t tail_capacity_ = 0;
+  std::uint64_t tail_used_ = 0;
+  std::vector<BufferEntry> tail_entries_;
+  int tail_min_class_ = std::numeric_limits<int>::max();
+
+  // Flush execution state.
+  bool active_ = false;
+  bool installed_ = false;
+  bool retrigger_ = false;
+  std::vector<PlannedMove> plan_;
+  std::size_t plan_cursor_ = 0;
+  Stage current_stage_ = Stage::kEvacuate;
+  std::uint64_t phase_limit_ = 0;
+  std::uint64_t phase_low_ = 0;
+  std::uint64_t phase_high_ = 0;
+  bool phase_open_ = false;
+  int boundary_ = 0;
+  std::vector<RegionPlan> region_plans_;  // index = size class
+  std::uint64_t next_tail_capacity_ = 0;
+
+  // Log state.
+  std::deque<LogEntry> log_;
+  std::uint64_t log_cursor_ = 0;
+  std::unordered_set<ObjectId> pending_delete_;
+
+  // Work metering.
+  double work_budget_per_unit_ = 0.0;  // work_factor / epsilon
+
+  // Statistics.
+  std::uint64_t max_op_moved_volume_ = 0;
+  std::uint64_t max_checkpoints_per_op_ = 0;
+  std::uint64_t checkpoints_this_op_ = 0;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_CORE_DEAMORTIZED_REALLOCATOR_H_

@@ -1,0 +1,65 @@
+#ifndef COSR_CORE_DEFRAGMENTER_H_
+#define COSR_CORE_DEFRAGMENTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cosr/common/status.h"
+#include "cosr/common/types.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+
+/// Cost-oblivious defragmentation (Theorem 2.7): sorts a set of objects by
+/// an arbitrary comparison function inside (1+eps)V + ∆ working space, at
+/// total cost O((1/eps) log(1/eps)) times the cost of allocating all the
+/// objects, for any subadditive cost function — using the cost-oblivious
+/// reallocator as a black box.
+///
+/// Procedure: (1) crunch all objects into the rightmost V cells of the
+/// (1+eps)V arena, leaving a floor(eps*V) prefix empty; (2) feed objects
+/// left to right into a CostObliviousReallocator growing from the front of
+/// the array (the (1+eps)W prefix never overlaps the (V-W) suffix);
+/// (3) extract objects in reverse sorted order, packing them against the
+/// right end, so the suffix ends sorted ascending.
+class Defragmenter {
+ public:
+  struct Options {
+    /// The theorem's eps; the internal reallocator runs at eps/4 so that
+    /// its transient in-flush overflow also stays inside the eps*V slack.
+    double epsilon = 0.25;
+    /// After sorting, slide everything left so the sorted run starts at
+    /// address 0 (one extra move per object).
+    bool compact_to_front = false;
+  };
+
+  struct Stats {
+    std::uint64_t volume = 0;            // V
+    std::uint64_t delta = 0;             // ∆ (largest object)
+    std::uint64_t arena_limit = 0;       // floor(eps*V) + V + ∆
+    std::uint64_t total_moves = 0;
+    std::uint64_t moved_volume = 0;
+    std::uint64_t max_footprint = 0;     // high-water mark during the sort
+  };
+
+  /// Sorts `ids` (already placed in `space`, with extents inside
+  /// [0, floor(eps*V) + V)) according to `less`. On return the objects are
+  /// packed in ascending `less` order. `space` must not have a
+  /// CheckpointManager (the crunch uses overlapping slides).
+  static Status Sort(AddressSpace* space, const std::vector<ObjectId>& ids,
+                     const std::function<bool(ObjectId, ObjectId)>& less,
+                     const Options& options, Stats* stats = nullptr);
+};
+
+/// The naive comparison baseline: with a full 2V of working space,
+/// defragmentation is trivial with exactly two moves per object (crunch
+/// right into [V, 2V), then place each object at its final sorted position
+/// in [0, V)).
+Status NaiveDefragSort(AddressSpace* space, const std::vector<ObjectId>& ids,
+                       const std::function<bool(ObjectId, ObjectId)>& less,
+                       Defragmenter::Stats* stats = nullptr);
+
+}  // namespace cosr
+
+#endif  // COSR_CORE_DEFRAGMENTER_H_

@@ -1,0 +1,30 @@
+#ifndef COSR_CORE_FLUSH_LISTENER_H_
+#define COSR_CORE_FLUSH_LISTENER_H_
+
+namespace cosr {
+
+/// Progress points within a buffer flush, mirroring the states (i)-(v) of
+/// Figure 3.
+struct FlushEvent {
+  enum class Stage {
+    kBegin,              // flush triggered; boundary class chosen
+    kBuffersEvacuated,   // buffered objects moved to the overflow segment
+    kCompacted,          // payload segments packed, holes removed
+    kUnpacked,           // payload segments at their final positions
+    kEnd,                // overflow placed; buffers empty again
+  };
+  Stage stage = Stage::kBegin;
+  int boundary_class = 0;
+};
+
+/// Observer of flush progress; used by the Figure 3 tracer and by tests
+/// that validate intermediate states.
+class FlushListener {
+ public:
+  virtual ~FlushListener() = default;
+  virtual void OnFlushEvent(const FlushEvent& event) = 0;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_CORE_FLUSH_LISTENER_H_

@@ -1,0 +1,62 @@
+#ifndef COSR_CORE_LAYOUT_H_
+#define COSR_CORE_LAYOUT_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cosr/common/types.h"
+
+namespace cosr {
+
+/// One entry in a buffer segment: a live buffered object, or a dummy delete
+/// record that consumes the deleted object's size until the next flush
+/// (Section 2, "Allocating and deallocating").
+struct BufferEntry {
+  ObjectId id = kInvalidObjectId;  // kInvalidObjectId => dummy delete record
+  std::uint64_t size = 0;
+  int size_class = 0;  // class of the inserted (or deleted) object
+
+  bool live() const { return id != kInvalidObjectId; }
+};
+
+/// The i-th region of the array (Invariant 2.2): a payload segment that only
+/// stores class-i objects, followed by a buffer segment that stores objects
+/// (and dummy records) of classes <= i. Capacities are fixed between flushes
+/// of this region: payload capacity is V(i) as of the region's last flush and
+/// buffer capacity is floor(eps' * that) (Invariant 2.4).
+struct Region {
+  std::uint64_t payload_start = 0;
+  std::uint64_t payload_capacity = 0;
+  std::uint64_t buffer_capacity = 0;
+  std::uint64_t buffer_used = 0;
+  /// Smallest size class among buffer entries since the region's last flush;
+  /// drives the boundary-class computation for flushes.
+  int min_buffer_class = std::numeric_limits<int>::max();
+
+  /// Live payload objects in ascending offset order (holes from deletions
+  /// are implicit).
+  std::vector<ObjectId> payload_objects;
+  std::vector<BufferEntry> buffer_entries;
+
+  std::uint64_t buffer_start() const {
+    return payload_start + payload_capacity;
+  }
+  std::uint64_t buffer_end() const { return buffer_start() + buffer_capacity; }
+  std::uint64_t region_end() const { return buffer_end(); }
+  /// Remaining buffer capacity. Saturates at zero: the checkpointed variant
+  /// transiently overfills the last buffer with the flush-triggering insert.
+  std::uint64_t buffer_free() const {
+    return buffer_used >= buffer_capacity ? 0 : buffer_capacity - buffer_used;
+  }
+
+  void ResetBuffer() {
+    buffer_entries.clear();
+    buffer_used = 0;
+    min_buffer_class = std::numeric_limits<int>::max();
+  }
+};
+
+}  // namespace cosr
+
+#endif  // COSR_CORE_LAYOUT_H_

@@ -1,0 +1,23 @@
+#include "cosr/core/size_class.h"
+
+#include "cosr/common/check.h"
+#include "cosr/common/math_util.h"
+
+namespace cosr {
+
+int SizeClassOf(std::uint64_t size) {
+  COSR_CHECK(size > 0);
+  return FloorLog2(size) + 1;
+}
+
+std::uint64_t ClassMinSize(int size_class) {
+  COSR_CHECK(size_class >= 1);
+  return std::uint64_t{1} << (size_class - 1);
+}
+
+std::uint64_t ClassMaxSize(int size_class) {
+  COSR_CHECK(size_class >= 1);
+  return (std::uint64_t{1} << size_class) - 1;
+}
+
+}  // namespace cosr

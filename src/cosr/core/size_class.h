@@ -1,0 +1,21 @@
+#ifndef COSR_CORE_SIZE_CLASS_H_
+#define COSR_CORE_SIZE_CLASS_H_
+
+#include <cstdint>
+
+namespace cosr {
+
+/// Size classes as defined in Section 2: the i-th class (1-based) contains
+/// objects of size w with 2^(i-1) <= w < 2^i, so there are floor(log2 ∆)+1
+/// classes and ∆ need not be known in advance.
+int SizeClassOf(std::uint64_t size);
+
+/// Smallest size in class i: 2^(i-1).
+std::uint64_t ClassMinSize(int size_class);
+
+/// Largest integral size in class i: 2^i - 1.
+std::uint64_t ClassMaxSize(int size_class);
+
+}  // namespace cosr
+
+#endif  // COSR_CORE_SIZE_CLASS_H_

@@ -1,0 +1,38 @@
+#include "cosr/cost/cost_battery.h"
+
+#include <utility>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+void CostBattery::Add(std::unique_ptr<CostFunction> f) {
+  COSR_CHECK(f != nullptr);
+  functions_.push_back(std::move(f));
+}
+
+int CostBattery::IndexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i]->name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+CostBattery MakeDefaultBattery() {
+  CostBattery battery;
+  battery.Add(MakeLinearCost());
+  battery.Add(MakeConstantCost());
+  battery.Add(MakeAffineCost(/*seek=*/64.0, /*per_unit=*/1.0));
+  battery.Add(MakeSqrtCost());
+  battery.Add(MakeLogCost());
+  battery.Add(MakeCappedLinearCost(/*cap=*/256.0));
+  return battery;
+}
+
+CostBattery MakeBatteryWithQuadratic() {
+  CostBattery battery = MakeDefaultBattery();
+  battery.Add(MakeQuadraticCost());
+  return battery;
+}
+
+}  // namespace cosr

@@ -1,0 +1,48 @@
+#ifndef COSR_COST_COST_BATTERY_H_
+#define COSR_COST_COST_BATTERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cosr/cost/cost_function.h"
+
+namespace cosr {
+
+/// An ordered collection of cost functions evaluated side by side over the
+/// same run. Because the reallocators are cost oblivious, a single execution
+/// produces one move stream that the battery prices under every model
+/// simultaneously — the experimental realization of (Fsa, a, b)-
+/// competitiveness.
+class CostBattery {
+ public:
+  CostBattery() = default;
+  CostBattery(CostBattery&&) = default;
+  CostBattery& operator=(CostBattery&&) = default;
+  CostBattery(const CostBattery&) = delete;
+  CostBattery& operator=(const CostBattery&) = delete;
+
+  void Add(std::unique_ptr<CostFunction> f);
+
+  std::size_t size() const { return functions_.size(); }
+  const CostFunction& at(std::size_t i) const { return *functions_[i]; }
+  const std::string& name(std::size_t i) const { return functions_[i]->name(); }
+
+  /// Index of the function with the given name; -1 when absent.
+  int IndexOf(const std::string& name) const;
+
+ private:
+  std::vector<std::unique_ptr<CostFunction>> functions_;
+};
+
+/// The default battery used by tests and benches: linear, constant,
+/// affine(seek=64,b=1), sqrt, log, capped(256). All in Fsa.
+CostBattery MakeDefaultBattery();
+
+/// Default battery plus the superadditive quadratic (for E9).
+CostBattery MakeBatteryWithQuadratic();
+
+}  // namespace cosr
+
+#endif  // COSR_COST_COST_BATTERY_H_

@@ -1,0 +1,140 @@
+#include "cosr/cost/cost_function.h"
+
+#include <cmath>
+#include <utility>
+
+namespace cosr {
+
+namespace {
+
+class NamedCost : public CostFunction {
+ public:
+  explicit NamedCost(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class LinearCost final : public NamedCost {
+ public:
+  explicit LinearCost(double per_unit)
+      : NamedCost("linear"), per_unit_(per_unit) {}
+  double Cost(std::uint64_t w) const override {
+    return per_unit_ * static_cast<double>(w);
+  }
+
+ private:
+  double per_unit_;
+};
+
+class ConstantCost final : public NamedCost {
+ public:
+  explicit ConstantCost(double c) : NamedCost("constant"), c_(c) {}
+  double Cost(std::uint64_t) const override { return c_; }
+
+ private:
+  double c_;
+};
+
+class AffineCost final : public NamedCost {
+ public:
+  AffineCost(double seek, double per_unit)
+      : NamedCost("affine"), seek_(seek), per_unit_(per_unit) {}
+  double Cost(std::uint64_t w) const override {
+    return seek_ + per_unit_ * static_cast<double>(w);
+  }
+
+ private:
+  double seek_;
+  double per_unit_;
+};
+
+class SqrtCost final : public NamedCost {
+ public:
+  explicit SqrtCost(double scale) : NamedCost("sqrt"), scale_(scale) {}
+  double Cost(std::uint64_t w) const override {
+    return scale_ * std::sqrt(static_cast<double>(w));
+  }
+
+ private:
+  double scale_;
+};
+
+class LogCost final : public NamedCost {
+ public:
+  explicit LogCost(double scale) : NamedCost("log"), scale_(scale) {}
+  double Cost(std::uint64_t w) const override {
+    return scale_ * std::log2(1.0 + static_cast<double>(w));
+  }
+
+ private:
+  double scale_;
+};
+
+class CappedLinearCost final : public NamedCost {
+ public:
+  explicit CappedLinearCost(double cap) : NamedCost("capped"), cap_(cap) {}
+  double Cost(std::uint64_t w) const override {
+    return std::min(static_cast<double>(w), cap_);
+  }
+
+ private:
+  double cap_;
+};
+
+class QuadraticCost final : public NamedCost {
+ public:
+  QuadraticCost() : NamedCost("quadratic") {}
+  double Cost(std::uint64_t w) const override {
+    const double x = static_cast<double>(w);
+    return x * x;
+  }
+  bool in_fsa() const override { return false; }
+};
+
+}  // namespace
+
+std::unique_ptr<CostFunction> MakeLinearCost(double per_unit) {
+  return std::make_unique<LinearCost>(per_unit);
+}
+std::unique_ptr<CostFunction> MakeConstantCost(double c) {
+  return std::make_unique<ConstantCost>(c);
+}
+std::unique_ptr<CostFunction> MakeAffineCost(double seek, double per_unit) {
+  return std::make_unique<AffineCost>(seek, per_unit);
+}
+std::unique_ptr<CostFunction> MakeSqrtCost(double scale) {
+  return std::make_unique<SqrtCost>(scale);
+}
+std::unique_ptr<CostFunction> MakeLogCost(double scale) {
+  return std::make_unique<LogCost>(scale);
+}
+std::unique_ptr<CostFunction> MakeCappedLinearCost(double cap) {
+  return std::make_unique<CappedLinearCost>(cap);
+}
+std::unique_ptr<CostFunction> MakeQuadraticCost() {
+  return std::make_unique<QuadraticCost>();
+}
+
+bool IsMonotoneOnSamples(const CostFunction& f, std::uint64_t max_w,
+                         int samples, Rng& rng) {
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t x = rng.UniformRange(1, max_w - 1);
+    const std::uint64_t y = rng.UniformRange(x, max_w);
+    if (f.Cost(y) + 1e-9 < f.Cost(x)) return false;
+  }
+  return true;
+}
+
+bool IsSubadditiveOnSamples(const CostFunction& f, std::uint64_t max_w,
+                            int samples, Rng& rng) {
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t x = rng.UniformRange(1, max_w);
+    const std::uint64_t y = rng.UniformRange(1, max_w);
+    if (f.Cost(x + y) > f.Cost(x) + f.Cost(y) + 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace cosr

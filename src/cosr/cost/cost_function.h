@@ -1,0 +1,65 @@
+#ifndef COSR_COST_COST_FUNCTION_H_
+#define COSR_COST_COST_FUNCTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cosr/common/random.h"
+
+namespace cosr {
+
+/// A reallocation cost model f(w): the cost to allocate or move an object of
+/// size w. The paper's class Fsa contains monotonically increasing,
+/// subadditive functions (f(x+y) <= f(x)+f(y)); all concave increasing
+/// functions qualify. Cost functions are consulted only by the *metering*
+/// layer — the cost-oblivious algorithms never see them.
+class CostFunction {
+ public:
+  virtual ~CostFunction() = default;
+
+  /// Cost of allocating or moving a size-w object. w >= 1.
+  virtual double Cost(std::uint64_t w) const = 0;
+
+  /// Short display name, e.g. "linear".
+  virtual const std::string& name() const = 0;
+
+  /// Whether the function is designed to be in Fsa. The quadratic cost
+  /// returns false: it exists to demonstrate that the paper's bounds
+  /// genuinely require subadditivity.
+  virtual bool in_fsa() const { return true; }
+};
+
+/// f(w) = per_unit * w. The RAM / garbage-collection model.
+std::unique_ptr<CostFunction> MakeLinearCost(double per_unit = 1.0);
+
+/// f(w) = c. The "unit cost per move" model (e.g. fixed-latency remap).
+std::unique_ptr<CostFunction> MakeConstantCost(double c = 1.0);
+
+/// f(w) = seek + per_unit * w. The rotating-disk model: small objects are
+/// seek-dominated, large objects bandwidth-dominated.
+std::unique_ptr<CostFunction> MakeAffineCost(double seek, double per_unit);
+
+/// f(w) = scale * sqrt(w). A concave (hence subadditive) middle ground.
+std::unique_ptr<CostFunction> MakeSqrtCost(double scale = 1.0);
+
+/// f(w) = scale * log2(1 + w).
+std::unique_ptr<CostFunction> MakeLogCost(double scale = 1.0);
+
+/// f(w) = min(w, cap). Linear until bandwidth saturates, then flat.
+std::unique_ptr<CostFunction> MakeCappedLinearCost(double cap);
+
+/// f(w) = w^2. Superadditive — NOT in Fsa. Used only by the negative
+/// experiment (E9) showing the subadditivity requirement is real.
+std::unique_ptr<CostFunction> MakeQuadraticCost();
+
+/// Sampling-based property checks used by tests and by the battery
+/// constructor to validate membership in Fsa.
+bool IsMonotoneOnSamples(const CostFunction& f, std::uint64_t max_w,
+                         int samples, Rng& rng);
+bool IsSubadditiveOnSamples(const CostFunction& f, std::uint64_t max_w,
+                            int samples, Rng& rng);
+
+}  // namespace cosr
+
+#endif  // COSR_COST_COST_FUNCTION_H_

@@ -1,0 +1,74 @@
+#include "cosr/db/block_translation_layer.h"
+
+namespace cosr {
+
+BlockTranslationLayer::BlockTranslationLayer(AddressSpace* space,
+                                             Reallocator* realloc)
+    : space_(space), realloc_(realloc) {
+  space_->AddListener(this);
+}
+
+BlockTranslationLayer::~BlockTranslationLayer() {
+  space_->RemoveListener(this);
+}
+
+Status BlockTranslationLayer::Put(std::uint64_t block_name,
+                                  std::uint64_t size) {
+  if (size == 0) return Status::InvalidArgument("size must be positive");
+  auto it = table_.find(block_name);
+  if (it != table_.end()) {
+    COSR_RETURN_IF_ERROR(realloc_->Delete(it->second));
+    table_.erase(it);
+  }
+  const ObjectId id = next_object_id_++;
+  COSR_RETURN_IF_ERROR(realloc_->Insert(id, size));
+  table_.emplace(block_name, id);
+  return Status::Ok();
+}
+
+Status BlockTranslationLayer::Erase(std::uint64_t block_name) {
+  auto it = table_.find(block_name);
+  if (it == table_.end()) {
+    return Status::NotFound("block " + std::to_string(block_name));
+  }
+  COSR_RETURN_IF_ERROR(realloc_->Delete(it->second));
+  table_.erase(it);
+  return Status::Ok();
+}
+
+std::optional<Extent> BlockTranslationLayer::Lookup(
+    std::uint64_t block_name) const {
+  auto it = table_.find(block_name);
+  if (it == table_.end()) return std::nullopt;
+  if (!space_->contains(it->second)) return std::nullopt;  // mid-delete
+  return space_->extent_of(it->second);
+}
+
+void BlockTranslationLayer::OnCheckpoint(std::uint64_t checkpoint_seq) {
+  checkpoint_snapshot_.clear();
+  checkpoint_snapshot_.reserve(table_.size());
+  for (const auto& [name, id] : table_) {
+    if (!space_->contains(id)) continue;  // logged insert not yet placed
+    TableEntry entry;
+    entry.name = name;
+    entry.object = id;
+    entry.extent = space_->extent_of(id);
+    checkpoint_snapshot_.push_back(entry);
+  }
+  checkpoint_seq_ = checkpoint_seq;
+}
+
+Status BlockTranslationLayer::VerifyRecoverable(
+    const SimulatedDisk& disk) const {
+  for (const TableEntry& entry : checkpoint_snapshot_) {
+    if (!disk.VerifyObject(entry.object, entry.extent)) {
+      return Status::Internal(
+          "block " + std::to_string(entry.name) + " (object " +
+          std::to_string(entry.object) + ") corrupted at " +
+          ToString(entry.extent) + " — checkpoint discipline violated");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cosr

@@ -1,0 +1,59 @@
+#include "cosr/metrics/cost_meter.h"
+
+#include <algorithm>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+CostMeter::CostMeter(const CostBattery* battery) : battery_(battery) {
+  COSR_CHECK(battery_ != nullptr);
+  totals_.resize(battery_->size());
+  op_cost_.resize(battery_->size(), 0.0);
+}
+
+void CostMeter::CloseOp() {
+  for (std::size_t i = 0; i < totals_.size(); ++i) {
+    totals_[i].max_op_cost = std::max(totals_[i].max_op_cost, op_cost_[i]);
+    op_cost_[i] = 0.0;
+  }
+}
+
+void CostMeter::BeginOp() { CloseOp(); }
+
+void CostMeter::OnPlace(ObjectId, const Extent& extent) {
+  ++places_;
+  bytes_placed_ += extent.length;
+  for (std::size_t i = 0; i < totals_.size(); ++i) {
+    const double cost = battery_->at(i).Cost(extent.length);
+    totals_[i].allocation_cost += cost;
+    totals_[i].total_write_cost += cost;
+    op_cost_[i] += cost;
+  }
+}
+
+void CostMeter::OnMove(ObjectId, const Extent& from, const Extent&) {
+  ++moves_;
+  bytes_moved_ += from.length;
+  for (std::size_t i = 0; i < totals_.size(); ++i) {
+    const double cost = battery_->at(i).Cost(from.length);
+    totals_[i].total_write_cost += cost;
+    op_cost_[i] += cost;
+  }
+}
+
+void CostMeter::OnRemove(ObjectId, const Extent&) { ++removes_; }
+
+double CostMeter::CostRatio(std::size_t fn) const {
+  const FunctionTotals& t = totals_[fn];
+  if (t.allocation_cost <= 0.0) return 0.0;
+  return t.total_write_cost / t.allocation_cost;
+}
+
+double CostMeter::ReallocRatio(std::size_t fn) const {
+  const FunctionTotals& t = totals_[fn];
+  if (t.allocation_cost <= 0.0) return 0.0;
+  return (t.total_write_cost - t.allocation_cost) / t.allocation_cost;
+}
+
+}  // namespace cosr

@@ -1,0 +1,59 @@
+#include "cosr/metrics/latency_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+LatencyProfile::LatencyProfile(const CostFunction* function)
+    : function_(function) {
+  COSR_CHECK(function_ != nullptr);
+}
+
+void LatencyProfile::BeginOp() {
+  if (open_) {
+    costs_.push_back(current_);
+    sorted_valid_ = false;
+  }
+  current_ = 0;
+  open_ = true;
+}
+
+void LatencyProfile::Record(std::uint64_t size) {
+  if (!open_) return;  // activity outside any request window is untracked
+  current_ += function_->Cost(size);
+}
+
+void LatencyProfile::OnPlace(ObjectId, const Extent& extent) {
+  Record(extent.length);
+}
+
+void LatencyProfile::OnMove(ObjectId, const Extent& from, const Extent&) {
+  Record(from.length);
+}
+
+double LatencyProfile::Percentile(double q) const {
+  if (costs_.empty()) return 0;
+  if (!sorted_valid_) {
+    sorted_ = costs_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  const auto index = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted_.size())));
+  return sorted_[index == 0 ? 0 : index - 1];
+}
+
+double LatencyProfile::max() const { return Percentile(1.0); }
+
+double LatencyProfile::mean() const {
+  if (costs_.empty()) return 0;
+  double total = 0;
+  for (double c : costs_) total += c;
+  return total / static_cast<double>(costs_.size());
+}
+
+}  // namespace cosr

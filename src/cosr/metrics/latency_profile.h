@@ -1,0 +1,53 @@
+#ifndef COSR_METRICS_LATENCY_PROFILE_H_
+#define COSR_METRICS_LATENCY_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cosr/cost/cost_function.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+
+/// Records the full distribution of per-request write costs under one cost
+/// function — the tail-latency view of the deamortization trade-off
+/// (Lemma 3.6): the amortized variant has a light body and a heavy tail;
+/// the deamortized variant flattens the tail at the same body.
+///
+/// Attach to the AddressSpace, call BeginOp() before each request, then
+/// query Percentile()/max() after the run.
+class LatencyProfile : public SpaceListener {
+ public:
+  /// `function` must outlive the profile.
+  explicit LatencyProfile(const CostFunction* function);
+  LatencyProfile(const LatencyProfile&) = delete;
+  LatencyProfile& operator=(const LatencyProfile&) = delete;
+
+  /// Closes the current request's accumulator and starts the next.
+  void BeginOp();
+
+  void OnPlace(ObjectId id, const Extent& extent) override;
+  void OnMove(ObjectId id, const Extent& from, const Extent& to) override;
+
+  /// Cost at quantile q in [0, 1] over all closed requests (0 when empty).
+  /// q = 0.5 is the median; q = 1.0 the maximum.
+  double Percentile(double q) const;
+
+  double max() const;
+  double mean() const;
+  std::size_t op_count() const { return costs_.size(); }
+
+ private:
+  void Record(std::uint64_t size);
+
+  const CostFunction* function_;
+  std::vector<double> costs_;  // closed requests
+  double current_ = 0;
+  bool open_ = false;
+  mutable std::vector<double> sorted_;  // lazily sorted copy
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_METRICS_LATENCY_PROFILE_H_

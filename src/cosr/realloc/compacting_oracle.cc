@@ -1,0 +1,29 @@
+#include "cosr/realloc/compacting_oracle.h"
+
+namespace cosr {
+
+Status CompactingOracle::Insert(ObjectId id, std::uint64_t size) {
+  if (size == 0) return Status::InvalidArgument("size must be positive");
+  if (space_->contains(id)) {
+    return Status::AlreadyExists("object " + std::to_string(id));
+  }
+  space_->Place(id, Extent{space_->live_volume(), size});
+  return Status::Ok();
+}
+
+Status CompactingOracle::Delete(ObjectId id) {
+  if (!space_->contains(id)) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  const Extent gone = space_->extent_of(id);
+  space_->Remove(id);
+  // Slide everything to the right of the hole left by `gone`.
+  for (const auto& [other, extent] : space_->Snapshot()) {
+    if (extent.offset > gone.offset) {
+      space_->Move(other, Extent{extent.offset - gone.length, extent.length});
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cosr

@@ -1,0 +1,36 @@
+#ifndef COSR_REALLOC_COMPACTING_ORACLE_H_
+#define COSR_REALLOC_COMPACTING_ORACLE_H_
+
+#include <cstdint>
+
+#include "cosr/realloc/reallocator.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+
+/// The footprint-OPT reference: keeps all objects perfectly packed from
+/// address zero at all times, so footprint == volume after every request.
+/// Its reallocation cost is unbounded (a delete compacts everything to its
+/// right); it exists so experiments can report footprint ratios against a
+/// true optimum and to illustrate the footprint/cost trade-off.
+class CompactingOracle : public Reallocator {
+ public:
+  explicit CompactingOracle(AddressSpace* space) : space_(space) {}
+  CompactingOracle(const CompactingOracle&) = delete;
+  CompactingOracle& operator=(const CompactingOracle&) = delete;
+
+  Status Insert(ObjectId id, std::uint64_t size) override;
+  Status Delete(ObjectId id) override;
+  std::uint64_t reserved_footprint() const override {
+    return space_->live_volume();
+  }
+  std::uint64_t volume() const override { return space_->live_volume(); }
+  const char* name() const override { return "oracle"; }
+
+ private:
+  AddressSpace* space_;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_REALLOC_COMPACTING_ORACLE_H_

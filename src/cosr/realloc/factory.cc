@@ -1,0 +1,84 @@
+#include "cosr/realloc/factory.h"
+
+#include "cosr/alloc/best_fit_allocator.h"
+#include "cosr/alloc/buddy_allocator.h"
+#include "cosr/alloc/first_fit_allocator.h"
+#include "cosr/core/checkpointed_reallocator.h"
+#include "cosr/core/cost_oblivious_reallocator.h"
+#include "cosr/core/deamortized_reallocator.h"
+#include "cosr/realloc/compacting_oracle.h"
+#include "cosr/realloc/logging_compacting_reallocator.h"
+#include "cosr/realloc/packed_memory_array.h"
+#include "cosr/realloc/size_class_reallocator.h"
+
+namespace cosr {
+
+const std::vector<std::string>& KnownAlgorithms() {
+  static const std::vector<std::string>& algorithms =
+      *new std::vector<std::string>{
+          "first-fit",   "best-fit",       "buddy",
+          "log-compact", "size-class",     "pma",
+          "oracle",      "cost-oblivious", "checkpointed",
+          "deamortized"};
+  return algorithms;
+}
+
+bool AlgorithmNeedsCheckpointManager(const std::string& algorithm) {
+  return algorithm == "checkpointed" || algorithm == "deamortized";
+}
+
+Status MakeReallocator(const ReallocatorSpec& spec, AddressSpace* space,
+                       std::unique_ptr<Reallocator>* out) {
+  if (space == nullptr || out == nullptr) {
+    return Status::InvalidArgument("space and out must be non-null");
+  }
+  const bool managed = space->checkpoint_manager() != nullptr;
+  if (AlgorithmNeedsCheckpointManager(spec.algorithm) && !managed) {
+    return Status::FailedPrecondition(
+        spec.algorithm + " requires a CheckpointManager on the space");
+  }
+  if (!AlgorithmNeedsCheckpointManager(spec.algorithm) && managed &&
+      (spec.algorithm == "cost-oblivious" || spec.algorithm == "log-compact" ||
+       spec.algorithm == "oracle")) {
+    return Status::FailedPrecondition(
+        spec.algorithm +
+        " uses overlapping slides; detach the CheckpointManager");
+  }
+  if (spec.algorithm == "first-fit") {
+    *out = std::make_unique<FirstFitAllocator>(space);
+  } else if (spec.algorithm == "best-fit") {
+    *out = std::make_unique<BestFitAllocator>(space);
+  } else if (spec.algorithm == "buddy") {
+    *out = std::make_unique<BuddyAllocator>(space);
+  } else if (spec.algorithm == "log-compact") {
+    LoggingCompactingReallocator::Options options;
+    options.threshold = spec.threshold;
+    *out = std::make_unique<LoggingCompactingReallocator>(space, options);
+  } else if (spec.algorithm == "size-class") {
+    *out = std::make_unique<SizeClassReallocator>(space);
+  } else if (spec.algorithm == "pma") {
+    PackedMemoryArray::Options options;
+    options.slot_size = spec.slot_size;
+    *out = std::make_unique<PackedMemoryArray>(space, options);
+  } else if (spec.algorithm == "oracle") {
+    *out = std::make_unique<CompactingOracle>(space);
+  } else if (spec.algorithm == "cost-oblivious") {
+    CostObliviousReallocator::Options options;
+    options.epsilon = spec.epsilon;
+    *out = std::make_unique<CostObliviousReallocator>(space, options);
+  } else if (spec.algorithm == "checkpointed") {
+    CheckpointedReallocator::Options options;
+    options.epsilon = spec.epsilon;
+    *out = std::make_unique<CheckpointedReallocator>(space, options);
+  } else if (spec.algorithm == "deamortized") {
+    DeamortizedReallocator::Options options;
+    options.epsilon = spec.epsilon;
+    options.work_factor = spec.work_factor;
+    *out = std::make_unique<DeamortizedReallocator>(space, options);
+  } else {
+    return Status::InvalidArgument("unknown algorithm: " + spec.algorithm);
+  }
+  return Status::Ok();
+}
+
+}  // namespace cosr

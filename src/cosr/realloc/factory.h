@@ -1,0 +1,42 @@
+#ifndef COSR_REALLOC_FACTORY_H_
+#define COSR_REALLOC_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cosr/common/status.h"
+#include "cosr/realloc/reallocator.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+
+/// Construction parameters for MakeReallocator. Fields that an algorithm
+/// does not use are ignored.
+struct ReallocatorSpec {
+  /// One of KnownAlgorithms(): "first-fit", "best-fit", "buddy",
+  /// "log-compact", "size-class", "oracle", "cost-oblivious",
+  /// "checkpointed", "deamortized".
+  std::string algorithm = "cost-oblivious";
+  double epsilon = 0.25;      // core variants
+  double work_factor = 4.0;   // deamortized
+  double threshold = 2.0;     // log-compact
+  std::uint64_t slot_size = 1;  // pma (sparse tables hold uniform objects)
+};
+
+/// Creates the named (re)allocator over `space`. Fails with
+/// InvalidArgument for unknown names and FailedPrecondition when the
+/// algorithm's checkpoint-manager requirement does not match the space.
+Status MakeReallocator(const ReallocatorSpec& spec, AddressSpace* space,
+                       std::unique_ptr<Reallocator>* out);
+
+/// All algorithm names MakeReallocator accepts, in display order.
+const std::vector<std::string>& KnownAlgorithms();
+
+/// Whether the named algorithm requires an AddressSpace with a
+/// CheckpointManager attached (the Section 3 variants).
+bool AlgorithmNeedsCheckpointManager(const std::string& algorithm);
+
+}  // namespace cosr
+
+#endif  // COSR_REALLOC_FACTORY_H_

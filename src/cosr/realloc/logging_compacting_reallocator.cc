@@ -1,0 +1,54 @@
+#include "cosr/realloc/logging_compacting_reallocator.h"
+
+#include <vector>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+LoggingCompactingReallocator::LoggingCompactingReallocator(
+    AddressSpace* space, Options options)
+    : space_(space), options_(options) {
+  COSR_CHECK(options_.threshold > 1.0);
+}
+
+Status LoggingCompactingReallocator::Insert(ObjectId id, std::uint64_t size) {
+  if (size == 0) return Status::InvalidArgument("size must be positive");
+  if (space_->contains(id)) {
+    return Status::AlreadyExists("object " + std::to_string(id));
+  }
+  space_->Place(id, Extent{log_end_, size});
+  log_end_ += size;
+  MaybeCompact();
+  return Status::Ok();
+}
+
+Status LoggingCompactingReallocator::Delete(ObjectId id) {
+  if (!space_->contains(id)) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  space_->Remove(id);
+  MaybeCompact();
+  return Status::Ok();
+}
+
+void LoggingCompactingReallocator::MaybeCompact() {
+  const std::uint64_t volume = space_->live_volume();
+  if (log_end_ == volume) return;  // already perfectly packed
+  const double limit = options_.threshold * static_cast<double>(volume);
+  // "Whenever a deallocation causes the footprint to reach threshold * V".
+  if (static_cast<double>(log_end_) < limit) return;
+  // Compact: slide every object left in offset order (memmove semantics;
+  // this baseline lives in the unconstrained Section 2 model).
+  std::uint64_t cursor = 0;
+  for (const auto& [id, extent] : space_->Snapshot()) {
+    if (extent.offset != cursor) {
+      space_->Move(id, Extent{cursor, extent.length});
+    }
+    cursor += extent.length;
+  }
+  log_end_ = cursor;
+  ++compaction_count_;
+}
+
+}  // namespace cosr

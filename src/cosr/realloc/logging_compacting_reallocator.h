@@ -1,0 +1,53 @@
+#ifndef COSR_REALLOC_LOGGING_COMPACTING_REALLOCATOR_H_
+#define COSR_REALLOC_LOGGING_COMPACTING_REALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+
+#include "cosr/realloc/reallocator.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+
+/// The logging-and-compacting strategy from the paper's Section 2 intuition:
+/// allocate left to right, leave holes on deletion, and when the footprint
+/// reaches threshold * volume, compact everything to the front.
+///
+/// (2,2)-competitive when the cost function is linear — the volume deleted
+/// since the last compaction pays for the volume moved. Catastrophic for
+/// constant cost: deleting ∆-sized objects can force Θ(∆) unit-object moves
+/// per deletion (amortized Θ(∆) cost when f(w) = 1).
+class LoggingCompactingReallocator : public Reallocator {
+ public:
+  struct Options {
+    /// Compaction is triggered when reserved footprint > threshold * volume.
+    double threshold = 2.0;
+  };
+
+  explicit LoggingCompactingReallocator(AddressSpace* space)
+      : LoggingCompactingReallocator(space, Options()) {}
+  LoggingCompactingReallocator(AddressSpace* space, Options options);
+  LoggingCompactingReallocator(const LoggingCompactingReallocator&) = delete;
+  LoggingCompactingReallocator& operator=(
+      const LoggingCompactingReallocator&) = delete;
+
+  Status Insert(ObjectId id, std::uint64_t size) override;
+  Status Delete(ObjectId id) override;
+  std::uint64_t reserved_footprint() const override { return log_end_; }
+  std::uint64_t volume() const override { return space_->live_volume(); }
+  const char* name() const override { return "log-compact"; }
+
+  std::uint64_t compaction_count() const { return compaction_count_; }
+
+ private:
+  void MaybeCompact();
+
+  AddressSpace* space_;
+  Options options_;
+  std::uint64_t log_end_ = 0;  // append pointer == reserved footprint
+  std::uint64_t compaction_count_ = 0;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_REALLOC_LOGGING_COMPACTING_REALLOCATOR_H_

@@ -1,0 +1,49 @@
+#ifndef COSR_REALLOC_REALLOCATOR_H_
+#define COSR_REALLOC_REALLOCATOR_H_
+
+#include <cstdint>
+
+#include "cosr/common/status.h"
+#include "cosr/common/types.h"
+
+namespace cosr {
+
+/// The storage-reallocation interface: an online sequence of
+/// InsertObject/DeleteObject requests, after each of which the implementation
+/// maintains an allocation of all active objects in its AddressSpace.
+///
+/// Implementations differ in whether and how they move previously allocated
+/// objects; all of them publish physical activity through the space's
+/// listeners, so a single run can be priced under any battery of cost
+/// functions.
+class Reallocator {
+ public:
+  virtual ~Reallocator() = default;
+
+  /// <InsertObject, id, size>: allocates a new object. Fails with
+  /// AlreadyExists when the id is active and InvalidArgument when size == 0.
+  virtual Status Insert(ObjectId id, std::uint64_t size) = 0;
+
+  /// <DeleteObject, id>: releases an object. Fails with NotFound when the
+  /// id is not active.
+  virtual Status Delete(ObjectId id) = 0;
+
+  /// End address of the structure, including reserved-but-empty capacity
+  /// (the quantity Lemma 2.5 bounds by (1 + O(eps)) * volume). Always >= the
+  /// address space's occupied footprint attributable to this structure.
+  virtual std::uint64_t reserved_footprint() const = 0;
+
+  /// Total size of all active objects.
+  virtual std::uint64_t volume() const = 0;
+
+  /// Completes any deferred background work (used by the deamortized
+  /// variant to quiesce; a no-op elsewhere).
+  virtual void Quiesce() {}
+
+  /// Stable display name for reports.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_REALLOC_REALLOCATOR_H_

@@ -1,0 +1,296 @@
+#include "cosr/realloc/size_class_reallocator.h"
+
+#include <algorithm>
+
+#include "cosr/common/check.h"
+#include "cosr/common/math_util.h"
+
+namespace cosr {
+
+namespace {
+std::uint64_t SlotSize(int order) { return std::uint64_t{1} << order; }
+}  // namespace
+
+std::uint64_t SizeClassReallocator::SlotOffset(const SizeClass& c, int order,
+                                               std::int64_t stored_idx) const {
+  return c.start +
+         static_cast<std::uint64_t>(stored_idx - c.base) * SlotSize(order);
+}
+
+std::uint64_t SizeClassReallocator::RegionEnd(const SizeClass& c,
+                                              int order) const {
+  return c.start + c.slots.size() * SlotSize(order);
+}
+
+SizeClassReallocator::SizeClass& SizeClassReallocator::EnsureClass(int order) {
+  auto it = classes_.find(order);
+  // A live class's start is authoritative: the structural mechanics update
+  // it on every boundary change. A dead class (empty, no gap) occupies zero
+  // width and its recorded start may be stale, so rederive it from live
+  // neighbors — it belongs at the start of the next live class, or the end
+  // of the previous one, or address 0.
+  if (it != classes_.end() &&
+      (!it->second.slots.empty() || it->second.gap)) {
+    return it->second;
+  }
+  std::uint64_t start = 0;
+  auto up = classes_.upper_bound(order);
+  while (up != classes_.end() && up->second.slots.empty() &&
+         !up->second.gap) {
+    ++up;
+  }
+  if (up != classes_.end()) {
+    start = up->second.start;
+  } else {
+    auto down = classes_.lower_bound(order);
+    while (down != classes_.begin()) {
+      --down;
+      const SizeClass& p = down->second;
+      if (!p.slots.empty() || p.gap) {
+        start = RegionEnd(p, down->first) +
+                (p.gap ? SlotSize(down->first) : 0);
+        break;
+      }
+    }
+  }
+  if (it != classes_.end()) {
+    it->second.start = start;
+    return it->second;
+  }
+  SizeClass c;
+  c.start = start;
+  return classes_.emplace(order, std::move(c)).first->second;
+}
+
+std::uint64_t SizeClassReallocator::AcquireSlot(int order) {
+  // The entry must already exist: Insert() calls EnsureClass() first, and
+  // the displacement recursion operates on classes it just modified (whose
+  // starts are correct even when transiently empty — EnsureClass's stale-
+  // entry repair must not run here).
+  SizeClass& c = classes_.at(order);
+  // Use the class's own gap slot when present.
+  if (c.gap) {
+    c.gap = false;
+    const std::uint64_t offset = RegionEnd(c, order);
+    c.slots.push_back(kInvalidObjectId);
+    return offset;
+  }
+  const std::uint64_t region_end = RegionEnd(c, order);
+
+  // Scan upward for the first space source: a reserved gap chunk of an
+  // empty class, or the first slot of a nonempty class.
+  auto it = classes_.upper_bound(order);
+  while (it != classes_.end() && it->second.slots.empty() && !it->second.gap) {
+    ++it;
+  }
+  if (it == classes_.end()) {
+    // Class `order` currently ends the structure: extend the footprint.
+    c.slots.push_back(kInvalidObjectId);
+    return region_end;
+  }
+
+  const int k = it->first;
+  SizeClass& upper = it->second;
+  COSR_CHECK_EQ(upper.start, region_end);  // contiguity of empty classes
+
+  if (upper.slots.empty()) {
+    // Split the empty class's reserved gap chunk [start, start + 2^k):
+    // the new slot takes the front; the remainder becomes gap slots of
+    // sizes 2^order .. 2^(k-1) for the intermediate classes.
+    upper.gap = false;
+    upper.start += SlotSize(k);
+  } else {
+    // Displace the first-slot object of class k and reinsert it one level
+    // up before claiming its slot (so the physical copy happens first).
+    const ObjectId displaced = upper.slots.front();
+    ObjectInfo& info = objects_.at(displaced);
+    upper.slots.pop_front();
+    ++upper.base;
+    upper.start += SlotSize(k);
+    const std::uint64_t target = AcquireSlot(k);
+    // AcquireSlot appended a placeholder; adopt it for the displaced object.
+    SizeClass& again = classes_.at(k);  // reference may have been invalidated
+    again.slots.back() = displaced;
+    info.stored_idx = again.base + static_cast<std::int64_t>(again.slots.size()) - 1;
+    space_->Move(displaced, Extent{target, info.size});
+  }
+
+  // The new slot takes [region_end, region_end + 2^order). Distribute the
+  // remainder of the consumed 2^k chunk as gap slots for classes [order, k):
+  // 2^order + 2^(order+1) + ... + 2^(k-1) = 2^k - 2^order.
+  std::uint64_t gap_cursor = region_end + SlotSize(order);
+  for (int j = order; j < k; ++j) {
+    // Direct map access: EnsureClass's stale-entry repair must not run on
+    // `c` (transiently empty mid-cascade) and would be overwritten for the
+    // intermediates anyway.
+    SizeClass& mid = (j == order) ? c : classes_[j];
+    COSR_CHECK(!mid.gap);
+    if (j > order) {
+      COSR_CHECK(mid.slots.empty());  // else the scan would have found it
+      mid.start = gap_cursor;
+    }
+    mid.gap = true;
+    gap_cursor += SlotSize(j);
+  }
+  c.slots.push_back(kInvalidObjectId);
+  return region_end;
+}
+
+void SizeClassReallocator::HandChunkUp(int order, std::uint64_t chunk_start) {
+  auto it = classes_.find(order);
+  if (it == classes_.end()) {
+    // Is anything above? If not, the chunk is a free tail: drop it.
+    auto above = classes_.upper_bound(order);
+    while (above != classes_.end() && above->second.slots.empty() &&
+           !above->second.gap) {
+      ++above;
+    }
+    if (above == classes_.end()) return;
+    it = classes_.emplace(order, SizeClass{}).first;
+    it->second.start = chunk_start;
+  }
+  SizeClass& c = it->second;
+  if (c.slots.empty()) {
+    // Check for a free tail as well: nothing above and no own gap means the
+    // chunk simply shrinks the footprint.
+    if (!c.gap) {
+      auto above = classes_.upper_bound(order);
+      while (above != classes_.end() && above->second.slots.empty() &&
+             !above->second.gap) {
+        ++above;
+      }
+      if (above == classes_.end()) return;
+      c.start = chunk_start;
+      c.gap = true;
+      return;
+    }
+    // Own gap + incoming chunk merge into one slot of the next class.
+    c.gap = false;
+    c.start = chunk_start;
+    HandChunkUp(order + 1, chunk_start);
+    return;
+  }
+  // Nonempty class: slide the last object into the chunk (the region shifts
+  // left by one slot), freeing the last slot.
+  const ObjectId last = c.slots.back();
+  ObjectInfo& info = objects_.at(last);
+  c.slots.pop_back();
+  c.slots.push_front(last);
+  --c.base;
+  c.start = chunk_start;
+  info.stored_idx = c.base;
+  space_->Move(last, Extent{chunk_start, info.size});
+  const std::uint64_t freed = RegionEnd(c, order);
+  if (!c.gap) {
+    c.gap = true;
+    return;
+  }
+  c.gap = false;
+  HandChunkUp(order + 1, freed);
+}
+
+Status SizeClassReallocator::Insert(ObjectId id, std::uint64_t size) {
+  if (size == 0) return Status::InvalidArgument("size must be positive");
+  if (objects_.count(id) > 0) {
+    return Status::AlreadyExists("object " + std::to_string(id));
+  }
+  const int order = FloorLog2(NextPowerOfTwo(size));
+  EnsureClass(order);  // create or repair the entry before acquiring
+  const std::uint64_t offset = AcquireSlot(order);
+  SizeClass& c = classes_.at(order);
+  c.slots.back() = id;
+  ObjectInfo info;
+  info.order = order;
+  info.stored_idx = c.base + static_cast<std::int64_t>(c.slots.size()) - 1;
+  info.size = size;
+  objects_.emplace(id, info);
+  space_->Place(id, Extent{offset, size});
+  return Status::Ok();
+}
+
+Status SizeClassReallocator::Delete(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  const ObjectInfo info = it->second;
+  objects_.erase(it);
+  SizeClass& c = classes_.at(info.order);
+  const std::int64_t victim_pos = info.stored_idx - c.base;
+  COSR_CHECK_LT(static_cast<std::uint64_t>(victim_pos), c.slots.size());
+  space_->Remove(id);
+
+  const std::int64_t last_pos = static_cast<std::int64_t>(c.slots.size()) - 1;
+  if (victim_pos != last_pos) {
+    // Fill the hole with the class's last object.
+    const ObjectId mover = c.slots.back();
+    ObjectInfo& mover_info = objects_.at(mover);
+    c.slots[static_cast<std::size_t>(victim_pos)] = mover;
+    mover_info.stored_idx = info.stored_idx;
+    space_->Move(mover,
+                 Extent{SlotOffset(c, info.order, info.stored_idx),
+                        mover_info.size});
+  }
+  c.slots.pop_back();
+  const std::uint64_t freed = RegionEnd(c, info.order);
+  if (!c.gap) {
+    // The freed slot becomes the class gap unless it ends the structure.
+    auto above = classes_.upper_bound(info.order);
+    while (above != classes_.end() && above->second.slots.empty() &&
+           !above->second.gap) {
+      ++above;
+    }
+    if (above != classes_.end()) c.gap = true;
+    return Status::Ok();
+  }
+  // Freed slot + existing gap merge into one slot of the next class.
+  c.gap = false;
+  HandChunkUp(info.order + 1, freed);
+  return Status::Ok();
+}
+
+std::uint64_t SizeClassReallocator::reserved_footprint() const {
+  std::uint64_t end = 0;
+  for (const auto& [order, c] : classes_) {
+    if (c.slots.empty() && !c.gap) continue;  // dead entry: stale start
+    std::uint64_t class_end = RegionEnd(c, order);
+    if (c.gap) class_end += SlotSize(order);
+    end = std::max(end, class_end);
+  }
+  return end;
+}
+
+bool SizeClassReallocator::SelfCheck() const {
+  std::uint64_t cursor = 0;
+  bool first = true;
+  for (const auto& [order, c] : classes_) {
+    if (c.slots.empty() && !c.gap) continue;  // dead entry: zero width
+    if (first) {
+      cursor = c.start;
+      first = false;
+    }
+    if (c.start != cursor) return false;
+    for (std::size_t i = 0; i < c.slots.size(); ++i) {
+      const ObjectId id = c.slots[i];
+      if (id == kInvalidObjectId) return false;
+      auto it = objects_.find(id);
+      if (it == objects_.end()) return false;
+      const ObjectInfo& info = it->second;
+      if (info.order != order) return false;
+      if (info.stored_idx - c.base != static_cast<std::int64_t>(i)) {
+        return false;
+      }
+      const Extent& e = space_->extent_of(id);
+      if (e.offset != SlotOffset(c, order, info.stored_idx)) return false;
+      if (e.length != info.size) return false;
+      if (NextPowerOfTwo(std::max<std::uint64_t>(info.size, 1)) >
+          SlotSize(order)) {
+        return false;
+      }
+    }
+    cursor = RegionEnd(c, order) + (c.gap ? SlotSize(order) : 0);
+  }
+  return true;
+}
+
+}  // namespace cosr

@@ -1,0 +1,83 @@
+#ifndef COSR_REALLOC_SIZE_CLASS_REALLOCATOR_H_
+#define COSR_REALLOC_SIZE_CLASS_REALLOCATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "cosr/realloc/reallocator.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+
+/// The constant-cost specialist sketched in Section 2 (after Bender, Fekete,
+/// Kamphans, Schweer 2009): object sizes round up to powers of two ("slots"),
+/// classes are stored contiguously in increasing slot-size order, and after
+/// class i there is either one gap slot of size 2^i or none.
+///
+///  * Insert into class i uses its gap slot if present; otherwise it claims
+///    the first slot of the next nonempty class, whose displaced object is
+///    recursively reinserted one class up. The slot remainder becomes gap
+///    slots for the intermediate classes (2^o + ... + 2^(k-1) = 2^k - 2^o).
+///  * Delete fills the hole with the class's last object; the freed slot
+///    becomes the class gap, and two adjacent gap slots merge into one slot
+///    of the next class, cascading upward with one object move per class.
+///
+/// Each update moves O(1) objects amortized — excellent when f(w) = 1 — but
+/// the moved objects grow geometrically in size, so with linear f the
+/// per-update moved volume is Θ(∆) in the worst case (the paper notes this
+/// strategy is only (2, Θ(log ∆))-competitive for linear cost).
+class SizeClassReallocator : public Reallocator {
+ public:
+  explicit SizeClassReallocator(AddressSpace* space) : space_(space) {}
+  SizeClassReallocator(const SizeClassReallocator&) = delete;
+  SizeClassReallocator& operator=(const SizeClassReallocator&) = delete;
+
+  Status Insert(ObjectId id, std::uint64_t size) override;
+  Status Delete(ObjectId id) override;
+  std::uint64_t reserved_footprint() const override;
+  std::uint64_t volume() const override { return space_->live_volume(); }
+  const char* name() const override { return "size-class"; }
+
+  /// Validates the layout invariants (contiguity, slot discipline, gap
+  /// rule). Returns false with no side effects on violation.
+  bool SelfCheck() const;
+
+ private:
+  struct SizeClass {
+    std::uint64_t start = 0;      // first address of the class region
+    std::deque<ObjectId> slots;   // objects in physical slot order
+    bool gap = false;             // one free slot after the region?
+    std::int64_t base = 0;        // stored_idx of slots.front()
+  };
+  struct ObjectInfo {
+    int order = 0;                // slot size = 2^order
+    std::int64_t stored_idx = 0;  // physical idx = stored_idx - class.base
+    std::uint64_t size = 0;       // true object size (<= slot size)
+  };
+
+  std::uint64_t SlotOffset(const SizeClass& c, int order,
+                           std::int64_t stored_idx) const;
+  std::uint64_t RegionEnd(const SizeClass& c, int order) const;
+
+  /// Makes room for one more slot at the end of class `order`, cascading
+  /// displacements upward. Returns the offset of the acquired slot and
+  /// appends a placeholder slot entry (kInvalidObjectId) that the caller
+  /// fills in.
+  std::uint64_t AcquireSlot(int order);
+
+  /// Absorbs a free chunk of size 2^order located immediately before class
+  /// `order`'s region, cascading upward (the delete path).
+  void HandChunkUp(int order, std::uint64_t chunk_start);
+
+  SizeClass& EnsureClass(int order);
+
+  AddressSpace* space_;
+  std::map<int, SizeClass> classes_;  // keyed by order
+  std::unordered_map<ObjectId, ObjectInfo> objects_;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_REALLOC_SIZE_CLASS_REALLOCATOR_H_

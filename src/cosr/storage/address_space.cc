@@ -1,0 +1,146 @@
+#include "cosr/storage/address_space.h"
+
+#include <algorithm>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+void SpaceListener::OnPlace(ObjectId, const Extent&) {}
+void SpaceListener::OnMove(ObjectId, const Extent&, const Extent&) {}
+void SpaceListener::OnRemove(ObjectId, const Extent&) {}
+void SpaceListener::OnCheckpoint(std::uint64_t) {}
+
+void AddressSpace::AddListener(SpaceListener* listener) {
+  COSR_CHECK(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void AddressSpace::RemoveListener(SpaceListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+void AddressSpace::CheckWritable(const Extent& extent, ObjectId self) const {
+  // Disjointness against neighbors in offset order. Because extents are
+  // disjoint, only the predecessor and the successor can overlap.
+  auto it = by_offset_.upper_bound(extent.offset);
+  if (it != by_offset_.end() && it->second != self) {
+    const Extent& next = extents_.at(it->second);
+    COSR_CHECK_MSG(!extent.Overlaps(next),
+                   "target " + ToString(extent) + " overlaps object " +
+                       std::to_string(it->second) + " at " + ToString(next));
+  }
+  if (it != by_offset_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second != self) {
+      const Extent& before = extents_.at(prev->second);
+      COSR_CHECK_MSG(!extent.Overlaps(before),
+                     "target " + ToString(extent) + " overlaps object " +
+                         std::to_string(prev->second) + " at " +
+                         ToString(before));
+    }
+  }
+  if (checkpoints_ != nullptr) {
+    COSR_CHECK_MSG(checkpoints_->IsWritable(extent),
+                   "write into frozen region " + ToString(extent) +
+                       " (freed since last checkpoint)");
+  }
+}
+
+void AddressSpace::Place(ObjectId id, const Extent& extent) {
+  COSR_CHECK_MSG(extent.length > 0, "empty extent for object " +
+                                        std::to_string(id));
+  COSR_CHECK_MSG(extents_.count(id) == 0,
+                 "object " + std::to_string(id) + " already placed");
+  CheckWritable(extent, kInvalidObjectId);
+  extents_.emplace(id, extent);
+  by_offset_.emplace(extent.offset, id);
+  live_volume_ += extent.length;
+  for (SpaceListener* l : listeners_) l->OnPlace(id, extent);
+}
+
+void AddressSpace::Move(ObjectId id, const Extent& to) {
+  auto it = extents_.find(id);
+  COSR_CHECK_MSG(it != extents_.end(),
+                 "move of unplaced object " + std::to_string(id));
+  const Extent from = it->second;
+  COSR_CHECK_EQ(from.length, to.length);
+  if (from.offset == to.offset) return;  // no-op move
+  if (checkpoints_ != nullptr) {
+    // Durability requires the old copy to survive until the next
+    // checkpoint, so the new location must be disjoint from the old one.
+    COSR_CHECK_MSG(!from.Overlaps(to),
+                   "overlapping move " + ToString(from) + " -> " +
+                       ToString(to) + " under checkpoint policy");
+  }
+  CheckWritable(to, id);
+  by_offset_.erase(from.offset);
+  it->second = to;
+  by_offset_.emplace(to.offset, id);
+  if (checkpoints_ != nullptr) checkpoints_->NoteFreed(from);
+  for (SpaceListener* l : listeners_) l->OnMove(id, from, to);
+}
+
+void AddressSpace::Remove(ObjectId id) {
+  auto it = extents_.find(id);
+  COSR_CHECK_MSG(it != extents_.end(),
+                 "remove of unplaced object " + std::to_string(id));
+  const Extent extent = it->second;
+  by_offset_.erase(extent.offset);
+  extents_.erase(it);
+  live_volume_ -= extent.length;
+  if (checkpoints_ != nullptr) checkpoints_->NoteFreed(extent);
+  for (SpaceListener* l : listeners_) l->OnRemove(id, extent);
+}
+
+const Extent& AddressSpace::extent_of(ObjectId id) const {
+  auto it = extents_.find(id);
+  COSR_CHECK_MSG(it != extents_.end(),
+                 "extent_of unplaced object " + std::to_string(id));
+  return it->second;
+}
+
+std::uint64_t AddressSpace::footprint() const {
+  if (by_offset_.empty()) return 0;
+  // Extents are disjoint, so the rightmost-by-offset object also has the
+  // largest end address.
+  const ObjectId last = by_offset_.rbegin()->second;
+  return extents_.at(last).end();
+}
+
+void AddressSpace::Checkpoint() {
+  if (checkpoints_ != nullptr) checkpoints_->Checkpoint();
+  const std::uint64_t seq =
+      checkpoints_ != nullptr ? checkpoints_->checkpoint_count() : 0;
+  for (SpaceListener* l : listeners_) l->OnCheckpoint(seq);
+}
+
+std::vector<std::pair<ObjectId, Extent>> AddressSpace::Snapshot() const {
+  std::vector<std::pair<ObjectId, Extent>> result;
+  result.reserve(by_offset_.size());
+  for (const auto& [offset, id] : by_offset_) {
+    result.emplace_back(id, extents_.at(id));
+  }
+  return result;
+}
+
+bool AddressSpace::SelfCheck() const {
+  if (by_offset_.size() != extents_.size()) return false;
+  std::uint64_t volume = 0;
+  std::uint64_t prev_end = 0;
+  bool first = true;
+  for (const auto& [offset, id] : by_offset_) {
+    auto it = extents_.find(id);
+    if (it == extents_.end()) return false;
+    const Extent& e = it->second;
+    if (e.offset != offset || e.length == 0) return false;
+    if (!first && e.offset < prev_end) return false;  // overlap
+    prev_end = e.end();
+    first = false;
+    volume += e.length;
+  }
+  return volume == live_volume_;
+}
+
+}  // namespace cosr

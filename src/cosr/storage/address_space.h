@@ -1,0 +1,97 @@
+#ifndef COSR_STORAGE_ADDRESS_SPACE_H_
+#define COSR_STORAGE_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "cosr/common/types.h"
+#include "cosr/storage/checkpoint_manager.h"
+#include "cosr/storage/extent.h"
+
+namespace cosr {
+
+/// Observer of physical storage events. Cost meters, the simulated disk,
+/// and visualization hooks all implement this.
+class SpaceListener {
+ public:
+  virtual ~SpaceListener() = default;
+  virtual void OnPlace(ObjectId id, const Extent& extent);
+  virtual void OnMove(ObjectId id, const Extent& from, const Extent& to);
+  virtual void OnRemove(ObjectId id, const Extent& extent);
+  virtual void OnCheckpoint(std::uint64_t checkpoint_seq);
+};
+
+/// The paper's "arbitrarily large array": a flat address space holding
+/// disjoint object extents. The space CHECK-enforces the physical-layout
+/// invariants every reallocator must respect:
+///   * extents of distinct objects never overlap;
+///   * with a CheckpointManager attached, writes never touch regions freed
+///     since the last checkpoint, and moves are nonoverlapping (the
+///     durability rules of Section 3.1);
+///   * without a manager, a move may overlap its own source (memmove
+///     semantics), matching the unconstrained model of Section 2.
+class AddressSpace {
+ public:
+  explicit AddressSpace(CheckpointManager* checkpoints = nullptr)
+      : checkpoints_(checkpoints) {}
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  /// Registers an observer. Listeners are notified in registration order
+  /// and must outlive their registration.
+  void AddListener(SpaceListener* listener);
+
+  /// Unregisters a previously added observer (no-op when absent).
+  void RemoveListener(SpaceListener* listener);
+
+  /// Allocates a brand-new object at `extent`. The id must be fresh and the
+  /// extent length positive.
+  void Place(ObjectId id, const Extent& extent);
+
+  /// Moves an existing object to `to` (length must match).
+  void Move(ObjectId id, const Extent& to);
+
+  /// Frees an object's extent.
+  void Remove(ObjectId id);
+
+  bool contains(ObjectId id) const { return extents_.count(id) > 0; }
+  const Extent& extent_of(ObjectId id) const;
+
+  /// Largest end address of any placed object (the literal "footprint" of
+  /// the paper: the largest memory address containing an allocated object).
+  std::uint64_t footprint() const;
+
+  /// Sum of the lengths of all placed objects.
+  std::uint64_t live_volume() const { return live_volume_; }
+  std::size_t object_count() const { return extents_.size(); }
+
+  /// Runs a checkpoint: releases frozen regions (if a manager is attached)
+  /// and notifies listeners.
+  void Checkpoint();
+
+  CheckpointManager* checkpoint_manager() const { return checkpoints_; }
+
+  /// All (id, extent) pairs in ascending offset order.
+  std::vector<std::pair<ObjectId, Extent>> Snapshot() const;
+
+  /// Verifies internal consistency (disjointness, index agreement). Returns
+  /// true on success; used by tests as a belt-and-suspenders check.
+  bool SelfCheck() const;
+
+ private:
+  /// CHECKs that [extent] does not overlap any object other than `self` and
+  /// is writable under the checkpoint policy.
+  void CheckWritable(const Extent& extent, ObjectId self) const;
+
+  std::map<std::uint64_t, ObjectId> by_offset_;
+  std::unordered_map<ObjectId, Extent> extents_;
+  CheckpointManager* checkpoints_;
+  std::vector<SpaceListener*> listeners_;
+  std::uint64_t live_volume_ = 0;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_STORAGE_ADDRESS_SPACE_H_

@@ -1,0 +1,49 @@
+#ifndef COSR_STORAGE_CHECKPOINT_MANAGER_H_
+#define COSR_STORAGE_CHECKPOINT_MANAGER_H_
+
+#include <cstdint>
+
+#include "cosr/storage/extent.h"
+#include "cosr/storage/extent_set.h"
+
+namespace cosr {
+
+/// The durability model of Section 3.1. When an object is moved or deleted,
+/// its old location is *frozen*: the logical-to-physical map naming that
+/// location has not yet been persisted, so the bytes there must survive
+/// until the next checkpoint. A checkpoint persists the map and releases
+/// every location frozen before it.
+///
+/// Attached to an AddressSpace, this manager turns Lemma 3.2 (phase moves
+/// are nonoverlapping) into an enforced runtime property: any write into a
+/// frozen region aborts the process.
+class CheckpointManager {
+ public:
+  CheckpointManager() = default;
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  /// Records that `e` was freed (object deleted, or moved away).
+  void NoteFreed(const Extent& e) { frozen_.Add(e); }
+
+  /// Whether the whole extent may be written right now.
+  bool IsWritable(const Extent& e) const { return !frozen_.Intersects(e); }
+
+  /// Completes a checkpoint: all previously frozen regions become writable.
+  void Checkpoint() {
+    frozen_.Clear();
+    ++checkpoint_count_;
+  }
+
+  std::uint64_t checkpoint_count() const { return checkpoint_count_; }
+  std::uint64_t frozen_volume() const { return frozen_.total_length(); }
+  const ExtentSet& frozen() const { return frozen_; }
+
+ private:
+  ExtentSet frozen_;
+  std::uint64_t checkpoint_count_ = 0;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_STORAGE_CHECKPOINT_MANAGER_H_

@@ -1,0 +1,35 @@
+#ifndef COSR_STORAGE_EXTENT_H_
+#define COSR_STORAGE_EXTENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cosr {
+
+/// A half-open address range [offset, offset + length) in the storage array.
+struct Extent {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  std::uint64_t end() const { return offset + length; }
+  bool empty() const { return length == 0; }
+
+  bool Overlaps(const Extent& other) const {
+    return offset < other.end() && other.offset < end();
+  }
+  bool Contains(std::uint64_t address) const {
+    return address >= offset && address < end();
+  }
+
+  friend bool operator==(const Extent& a, const Extent& b) {
+    return a.offset == b.offset && a.length == b.length;
+  }
+};
+
+inline std::string ToString(const Extent& e) {
+  return "[" + std::to_string(e.offset) + "," + std::to_string(e.end()) + ")";
+}
+
+}  // namespace cosr
+
+#endif  // COSR_STORAGE_EXTENT_H_

@@ -1,0 +1,62 @@
+#include "cosr/storage/extent_set.h"
+
+#include <algorithm>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+void ExtentSet::Add(const Extent& e) {
+  if (e.empty()) return;
+  std::uint64_t new_offset = e.offset;
+  std::uint64_t new_end = e.end();
+
+  // Find the first interval that could touch the new one: start from the
+  // interval at or before new_offset.
+  auto it = intervals_.upper_bound(new_offset);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= new_offset) {
+      it = prev;  // overlaps or abuts from the left
+    }
+  }
+  // Absorb every interval that overlaps or abuts [new_offset, new_end).
+  while (it != intervals_.end() && it->first <= new_end) {
+    new_offset = std::min(new_offset, it->first);
+    new_end = std::max(new_end, it->second);
+    total_length_ -= it->second - it->first;
+    it = intervals_.erase(it);
+  }
+  intervals_.emplace(new_offset, new_end);
+  total_length_ += new_end - new_offset;
+}
+
+bool ExtentSet::Intersects(const Extent& e) const {
+  if (e.empty() || intervals_.empty()) return false;
+  auto it = intervals_.upper_bound(e.offset);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > e.offset) return true;  // prev covers e.offset
+  }
+  return it != intervals_.end() && it->first < e.end();
+}
+
+bool ExtentSet::Contains(std::uint64_t address) const {
+  return Intersects(Extent{address, 1});
+}
+
+void ExtentSet::Clear() {
+  intervals_.clear();
+  total_length_ = 0;
+}
+
+std::vector<Extent> ExtentSet::ToVector() const {
+  std::vector<Extent> result;
+  result.reserve(intervals_.size());
+  for (const auto& [offset, end] : intervals_) {
+    result.push_back(Extent{offset, end - offset});
+  }
+  return result;
+}
+
+}  // namespace cosr

@@ -1,0 +1,42 @@
+#ifndef COSR_STORAGE_EXTENT_SET_H_
+#define COSR_STORAGE_EXTENT_SET_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cosr/storage/extent.h"
+
+namespace cosr {
+
+/// A set of disjoint, maximal address intervals with merge-on-insert.
+/// Used by the checkpoint manager to track frozen (freed-but-not-yet-
+/// checkpointed) regions.
+class ExtentSet {
+ public:
+  /// Adds [e.offset, e.end()) to the set, merging with neighbors.
+  void Add(const Extent& e);
+
+  /// True when any part of `e` is in the set.
+  bool Intersects(const Extent& e) const;
+
+  /// True when the single address is in the set.
+  bool Contains(std::uint64_t address) const;
+
+  void Clear();
+
+  std::uint64_t total_length() const { return total_length_; }
+  std::size_t interval_count() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+
+  /// Snapshot of the intervals in ascending order (for tests/diagnostics).
+  std::vector<Extent> ToVector() const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> intervals_;  // offset -> end
+  std::uint64_t total_length_ = 0;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_STORAGE_EXTENT_SET_H_

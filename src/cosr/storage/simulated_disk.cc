@@ -1,0 +1,61 @@
+#include "cosr/storage/simulated_disk.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+namespace {
+
+std::uint64_t Mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::uint8_t SimulatedDisk::PatternByte(ObjectId id, std::uint64_t index) {
+  return static_cast<std::uint8_t>(Mix(id * 0x9e3779b97f4a7c15ULL + index));
+}
+
+void SimulatedDisk::EnsureSize(std::uint64_t end) {
+  if (end > data_.size()) data_.resize(end, 0);
+}
+
+void SimulatedDisk::OnPlace(ObjectId id, const Extent& extent) {
+  EnsureSize(extent.end());
+  for (std::uint64_t i = 0; i < extent.length; ++i) {
+    data_[extent.offset + i] = PatternByte(id, i);
+  }
+}
+
+void SimulatedDisk::OnMove(ObjectId id, const Extent& from, const Extent& to) {
+  (void)id;
+  EnsureSize(std::max(from.end(), to.end()));
+  // memmove semantics: correct even for self-overlapping moves (allowed in
+  // the unconstrained Section 2 model).
+  std::memmove(data_.data() + to.offset, data_.data() + from.offset,
+               from.length);
+  bytes_copied_ += from.length;
+}
+
+bool SimulatedDisk::VerifyObject(ObjectId id, const Extent& extent) const {
+  if (extent.end() > data_.size()) return false;
+  for (std::uint64_t i = 0; i < extent.length; ++i) {
+    if (data_[extent.offset + i] != PatternByte(id, i)) return false;
+  }
+  return true;
+}
+
+std::uint8_t SimulatedDisk::ByteAt(std::uint64_t address) const {
+  COSR_CHECK_LT(address, data_.size());
+  return data_[address];
+}
+
+}  // namespace cosr

@@ -1,0 +1,46 @@
+#ifndef COSR_STORAGE_SIMULATED_DISK_H_
+#define COSR_STORAGE_SIMULATED_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cosr/common/types.h"
+#include "cosr/storage/address_space.h"
+#include "cosr/storage/extent.h"
+
+namespace cosr {
+
+/// A byte-addressable medium attached to an AddressSpace as a listener.
+/// Each placed object is filled with a deterministic per-object pattern and
+/// physically copied on every move, so durability experiments can verify
+/// contents byte-for-byte after a simulated crash: if the checkpoint
+/// discipline held, the copy at any previously recorded location is intact.
+class SimulatedDisk : public SpaceListener {
+ public:
+  SimulatedDisk() = default;
+  SimulatedDisk(const SimulatedDisk&) = delete;
+  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+
+  void OnPlace(ObjectId id, const Extent& extent) override;
+  void OnMove(ObjectId id, const Extent& from, const Extent& to) override;
+
+  /// The expected content byte `index` of object `id`.
+  static std::uint8_t PatternByte(ObjectId id, std::uint64_t index);
+
+  /// True when the bytes at `extent` match object `id`'s pattern.
+  bool VerifyObject(ObjectId id, const Extent& extent) const;
+
+  std::uint8_t ByteAt(std::uint64_t address) const;
+  std::uint64_t size() const { return data_.size(); }
+  std::uint64_t bytes_copied() const { return bytes_copied_; }
+
+ private:
+  void EnsureSize(std::uint64_t end);
+
+  std::vector<std::uint8_t> data_;
+  std::uint64_t bytes_copied_ = 0;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_STORAGE_SIMULATED_DISK_H_

@@ -1,0 +1,36 @@
+#include "cosr/viz/flush_tracer.h"
+
+#include <algorithm>
+
+#include "cosr/viz/layout_renderer.h"
+
+namespace cosr {
+
+const char* FlushTracer::StageName(FlushEvent::Stage stage) {
+  switch (stage) {
+    case FlushEvent::Stage::kBegin:
+      return "(i)   flush triggered";
+    case FlushEvent::Stage::kBuffersEvacuated:
+      return "(ii)  buffers evacuated to overflow";
+    case FlushEvent::Stage::kCompacted:
+      return "(iii) payloads compacted, holes dropped";
+    case FlushEvent::Stage::kUnpacked:
+      return "(iv)  payloads at final positions";
+    case FlushEvent::Stage::kEnd:
+      return "(v)   buffered objects placed; buffers empty";
+  }
+  return "?";
+}
+
+void FlushTracer::OnFlushEvent(const FlushEvent& event) {
+  const std::uint64_t end =
+      std::max(layout_->reserved_footprint(), space_->footprint());
+  std::string frame = StageName(event.stage);
+  frame += " [boundary class ";
+  frame += std::to_string(event.boundary_class);
+  frame += "]\n";
+  frame += RenderSpace(*space_, end, width_);
+  frames_.push_back(frame);
+}
+
+}  // namespace cosr

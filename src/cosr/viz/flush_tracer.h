@@ -1,0 +1,38 @@
+#ifndef COSR_VIZ_FLUSH_TRACER_H_
+#define COSR_VIZ_FLUSH_TRACER_H_
+
+#include <string>
+#include <vector>
+
+#include "cosr/core/flush_listener.h"
+#include "cosr/core/size_class_layout.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+
+/// Captures an ASCII frame of the array at every flush stage, labelled like
+/// the states (i)-(v) of Figure 3. Attach with
+/// `layout.set_flush_listener(&tracer)`.
+class FlushTracer : public FlushListener {
+ public:
+  FlushTracer(const SizeClassLayout* layout, const AddressSpace* space,
+              std::size_t width = 96)
+      : layout_(layout), space_(space), width_(width) {}
+
+  void OnFlushEvent(const FlushEvent& event) override;
+
+  const std::vector<std::string>& frames() const { return frames_; }
+  void Clear() { frames_.clear(); }
+
+  static const char* StageName(FlushEvent::Stage stage);
+
+ private:
+  const SizeClassLayout* layout_;
+  const AddressSpace* space_;
+  std::size_t width_;
+  std::vector<std::string> frames_;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_VIZ_FLUSH_TRACER_H_

@@ -1,0 +1,60 @@
+#include "cosr/viz/layout_renderer.h"
+
+#include <algorithm>
+
+namespace cosr {
+
+namespace {
+
+char ObjectGlyph(ObjectId id) { return static_cast<char>('A' + id % 26); }
+
+std::size_t Cell(std::uint64_t address, std::uint64_t end,
+                 std::size_t width) {
+  if (end == 0) return 0;
+  const std::size_t cell = static_cast<std::size_t>(
+      (static_cast<double>(address) / static_cast<double>(end)) *
+      static_cast<double>(width));
+  return std::min(cell, width - 1);
+}
+
+}  // namespace
+
+std::string RenderSpace(const AddressSpace& space, std::uint64_t end,
+                        std::size_t width) {
+  std::string bar(width, '.');
+  if (end == 0) return bar;
+  for (const auto& [id, extent] : space.Snapshot()) {
+    if (extent.offset >= end) continue;
+    const std::size_t from = Cell(extent.offset, end, width);
+    const std::size_t to = Cell(std::min(extent.end(), end) - 1, end, width);
+    for (std::size_t c = from; c <= to; ++c) bar[c] = ObjectGlyph(id);
+  }
+  return bar;
+}
+
+std::string RenderLayout(const SizeClassLayout& layout,
+                         const AddressSpace& space, std::size_t width) {
+  const std::uint64_t end =
+      std::max(layout.reserved_footprint(), space.footprint());
+  std::string bar = RenderSpace(space, end, width);
+  std::string ruler(width, ' ');
+  for (int i = 1; i <= layout.max_size_class(); ++i) {
+    const Region& r = layout.region(i);
+    if (r.payload_capacity > 0) {
+      const std::size_t from = Cell(r.payload_start, end, width);
+      const std::size_t to = Cell(r.buffer_start() - 1, end, width);
+      for (std::size_t c = from; c <= to; ++c) ruler[c] = 'p';
+    }
+    if (r.buffer_capacity > 0) {
+      const std::size_t from = Cell(r.buffer_start(), end, width);
+      const std::size_t to = Cell(r.buffer_end() - 1, end, width);
+      for (std::size_t c = from; c <= to; ++c) ruler[c] = 'b';
+    }
+    if (r.payload_capacity + r.buffer_capacity > 0) {
+      ruler[Cell(r.payload_start, end, width)] = '|';
+    }
+  }
+  return bar + "\n" + ruler;
+}
+
+}  // namespace cosr

@@ -1,0 +1,26 @@
+#ifndef COSR_VIZ_LAYOUT_RENDERER_H_
+#define COSR_VIZ_LAYOUT_RENDERER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cosr/core/size_class_layout.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+
+/// Renders the occupancy of [0, end) as one ASCII line: each object shows
+/// as a run of letters (cycling A-Z by object id), free space as '.'.
+/// Used to regenerate Figure 1 (holes and compaction).
+std::string RenderSpace(const AddressSpace& space, std::uint64_t end,
+                        std::size_t width = 96);
+
+/// Renders a core structure as two aligned lines: the occupancy bar plus a
+/// segment ruler marking payload ('p') and buffer ('b') segments per size
+/// class. Regenerates Figure 2 (the payload/buffer layout).
+std::string RenderLayout(const SizeClassLayout& layout,
+                         const AddressSpace& space, std::size_t width = 96);
+
+}  // namespace cosr
+
+#endif  // COSR_VIZ_LAYOUT_RENDERER_H_

@@ -1,0 +1,83 @@
+#include "cosr/workload/adversary.h"
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+Trace MakeLowerBoundTrace(std::uint64_t delta) {
+  COSR_CHECK(delta >= 1);
+  Trace trace;
+  ObjectId next_id = 1;
+  const ObjectId big = next_id++;
+  trace.AddInsert(big, delta);
+  for (std::uint64_t i = 0; i < delta; ++i) {
+    trace.AddInsert(next_id++, 1);
+  }
+  trace.AddDelete(big);
+  return trace;
+}
+
+Trace MakeLoggingKillerTrace(std::uint64_t delta, int rounds) {
+  COSR_CHECK(delta >= 1);
+  Trace trace;
+  ObjectId next_id = 1;
+  std::vector<ObjectId> current_units;
+  // Each round lays out [big][∆ fresh units], deletes the previous round's
+  // units (harmless front holes), then deletes the big: the compaction that
+  // fires must slide all ∆ units left — ∆ object moves charged to a single
+  // deletion, i.e. Θ(∆·f(1)) per big-delete.
+  for (int round = 0; round < rounds; ++round) {
+    const ObjectId big = next_id++;
+    trace.AddInsert(big, delta);
+    std::vector<ObjectId> fresh;
+    fresh.reserve(delta);
+    for (std::uint64_t i = 0; i < delta; ++i) {
+      fresh.push_back(next_id);
+      trace.AddInsert(next_id++, 1);
+    }
+    for (const ObjectId old_unit : current_units) {
+      trace.AddDelete(old_unit);
+    }
+    current_units = std::move(fresh);
+    trace.AddDelete(big);
+  }
+  return trace;
+}
+
+Trace MakeSizeClassCascadeTrace(int max_order, int rounds) {
+  COSR_CHECK(max_order >= 1);
+  Trace trace;
+  ObjectId next_id = 1;
+  // Ascending pyramid: each insert opens a new topmost class, so no gap
+  // slots exist anywhere.
+  for (int k = 0; k <= max_order; ++k) {
+    trace.AddInsert(next_id++, std::uint64_t{1} << k);
+  }
+  for (int round = 0; round < rounds; ++round) {
+    const ObjectId extra = next_id++;
+    trace.AddInsert(extra, 1);
+    trace.AddDelete(extra);
+  }
+  return trace;
+}
+
+Trace MakeFragmentationTrace(std::uint64_t pairs, std::uint64_t small_size,
+                             std::uint64_t large_size) {
+  COSR_CHECK(pairs >= 1);
+  Trace trace;
+  ObjectId next_id = 1;
+  std::vector<ObjectId> large_ids;
+  large_ids.reserve(pairs);
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    trace.AddInsert(next_id++, small_size);
+    const ObjectId big = next_id++;
+    trace.AddInsert(big, large_size);
+    large_ids.push_back(big);
+  }
+  for (const ObjectId big : large_ids) {
+    trace.AddDelete(big);
+  }
+  return trace;
+}
+
+}  // namespace cosr

@@ -1,0 +1,44 @@
+#ifndef COSR_WORKLOAD_ADVERSARY_H_
+#define COSR_WORKLOAD_ADVERSARY_H_
+
+#include <cstdint>
+
+#include "cosr/workload/trace.h"
+
+namespace cosr {
+
+/// The Lemma 3.7 lower-bound sequence: insert one size-∆ object, then ∆
+/// size-1 objects, then delete the size-∆ object. Any reallocator
+/// maintaining a 1.5V footprint incurs Ω(f(∆)) reallocation cost on some
+/// update of this sequence, for every subadditive f.
+Trace MakeLowerBoundTrace(std::uint64_t delta);
+
+/// The constant-cost killer for logging-and-compacting (Section 2
+/// intuition: "the deleted objects have size ∆, and the reallocated
+/// elements have size 1"). Each round appends a size-∆ object followed by ∆
+/// fresh unit objects, retires the previous round's units, and deletes the
+/// big object — whose deletion triggers a compaction that moves all ∆ unit
+/// objects. With f(w) = 1 every big-delete therefore costs Θ(∆), while the
+/// size-class specialist handles the same trace with O(1) moves per update.
+Trace MakeLoggingKillerTrace(std::uint64_t delta, int rounds);
+
+/// The linear-cost killer for the size-class (constant-cost) specialist:
+/// build a gapless pyramid with one object of size 2^k for k = 0..max_order
+/// (ascending, so no gaps form), then alternately insert and delete one
+/// extra unit object. Each insert cascades a displacement through every
+/// class and each delete cascades the gap merges back up, moving Θ(∆)
+/// volume per round — so with f(w) = w the cost ratio grows with ∆ while
+/// remaining O(1) for f(w) = 1.
+Trace MakeSizeClassCascadeTrace(int max_order, int rounds);
+
+/// Fragmentation adversary for no-move allocators: insert `pairs` alternating
+/// small/large objects, then delete all the large ones. The surviving small
+/// objects pin the footprint near its peak while the live volume collapses —
+/// the regime where First Fit / Best Fit / Buddy waste Θ(peak) space and any
+/// reallocator recovers it.
+Trace MakeFragmentationTrace(std::uint64_t pairs, std::uint64_t small_size,
+                             std::uint64_t large_size);
+
+}  // namespace cosr
+
+#endif  // COSR_WORKLOAD_ADVERSARY_H_

@@ -1,0 +1,33 @@
+#ifndef COSR_WORKLOAD_REQUEST_H_
+#define COSR_WORKLOAD_REQUEST_H_
+
+#include <cstdint>
+
+#include "cosr/common/types.h"
+
+namespace cosr {
+
+/// One request of the paper's online execution model:
+/// <InsertObject, name, length> or <DeleteObject, name>.
+struct Request {
+  enum class Type { kInsert, kDelete };
+
+  Type type = Type::kInsert;
+  ObjectId id = kInvalidObjectId;
+  std::uint64_t size = 0;  // 0 for deletes
+
+  static Request Insert(ObjectId id, std::uint64_t size) {
+    return Request{Type::kInsert, id, size};
+  }
+  static Request Delete(ObjectId id) {
+    return Request{Type::kDelete, id, 0};
+  }
+
+  friend bool operator==(const Request& a, const Request& b) {
+    return a.type == b.type && a.id == b.id && a.size == b.size;
+  }
+};
+
+}  // namespace cosr
+
+#endif  // COSR_WORKLOAD_REQUEST_H_

@@ -1,0 +1,110 @@
+#include "cosr/workload/trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cosr {
+
+std::uint64_t Trace::max_object_size() const {
+  std::uint64_t result = 0;
+  for (const Request& r : requests_) {
+    if (r.type == Request::Type::kInsert) result = std::max(result, r.size);
+  }
+  return result;
+}
+
+std::uint64_t Trace::max_live_volume() const {
+  std::unordered_map<ObjectId, std::uint64_t> live;
+  std::uint64_t volume = 0;
+  std::uint64_t peak = 0;
+  for (const Request& r : requests_) {
+    if (r.type == Request::Type::kInsert) {
+      live.emplace(r.id, r.size);
+      volume += r.size;
+      peak = std::max(peak, volume);
+    } else {
+      auto it = live.find(r.id);
+      if (it != live.end()) {
+        volume -= it->second;
+        live.erase(it);
+      }
+    }
+  }
+  return peak;
+}
+
+Status Trace::Validate() const {
+  std::unordered_set<ObjectId> live;
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    const Request& r = requests_[i];
+    if (r.type == Request::Type::kInsert) {
+      if (r.size == 0) {
+        return Status::InvalidArgument("request " + std::to_string(i) +
+                                       ": insert of size 0");
+      }
+      if (!live.insert(r.id).second) {
+        return Status::InvalidArgument("request " + std::to_string(i) +
+                                       ": duplicate insert of id " +
+                                       std::to_string(r.id));
+      }
+    } else {
+      if (live.erase(r.id) == 0) {
+        return Status::InvalidArgument("request " + std::to_string(i) +
+                                       ": delete of non-live id " +
+                                       std::to_string(r.id));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Trace::Serialize() const {
+  std::ostringstream out;
+  for (const Request& r : requests_) {
+    if (r.type == Request::Type::kInsert) {
+      out << "I " << r.id << " " << r.size << "\n";
+    } else {
+      out << "D " << r.id << "\n";
+    }
+  }
+  return out.str();
+}
+
+Status Trace::Parse(const std::string& text, Trace* trace) {
+  Trace result;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    char kind = 0;
+    fields >> kind;
+    if (kind == 'I') {
+      ObjectId id = 0;
+      std::uint64_t size = 0;
+      if (!(fields >> id >> size)) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": malformed insert");
+      }
+      result.AddInsert(id, size);
+    } else if (kind == 'D') {
+      ObjectId id = 0;
+      if (!(fields >> id)) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": malformed delete");
+      }
+      result.AddDelete(id);
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown request kind");
+    }
+  }
+  *trace = std::move(result);
+  return Status::Ok();
+}
+
+}  // namespace cosr

@@ -1,0 +1,49 @@
+#ifndef COSR_WORKLOAD_TRACE_H_
+#define COSR_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cosr/common/status.h"
+#include "cosr/workload/request.h"
+
+namespace cosr {
+
+/// An ordered request sequence, with summary statistics and a line-based
+/// text serialization ("I <id> <size>" / "D <id>") for saving and replaying
+/// workloads.
+class Trace {
+ public:
+  Trace() = default;
+
+  void Add(const Request& request) { requests_.push_back(request); }
+  void AddInsert(ObjectId id, std::uint64_t size) {
+    requests_.push_back(Request::Insert(id, size));
+  }
+  void AddDelete(ObjectId id) { requests_.push_back(Request::Delete(id)); }
+
+  const std::vector<Request>& requests() const { return requests_; }
+  std::size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+
+  /// Largest insert size in the trace (the workload's ∆); 0 when empty.
+  std::uint64_t max_object_size() const;
+
+  /// Peak total live volume over the request sequence.
+  std::uint64_t max_live_volume() const;
+
+  /// Validates that inserts use fresh ids with positive sizes and deletes
+  /// target live ids.
+  Status Validate() const;
+
+  std::string Serialize() const;
+  static Status Parse(const std::string& text, Trace* trace);
+
+ private:
+  std::vector<Request> requests_;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_WORKLOAD_TRACE_H_

@@ -1,0 +1,162 @@
+#include "cosr/workload/workload_generator.h"
+
+#include <vector>
+
+#include "cosr/common/check.h"
+#include "cosr/common/math_util.h"
+#include "cosr/common/random.h"
+
+namespace cosr {
+
+namespace {
+
+/// Draws an object size from the configured distribution.
+class SizeSampler {
+ public:
+  SizeSampler(SizeDistribution distribution, std::uint64_t min_size,
+              std::uint64_t max_size, double zipf_s)
+      : distribution_(distribution),
+        min_size_(min_size),
+        max_size_(max_size),
+        zipf_(/*n=*/64, zipf_s) {
+    COSR_CHECK(min_size_ >= 1);
+    COSR_CHECK_LE(min_size_, max_size_);
+    for (std::uint64_t p = NextPowerOfTwo(min_size_); p <= max_size_;
+         p *= 2) {
+      powers_.push_back(p);
+      if (p > max_size_ / 2) break;  // avoid overflow
+    }
+    if (powers_.empty()) powers_.push_back(NextPowerOfTwo(min_size_));
+  }
+
+  std::uint64_t Sample(Rng& rng) {
+    switch (distribution_) {
+      case SizeDistribution::kUniform:
+        return rng.UniformRange(min_size_, max_size_);
+      case SizeDistribution::kPowerOfTwo:
+        return powers_[rng.UniformU64(powers_.size())];
+      case SizeDistribution::kZipf: {
+        // Rank 1 (most common) maps to min_size; deeper ranks spread
+        // geometrically toward max_size.
+        const std::uint64_t rank = zipf_.Sample(rng);
+        const double t =
+            static_cast<double>(rank - 1) / static_cast<double>(zipf_.n());
+        const double size = static_cast<double>(min_size_) +
+                            t * static_cast<double>(max_size_ - min_size_);
+        return std::max<std::uint64_t>(min_size_,
+                                       static_cast<std::uint64_t>(size));
+      }
+      case SizeDistribution::kBimodal:
+        return rng.Bernoulli(0.1) ? max_size_ : min_size_;
+      case SizeDistribution::kFixed:
+        return max_size_;
+    }
+    return min_size_;
+  }
+
+ private:
+  SizeDistribution distribution_;
+  std::uint64_t min_size_;
+  std::uint64_t max_size_;
+  ZipfDistribution zipf_;
+  std::vector<std::uint64_t> powers_;
+};
+
+/// Tracks live objects for O(1) uniform victim selection.
+class LiveSet {
+ public:
+  void Add(ObjectId id, std::uint64_t size) {
+    ids_.push_back(id);
+    sizes_.push_back(size);
+    volume_ += size;
+  }
+  ObjectId RemoveRandom(Rng& rng) {
+    COSR_CHECK(!ids_.empty());
+    const std::size_t k = rng.UniformU64(ids_.size());
+    const ObjectId id = ids_[k];
+    volume_ -= sizes_[k];
+    ids_[k] = ids_.back();
+    sizes_[k] = sizes_.back();
+    ids_.pop_back();
+    sizes_.pop_back();
+    return id;
+  }
+  std::uint64_t volume() const { return volume_; }
+  bool empty() const { return ids_.empty(); }
+
+ private:
+  std::vector<ObjectId> ids_;
+  std::vector<std::uint64_t> sizes_;
+  std::uint64_t volume_ = 0;
+};
+
+}  // namespace
+
+Trace MakeChurnTrace(const ChurnOptions& options) {
+  Rng rng(options.seed);
+  SizeSampler sampler(options.distribution, options.min_size,
+                      options.max_size, options.zipf_s);
+  Trace trace;
+  LiveSet live;
+  ObjectId next_id = 1;
+  for (std::uint64_t op = 0; op < options.operations; ++op) {
+    const bool insert =
+        live.volume() < options.target_live_volume || live.empty();
+    if (insert) {
+      const std::uint64_t size = sampler.Sample(rng);
+      trace.AddInsert(next_id, size);
+      live.Add(next_id, size);
+      ++next_id;
+    } else {
+      trace.AddDelete(live.RemoveRandom(rng));
+    }
+  }
+  return trace;
+}
+
+Trace MakeGrowShrinkTrace(const GrowShrinkOptions& options) {
+  Rng rng(options.seed);
+  SizeSampler sampler(options.distribution, options.min_size,
+                      options.max_size, /*zipf_s=*/1.2);
+  Trace trace;
+  LiveSet live;
+  ObjectId next_id = 1;
+  for (int cycle = 0; cycle < options.cycles; ++cycle) {
+    while (live.volume() < options.peak_volume) {
+      const std::uint64_t size = sampler.Sample(rng);
+      trace.AddInsert(next_id, size);
+      live.Add(next_id, size);
+      ++next_id;
+    }
+    const auto floor_volume = static_cast<std::uint64_t>(
+        options.shrink_fraction * static_cast<double>(options.peak_volume));
+    while (live.volume() > floor_volume && !live.empty()) {
+      trace.AddDelete(live.RemoveRandom(rng));
+    }
+  }
+  return trace;
+}
+
+Trace MakeDatabaseBlockTrace(const DatabaseBlockOptions& options) {
+  Rng rng(options.seed);
+  ZipfDistribution popularity(options.blocks, options.zipf_s);
+  Trace trace;
+  // block name -> live object id (0 = absent); object ids are fresh per
+  // version, as a copy-on-write database would allocate them.
+  std::vector<ObjectId> version(options.blocks + 1, 0);
+  ObjectId next_id = 1;
+  for (std::uint64_t op = 0; op < options.operations; ++op) {
+    const std::uint64_t block = popularity.Sample(rng);
+    const std::uint64_t size =
+        rng.UniformRange(options.min_size, options.max_size);
+    if (version[block] != 0) {
+      trace.AddDelete(version[block]);
+    }
+    trace.AddInsert(next_id, size);
+    version[block] = next_id;
+    ++next_id;
+  }
+  return trace;
+}
+
+}  // namespace cosr

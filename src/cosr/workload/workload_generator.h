@@ -1,0 +1,65 @@
+#ifndef COSR_WORKLOAD_WORKLOAD_GENERATOR_H_
+#define COSR_WORKLOAD_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "cosr/workload/trace.h"
+
+namespace cosr {
+
+/// Object-size distributions used by the generators. All sampling is
+/// deterministic given the seed.
+enum class SizeDistribution {
+  kUniform,     // uniform over [min_size, max_size]
+  kPowerOfTwo,  // uniform over the powers of two in [min_size, max_size]
+  kZipf,        // Zipf-ranked sizes: rank r -> size spread over the range
+  kBimodal,     // min_size with p=0.9, max_size with p=0.1
+  kFixed,       // always max_size
+};
+
+/// Steady-state churn: grow to the target live volume, then alternate
+/// inserts and deletes of random live objects so the volume hovers around
+/// the target. The canonical workload for footprint/cost competitiveness
+/// experiments (E1, E2).
+struct ChurnOptions {
+  std::uint64_t operations = 10000;  // total requests (including warm-up)
+  std::uint64_t target_live_volume = 1 << 20;
+  std::uint64_t min_size = 1;
+  std::uint64_t max_size = 4096;
+  SizeDistribution distribution = SizeDistribution::kUniform;
+  double zipf_s = 1.2;
+  std::uint64_t seed = 42;
+};
+Trace MakeChurnTrace(const ChurnOptions& options);
+
+/// Alternating growth and shrink phases: grow to `peak_volume`, delete down
+/// to `peak_volume * shrink_fraction`, repeat. Exercises footprint shrink
+/// behavior after mass deletion (the Figure 1 scenario at scale).
+struct GrowShrinkOptions {
+  int cycles = 4;
+  std::uint64_t peak_volume = 1 << 20;
+  double shrink_fraction = 0.25;
+  std::uint64_t min_size = 1;
+  std::uint64_t max_size = 4096;
+  SizeDistribution distribution = SizeDistribution::kUniform;
+  std::uint64_t seed = 42;
+};
+Trace MakeGrowShrinkTrace(const GrowShrinkOptions& options);
+
+/// Database-block workload: a working set of `blocks` named blocks whose
+/// rewrites free the old version and allocate a new, differently-sized one
+/// (Zipf-popular blocks rewritten most). Mirrors the TokuDB block-rewrite
+/// pattern the paper's introduction describes.
+struct DatabaseBlockOptions {
+  std::uint64_t operations = 10000;
+  std::uint64_t blocks = 256;
+  std::uint64_t min_size = 64;
+  std::uint64_t max_size = 8192;
+  double zipf_s = 1.1;
+  std::uint64_t seed = 42;
+};
+Trace MakeDatabaseBlockTrace(const DatabaseBlockOptions& options);
+
+}  // namespace cosr
+
+#endif  // COSR_WORKLOAD_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,191 @@
+#include "cosr/storage/address_space.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cosr/storage/checkpoint_manager.h"
+
+namespace cosr {
+namespace {
+
+TEST(AddressSpaceTest, PlaceAndQuery) {
+  AddressSpace space;
+  space.Place(1, Extent{0, 10});
+  space.Place(2, Extent{10, 5});
+  EXPECT_TRUE(space.contains(1));
+  EXPECT_FALSE(space.contains(3));
+  EXPECT_EQ(space.extent_of(2), (Extent{10, 5}));
+  EXPECT_EQ(space.footprint(), 15u);
+  EXPECT_EQ(space.live_volume(), 15u);
+  EXPECT_EQ(space.object_count(), 2u);
+  EXPECT_TRUE(space.SelfCheck());
+}
+
+TEST(AddressSpaceTest, RemoveFreesSpace) {
+  AddressSpace space;
+  space.Place(1, Extent{0, 10});
+  space.Place(2, Extent{100, 5});
+  space.Remove(2);
+  EXPECT_EQ(space.footprint(), 10u);
+  EXPECT_EQ(space.live_volume(), 10u);
+  space.Place(3, Extent{100, 5});  // reuse is fine without checkpoints
+  EXPECT_EQ(space.footprint(), 105u);
+}
+
+TEST(AddressSpaceTest, MoveUpdatesIndexes) {
+  AddressSpace space;
+  space.Place(1, Extent{0, 10});
+  space.Move(1, Extent{50, 10});
+  EXPECT_EQ(space.extent_of(1), (Extent{50, 10}));
+  EXPECT_EQ(space.footprint(), 60u);
+  EXPECT_TRUE(space.SelfCheck());
+}
+
+TEST(AddressSpaceTest, SelfOverlappingMoveAllowedWithoutCheckpoints) {
+  AddressSpace space;
+  space.Place(1, Extent{10, 10});
+  space.Move(1, Extent{5, 10});  // overlaps old position: memmove semantics
+  EXPECT_EQ(space.extent_of(1).offset, 5u);
+}
+
+TEST(AddressSpaceDeathTest, OverlappingPlaceAborts) {
+  AddressSpace space;
+  space.Place(1, Extent{0, 10});
+  EXPECT_DEATH(space.Place(2, Extent{5, 10}), "overlaps");
+}
+
+TEST(AddressSpaceDeathTest, OverlappingMoveOntoNeighborAborts) {
+  AddressSpace space;
+  space.Place(1, Extent{0, 10});
+  space.Place(2, Extent{20, 10});
+  EXPECT_DEATH(space.Move(2, Extent{5, 10}), "overlaps");
+}
+
+TEST(AddressSpaceDeathTest, DoublePlaceAborts) {
+  AddressSpace space;
+  space.Place(1, Extent{0, 10});
+  EXPECT_DEATH(space.Place(1, Extent{100, 10}), "already placed");
+}
+
+TEST(AddressSpaceTest, FootprintIsLargestEnd) {
+  AddressSpace space;
+  EXPECT_EQ(space.footprint(), 0u);
+  space.Place(1, Extent{100, 50});
+  space.Place(2, Extent{0, 10});
+  EXPECT_EQ(space.footprint(), 150u);
+}
+
+TEST(AddressSpaceTest, SnapshotInOffsetOrder) {
+  AddressSpace space;
+  space.Place(1, Extent{50, 10});
+  space.Place(2, Extent{0, 10});
+  space.Place(3, Extent{20, 10});
+  const auto snapshot = space.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first, 2u);
+  EXPECT_EQ(snapshot[1].first, 3u);
+  EXPECT_EQ(snapshot[2].first, 1u);
+}
+
+class RecordingListener : public SpaceListener {
+ public:
+  void OnPlace(ObjectId id, const Extent&) override {
+    events.push_back("P" + std::to_string(id));
+  }
+  void OnMove(ObjectId id, const Extent&, const Extent&) override {
+    events.push_back("M" + std::to_string(id));
+  }
+  void OnRemove(ObjectId id, const Extent&) override {
+    events.push_back("R" + std::to_string(id));
+  }
+  void OnCheckpoint(std::uint64_t seq) override {
+    events.push_back("C" + std::to_string(seq));
+  }
+  std::vector<std::string> events;
+};
+
+TEST(AddressSpaceTest, ListenersObserveAllEvents) {
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  RecordingListener listener;
+  space.AddListener(&listener);
+  space.Place(1, Extent{0, 4});
+  space.Move(1, Extent{10, 4});
+  space.Checkpoint();
+  space.Remove(1);
+  ASSERT_EQ(listener.events.size(), 4u);
+  EXPECT_EQ(listener.events[0], "P1");
+  EXPECT_EQ(listener.events[1], "M1");
+  EXPECT_EQ(listener.events[2], "C1");
+  EXPECT_EQ(listener.events[3], "R1");
+}
+
+TEST(AddressSpaceTest, RemoveListenerStopsNotifications) {
+  AddressSpace space;
+  RecordingListener listener;
+  space.AddListener(&listener);
+  space.Place(1, Extent{0, 4});
+  space.RemoveListener(&listener);
+  space.Place(2, Extent{10, 4});
+  EXPECT_EQ(listener.events.size(), 1u);
+}
+
+TEST(AddressSpaceTest, NoOpMoveIsIgnored) {
+  AddressSpace space;
+  RecordingListener listener;
+  space.Place(1, Extent{0, 4});
+  space.AddListener(&listener);
+  space.Move(1, Extent{0, 4});
+  EXPECT_TRUE(listener.events.empty());
+}
+
+// --- Checkpoint policy enforcement (the Section 3.1 durability model) ---
+
+TEST(AddressSpaceCheckpointTest, FreedRegionFrozenUntilCheckpoint) {
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  space.Place(1, Extent{0, 10});
+  space.Remove(1);
+  EXPECT_EQ(manager.frozen_volume(), 10u);
+  space.Checkpoint();
+  EXPECT_EQ(manager.frozen_volume(), 0u);
+  space.Place(2, Extent{0, 10});  // now legal
+}
+
+TEST(AddressSpaceCheckpointDeathTest, WriteIntoFreedRegionAborts) {
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  space.Place(1, Extent{0, 10});
+  space.Remove(1);
+  EXPECT_DEATH(space.Place(2, Extent{5, 2}), "frozen");
+}
+
+TEST(AddressSpaceCheckpointDeathTest, MoveSourceFrozen) {
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  space.Place(1, Extent{0, 10});
+  space.Move(1, Extent{20, 10});
+  // The old copy at [0,10) must survive until the checkpoint.
+  EXPECT_DEATH(space.Place(2, Extent{0, 10}), "frozen");
+}
+
+TEST(AddressSpaceCheckpointDeathTest, SelfOverlappingMoveForbidden) {
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  space.Place(1, Extent{10, 10});
+  EXPECT_DEATH(space.Move(1, Extent{5, 10}), "overlapping move");
+}
+
+TEST(AddressSpaceCheckpointTest, MoveTargetReusableAfterCheckpoint) {
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  space.Place(1, Extent{0, 10});
+  space.Move(1, Extent{20, 10});
+  space.Checkpoint();
+  space.Place(2, Extent{0, 10});
+  EXPECT_EQ(space.object_count(), 2u);
+}
+
+}  // namespace
+}  // namespace cosr

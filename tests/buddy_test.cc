@@ -1,0 +1,106 @@
+#include "cosr/alloc/buddy_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cosr/common/math_util.h"
+#include "cosr/common/random.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+namespace {
+
+TEST(BuddyTest, RoundsToPowerOfTwoBlocks) {
+  AddressSpace space;
+  BuddyAllocator alloc(&space);
+  ASSERT_TRUE(alloc.Insert(1, 5).ok());  // 8-byte block
+  ASSERT_TRUE(alloc.Insert(2, 8).ok());  // 8-byte block
+  const Extent a = space.extent_of(1);
+  const Extent b = space.extent_of(2);
+  EXPECT_EQ(a.offset % 8, 0u);
+  EXPECT_EQ(b.offset % 8, 0u);
+  EXPECT_NE(a.offset, b.offset);
+}
+
+TEST(BuddyTest, BuddiesMergeOnFree) {
+  AddressSpace space;
+  BuddyAllocator alloc(&space);
+  ASSERT_TRUE(alloc.Insert(1, 8).ok());
+  ASSERT_TRUE(alloc.Insert(2, 8).ok());
+  const std::uint64_t arena_before = alloc.arena_size();
+  ASSERT_TRUE(alloc.Delete(1).ok());
+  ASSERT_TRUE(alloc.Delete(2).ok());
+  // After both frees the halves merge: a 16-block allocation reuses them.
+  ASSERT_TRUE(alloc.Insert(3, 16).ok());
+  EXPECT_EQ(space.extent_of(3).offset, 0u);
+  EXPECT_EQ(alloc.arena_size(), arena_before);
+}
+
+TEST(BuddyTest, ArenaGrowsOnDemand) {
+  AddressSpace space;
+  BuddyAllocator alloc(&space);
+  ASSERT_TRUE(alloc.Insert(1, 8).ok());
+  const std::uint64_t small_arena = alloc.arena_size();
+  ASSERT_TRUE(alloc.Insert(2, 1024).ok());
+  EXPECT_GT(alloc.arena_size(), small_arena);
+  EXPECT_GE(alloc.arena_size(), 1024u + 8u);
+}
+
+TEST(BuddyTest, ExtentKeepsTrueSize) {
+  AddressSpace space;
+  BuddyAllocator alloc(&space);
+  ASSERT_TRUE(alloc.Insert(1, 5).ok());
+  EXPECT_EQ(space.extent_of(1).length, 5u);
+  EXPECT_EQ(alloc.volume(), 5u);
+  // Footprint counts the rounded block.
+  EXPECT_GE(alloc.reserved_footprint(), 8u);
+}
+
+TEST(BuddyTest, ErrorCases) {
+  AddressSpace space;
+  BuddyAllocator alloc(&space);
+  EXPECT_EQ(alloc.Insert(1, 0).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(alloc.Insert(1, 4).ok());
+  EXPECT_EQ(alloc.Insert(1, 4).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(alloc.Delete(9).code(), StatusCode::kNotFound);
+}
+
+TEST(BuddyTest, RandomChurnStaysConsistent) {
+  AddressSpace space;
+  BuddyAllocator alloc(&space);
+  Rng rng(99);
+  std::vector<ObjectId> live;
+  ObjectId next = 1;
+  for (int op = 0; op < 2000; ++op) {
+    if (live.empty() || rng.Bernoulli(0.55)) {
+      const std::uint64_t size = rng.UniformRange(1, 256);
+      ASSERT_TRUE(alloc.Insert(next, size).ok());
+      live.push_back(next++);
+    } else {
+      const std::size_t k = rng.UniformU64(live.size());
+      ASSERT_TRUE(alloc.Delete(live[k]).ok());
+      live[k] = live.back();
+      live.pop_back();
+    }
+    ASSERT_TRUE(space.SelfCheck());
+  }
+}
+
+TEST(BuddyTest, FullDrainReturnsToEmpty) {
+  AddressSpace space;
+  BuddyAllocator alloc(&space);
+  for (ObjectId id = 1; id <= 64; ++id) {
+    ASSERT_TRUE(alloc.Insert(id, 16).ok());
+  }
+  for (ObjectId id = 1; id <= 64; ++id) {
+    ASSERT_TRUE(alloc.Delete(id).ok());
+  }
+  EXPECT_EQ(space.live_volume(), 0u);
+  // A fresh max-size allocation fits at offset 0 again (full coalescing).
+  ASSERT_TRUE(alloc.Insert(100, alloc.arena_size()).ok());
+  EXPECT_EQ(space.extent_of(100).offset, 0u);
+}
+
+}  // namespace
+}  // namespace cosr

@@ -1,0 +1,55 @@
+#include "cosr/storage/checkpoint_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace cosr {
+namespace {
+
+TEST(CheckpointManagerTest, StartsClean) {
+  CheckpointManager manager;
+  EXPECT_EQ(manager.checkpoint_count(), 0u);
+  EXPECT_EQ(manager.frozen_volume(), 0u);
+  EXPECT_TRUE(manager.IsWritable(Extent{0, 1000}));
+}
+
+TEST(CheckpointManagerTest, FreezeBlocksWrites) {
+  CheckpointManager manager;
+  manager.NoteFreed(Extent{10, 5});
+  EXPECT_FALSE(manager.IsWritable(Extent{12, 1}));
+  EXPECT_FALSE(manager.IsWritable(Extent{0, 11}));
+  EXPECT_TRUE(manager.IsWritable(Extent{15, 100}));
+  EXPECT_TRUE(manager.IsWritable(Extent{0, 10}));
+}
+
+TEST(CheckpointManagerTest, CheckpointReleases) {
+  CheckpointManager manager;
+  manager.NoteFreed(Extent{10, 5});
+  manager.Checkpoint();
+  EXPECT_TRUE(manager.IsWritable(Extent{10, 5}));
+  EXPECT_EQ(manager.checkpoint_count(), 1u);
+}
+
+TEST(CheckpointManagerTest, FrozenVolumeAccumulatesAndMerges) {
+  CheckpointManager manager;
+  manager.NoteFreed(Extent{0, 5});
+  manager.NoteFreed(Extent{5, 5});
+  manager.NoteFreed(Extent{100, 10});
+  EXPECT_EQ(manager.frozen_volume(), 20u);
+  EXPECT_EQ(manager.frozen().interval_count(), 2u);
+}
+
+TEST(CheckpointManagerTest, MultipleCheckpointEpochs) {
+  CheckpointManager manager;
+  manager.NoteFreed(Extent{0, 5});
+  manager.Checkpoint();
+  manager.NoteFreed(Extent{10, 5});
+  // Only the post-checkpoint free is frozen.
+  EXPECT_TRUE(manager.IsWritable(Extent{0, 5}));
+  EXPECT_FALSE(manager.IsWritable(Extent{10, 5}));
+  manager.Checkpoint();
+  EXPECT_EQ(manager.checkpoint_count(), 2u);
+  EXPECT_TRUE(manager.IsWritable(Extent{10, 5}));
+}
+
+}  // namespace
+}  // namespace cosr

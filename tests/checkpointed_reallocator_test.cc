@@ -1,0 +1,174 @@
+#include "cosr/core/checkpointed_reallocator.h"
+
+#include <gtest/gtest.h>
+
+#include "cosr/common/random.h"
+#include "cosr/cost/cost_battery.h"
+#include "cosr/metrics/run_harness.h"
+#include "cosr/storage/checkpoint_manager.h"
+#include "cosr/storage/simulated_disk.h"
+#include "cosr/workload/workload_generator.h"
+
+namespace cosr {
+namespace {
+
+CheckpointedReallocator::Options WithEpsilon(double eps) {
+  CheckpointedReallocator::Options options;
+  options.epsilon = eps;
+  return options;
+}
+
+TEST(CheckpointedTest, BasicInsertDelete) {
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  CheckpointedReallocator realloc(&space, WithEpsilon(0.25));
+  ASSERT_TRUE(realloc.Insert(1, 100).ok());
+  ASSERT_TRUE(realloc.Insert(2, 40).ok());
+  ASSERT_TRUE(realloc.Delete(1).ok());
+  EXPECT_EQ(realloc.volume(), 40u);
+  ASSERT_EQ(realloc.CheckInvariants().ToString(), "Ok");
+}
+
+TEST(CheckpointedTest, FlushesRunUnderNonoverlapPolicy) {
+  // The CheckpointManager CHECK-enforces Lemma 3.2: any overlapping move or
+  // write into a freed-but-not-checkpointed region aborts. Surviving a
+  // churn workload is the proof that every flush obeyed the discipline.
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  CheckpointedReallocator realloc(&space, WithEpsilon(0.25));
+  Trace trace = MakeChurnTrace({.operations = 4000,
+                                .target_live_volume = 1 << 14,
+                                .max_size = 512,
+                                .seed = 3});
+  CostBattery battery = MakeDefaultBattery();
+  RunOptions options;
+  options.check_invariants_every = 100;
+  RunReport report = RunTrace(realloc, space, trace, battery, options);
+  EXPECT_GT(report.flushes, 0u);
+  EXPECT_GT(report.checkpoints, 0u);
+}
+
+TEST(CheckpointedTest, CheckpointsPerFlushBounded) {
+  // Lemma 3.3: O(1/eps) checkpoints per flush.
+  const double eps = 0.25;
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  CheckpointedReallocator realloc(&space, WithEpsilon(eps));
+  Trace trace = MakeChurnTrace({.operations = 6000,
+                                .target_live_volume = 1 << 15,
+                                .max_size = 256,
+                                .seed = 5});
+  CostBattery battery = MakeDefaultBattery();
+  RunReport report = RunTrace(realloc, space, trace, battery);
+  ASSERT_GT(report.flushes, 0u);
+  // Generous constant: c/eps with c = 6.
+  EXPECT_LE(realloc.max_checkpoints_per_flush(),
+            static_cast<std::uint64_t>(6.0 / eps) + 4);
+}
+
+TEST(CheckpointedTest, InFlushSpaceBounded) {
+  // Lemma 3.1 (with the implementation's safety margin): the footprint
+  // during a flush stays below (1 + O(eps)) V + 2∆.
+  const double eps = 0.25;
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  CheckpointedReallocator realloc(&space, WithEpsilon(eps));
+  Trace trace = MakeChurnTrace({.operations = 4000,
+                                .target_live_volume = 1 << 15,
+                                .max_size = 1024,
+                                .seed = 7});
+  std::uint64_t max_volume = 0;
+  for (const Request& r : trace.requests()) {
+    if (r.type == Request::Type::kInsert) {
+      ASSERT_TRUE(realloc.Insert(r.id, r.size).ok());
+    } else {
+      ASSERT_TRUE(realloc.Delete(r.id).ok());
+    }
+    max_volume = std::max(max_volume, realloc.volume());
+  }
+  const double bound = (1.0 + 8 * eps) * static_cast<double>(max_volume) +
+                       2.0 * static_cast<double>(realloc.delta());
+  EXPECT_LE(static_cast<double>(realloc.max_temp_footprint()), bound);
+}
+
+TEST(CheckpointedTest, TriggeringInsertPlacedBeforeFlush) {
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  CheckpointedReallocator realloc(&space, WithEpsilon(0.5));
+  ASSERT_TRUE(realloc.Insert(1, 64).ok());
+  // Buffer capacity 32; a 40-sized insert cannot fit: it is placed first
+  // (insert-before-flush), then the flush runs. Afterwards both objects
+  // must be live and correctly filed.
+  ASSERT_TRUE(realloc.Insert(2, 40).ok());
+  EXPECT_GE(realloc.flush_count(), 1u);
+  EXPECT_TRUE(space.contains(1));
+  EXPECT_TRUE(space.contains(2));
+  EXPECT_EQ(realloc.volume(), 104u);
+  ASSERT_EQ(realloc.CheckInvariants().ToString(), "Ok");
+}
+
+TEST(CheckpointedTest, ByteDurabilityAcrossFlushes) {
+  // With a SimulatedDisk attached, every surviving object's bytes must be
+  // intact after arbitrary flural flush activity (moves copy bytes and the
+  // checkpoint policy prevents clobbering live or frozen data).
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  SimulatedDisk disk;
+  space.AddListener(&disk);
+  CheckpointedReallocator realloc(&space, WithEpsilon(0.25));
+  Rng rng(13);
+  std::vector<ObjectId> live;
+  ObjectId next = 1;
+  for (int op = 0; op < 1500; ++op) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      ASSERT_TRUE(realloc.Insert(next, rng.UniformRange(1, 300)).ok());
+      live.push_back(next++);
+    } else {
+      const std::size_t k = rng.UniformU64(live.size());
+      ASSERT_TRUE(realloc.Delete(live[k]).ok());
+      live[k] = live.back();
+      live.pop_back();
+    }
+  }
+  for (ObjectId id : live) {
+    ASSERT_TRUE(space.contains(id));
+    EXPECT_TRUE(disk.VerifyObject(id, space.extent_of(id)))
+        << "object " << id << " corrupted";
+  }
+}
+
+TEST(CheckpointedTest, DeleteTriggeredFlush) {
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  CheckpointedReallocator realloc(&space, WithEpsilon(0.25));
+  // Buffer capacities are small; deleting payload objects adds dummy
+  // records until one cannot fit, triggering a delete flush.
+  for (ObjectId id = 1; id <= 12; ++id) {
+    ASSERT_TRUE(realloc.Insert(id, 32).ok());
+  }
+  const std::uint64_t flushes_before = realloc.flush_count();
+  for (ObjectId id = 1; id <= 12; ++id) {
+    ASSERT_TRUE(realloc.Delete(id).ok());
+    ASSERT_EQ(realloc.CheckInvariants().ToString(), "Ok");
+  }
+  EXPECT_GT(realloc.flush_count(), flushes_before);
+  EXPECT_EQ(realloc.volume(), 0u);
+}
+
+TEST(CheckpointedTest, ErrorCases) {
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  CheckpointedReallocator realloc(&space, WithEpsilon(0.25));
+  EXPECT_EQ(realloc.Insert(1, 0).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(realloc.Insert(1, 8).ok());
+  EXPECT_EQ(realloc.Insert(1, 8).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(realloc.Delete(2).code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointedDeathTest, RequiresCheckpointManager) {
+  AddressSpace space;  // no manager
+  EXPECT_DEATH(CheckpointedReallocator realloc(&space), "CheckpointManager");
+}
+
+}  // namespace
+}  // namespace cosr

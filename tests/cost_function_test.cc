@@ -1,0 +1,106 @@
+#include "cosr/cost/cost_function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cosr/cost/cost_battery.h"
+
+namespace cosr {
+namespace {
+
+TEST(CostFunctionTest, LinearValues) {
+  auto f = MakeLinearCost(2.0);
+  EXPECT_DOUBLE_EQ(f->Cost(1), 2.0);
+  EXPECT_DOUBLE_EQ(f->Cost(100), 200.0);
+  EXPECT_EQ(f->name(), "linear");
+}
+
+TEST(CostFunctionTest, ConstantValues) {
+  auto f = MakeConstantCost(3.0);
+  EXPECT_DOUBLE_EQ(f->Cost(1), 3.0);
+  EXPECT_DOUBLE_EQ(f->Cost(1 << 20), 3.0);
+}
+
+TEST(CostFunctionTest, AffineModelsSeekPlusBandwidth) {
+  auto f = MakeAffineCost(100.0, 1.0);
+  EXPECT_DOUBLE_EQ(f->Cost(1), 101.0);
+  // Small objects are seek-dominated, large ones bandwidth-dominated.
+  EXPECT_LT(f->Cost(10) / 10.0, f->Cost(1) / 1.0);
+}
+
+TEST(CostFunctionTest, SqrtAndLogAreConcave) {
+  auto s = MakeSqrtCost();
+  auto l = MakeLogCost();
+  EXPECT_DOUBLE_EQ(s->Cost(16), 4.0);
+  EXPECT_DOUBLE_EQ(l->Cost(1), 1.0);  // log2(1 + 1)
+  // Concavity spot check: f(a+b) <= f(a)+f(b).
+  EXPECT_LE(s->Cost(32), s->Cost(16) + s->Cost(16));
+  EXPECT_LE(l->Cost(32), l->Cost(16) + l->Cost(16));
+}
+
+TEST(CostFunctionTest, CappedLinearSaturates) {
+  auto f = MakeCappedLinearCost(256.0);
+  EXPECT_DOUBLE_EQ(f->Cost(10), 10.0);
+  EXPECT_DOUBLE_EQ(f->Cost(300), 256.0);
+  EXPECT_DOUBLE_EQ(f->Cost(1 << 20), 256.0);
+}
+
+TEST(CostFunctionTest, QuadraticIsFlaggedOutsideFsa) {
+  auto f = MakeQuadraticCost();
+  EXPECT_FALSE(f->in_fsa());
+  EXPECT_DOUBLE_EQ(f->Cost(10), 100.0);
+}
+
+TEST(CostFunctionTest, QuadraticFailsSubadditivityCheck) {
+  Rng rng(1);
+  auto f = MakeQuadraticCost();
+  EXPECT_FALSE(IsSubadditiveOnSamples(*f, 1 << 16, 200, rng));
+}
+
+// Every function in the default battery is monotone and subadditive on
+// random samples — the paper's class Fsa.
+class BatteryMembershipTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatteryMembershipTest, MonotoneOnSamples) {
+  CostBattery battery = MakeDefaultBattery();
+  Rng rng(100 + GetParam());
+  EXPECT_TRUE(IsMonotoneOnSamples(battery.at(GetParam()), 1 << 20, 500, rng))
+      << battery.name(GetParam());
+}
+
+TEST_P(BatteryMembershipTest, SubadditiveOnSamples) {
+  CostBattery battery = MakeDefaultBattery();
+  Rng rng(200 + GetParam());
+  EXPECT_TRUE(
+      IsSubadditiveOnSamples(battery.at(GetParam()), 1 << 20, 500, rng))
+      << battery.name(GetParam());
+}
+
+TEST_P(BatteryMembershipTest, MarkedInFsa) {
+  CostBattery battery = MakeDefaultBattery();
+  EXPECT_TRUE(battery.at(GetParam()).in_fsa());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, BatteryMembershipTest,
+                         ::testing::Range(0, 6));
+
+TEST(CostBatteryTest, DefaultBatteryContents) {
+  CostBattery battery = MakeDefaultBattery();
+  EXPECT_EQ(battery.size(), 6u);
+  EXPECT_EQ(battery.IndexOf("linear"), 0);
+  EXPECT_EQ(battery.IndexOf("constant"), 1);
+  EXPECT_EQ(battery.IndexOf("nonexistent"), -1);
+}
+
+TEST(CostBatteryTest, QuadraticBatteryAppends) {
+  CostBattery battery = MakeBatteryWithQuadratic();
+  EXPECT_EQ(battery.size(), 7u);
+  EXPECT_GE(battery.IndexOf("quadratic"), 0);
+  EXPECT_FALSE(
+      battery.at(static_cast<std::size_t>(battery.IndexOf("quadratic")))
+          .in_fsa());
+}
+
+}  // namespace
+}  // namespace cosr

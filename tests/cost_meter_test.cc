@@ -1,0 +1,91 @@
+#include "cosr/metrics/cost_meter.h"
+
+#include <gtest/gtest.h>
+
+#include "cosr/cost/cost_battery.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+namespace {
+
+TEST(CostMeterTest, PlacementCountsAsAllocationAndWrite) {
+  CostBattery battery = MakeDefaultBattery();
+  CostMeter meter(&battery);
+  AddressSpace space;
+  space.AddListener(&meter);
+  space.Place(1, Extent{0, 10});
+  const int linear = battery.IndexOf("linear");
+  ASSERT_GE(linear, 0);
+  EXPECT_DOUBLE_EQ(meter.totals(linear).allocation_cost, 10.0);
+  EXPECT_DOUBLE_EQ(meter.totals(linear).total_write_cost, 10.0);
+  EXPECT_DOUBLE_EQ(meter.CostRatio(linear), 1.0);
+  EXPECT_DOUBLE_EQ(meter.ReallocRatio(linear), 0.0);
+}
+
+TEST(CostMeterTest, MovesAddOnlyWriteCost) {
+  CostBattery battery = MakeDefaultBattery();
+  CostMeter meter(&battery);
+  AddressSpace space;
+  space.AddListener(&meter);
+  space.Place(1, Extent{0, 10});
+  space.Move(1, Extent{100, 10});
+  space.Move(1, Extent{200, 10});
+  const int linear = battery.IndexOf("linear");
+  EXPECT_DOUBLE_EQ(meter.totals(linear).allocation_cost, 10.0);
+  EXPECT_DOUBLE_EQ(meter.totals(linear).total_write_cost, 30.0);
+  EXPECT_DOUBLE_EQ(meter.CostRatio(linear), 3.0);
+  EXPECT_DOUBLE_EQ(meter.ReallocRatio(linear), 2.0);
+  EXPECT_EQ(meter.moves(), 2u);
+  EXPECT_EQ(meter.bytes_moved(), 20u);
+}
+
+TEST(CostMeterTest, AllFunctionsMeteredSimultaneously) {
+  CostBattery battery = MakeDefaultBattery();
+  CostMeter meter(&battery);
+  AddressSpace space;
+  space.AddListener(&meter);
+  space.Place(1, Extent{0, 16});
+  space.Move(1, Extent{100, 16});
+  const int constant = battery.IndexOf("constant");
+  const int sqrt_fn = battery.IndexOf("sqrt");
+  EXPECT_DOUBLE_EQ(meter.totals(constant).total_write_cost, 2.0);
+  EXPECT_DOUBLE_EQ(meter.totals(sqrt_fn).total_write_cost, 8.0);  // 2*sqrt(16)
+}
+
+TEST(CostMeterTest, PerOpMaxTracksWorstRequest) {
+  CostBattery battery = MakeDefaultBattery();
+  CostMeter meter(&battery);
+  AddressSpace space;
+  space.AddListener(&meter);
+  const int linear = battery.IndexOf("linear");
+
+  meter.BeginOp();
+  space.Place(1, Extent{0, 10});  // op cost 10
+  meter.BeginOp();
+  space.Place(2, Extent{100, 5});
+  space.Move(1, Extent{200, 10});  // op cost 15
+  meter.BeginOp();                 // closes the second op
+  EXPECT_DOUBLE_EQ(meter.totals(linear).max_op_cost, 15.0);
+}
+
+TEST(CostMeterTest, RemovesAreFree) {
+  CostBattery battery = MakeDefaultBattery();
+  CostMeter meter(&battery);
+  AddressSpace space;
+  space.AddListener(&meter);
+  space.Place(1, Extent{0, 10});
+  space.Remove(1);
+  const int linear = battery.IndexOf("linear");
+  EXPECT_DOUBLE_EQ(meter.totals(linear).total_write_cost, 10.0);
+  EXPECT_EQ(meter.removes(), 1u);
+}
+
+TEST(CostMeterTest, EmptyRunHasZeroRatio) {
+  CostBattery battery = MakeDefaultBattery();
+  CostMeter meter(&battery);
+  EXPECT_DOUBLE_EQ(meter.CostRatio(0), 0.0);
+  EXPECT_DOUBLE_EQ(meter.ReallocRatio(0), 0.0);
+}
+
+}  // namespace
+}  // namespace cosr

@@ -1,0 +1,213 @@
+#include "cosr/core/defragmenter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cosr/common/math_util.h"
+#include "cosr/common/random.h"
+#include "cosr/storage/checkpoint_manager.h"
+
+namespace cosr {
+namespace {
+
+/// Scatters `count` objects with sizes from [1, max_size] across a
+/// (1+eps)V arena with random gaps, simulating a fragmented layout.
+std::vector<ObjectId> MakeFragmentedLayout(AddressSpace* space,
+                                           std::size_t count,
+                                           std::uint64_t max_size, double eps,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> sizes(count);
+  std::uint64_t volume = 0;
+  for (auto& s : sizes) {
+    s = rng.UniformRange(1, max_size);
+    volume += s;
+  }
+  const std::uint64_t arena = FloorScale(eps, volume) + volume;
+  // Place objects left to right with random slack adding up to < eps*V.
+  std::uint64_t slack_left = arena - volume;
+  std::uint64_t cursor = 0;
+  std::vector<ObjectId> ids;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t gap =
+        slack_left > 0 ? rng.UniformU64(slack_left + 1) / count : 0;
+    slack_left -= gap;
+    cursor += gap;
+    space->Place(static_cast<ObjectId>(i + 1), Extent{cursor, sizes[i]});
+    cursor += sizes[i];
+    ids.push_back(static_cast<ObjectId>(i + 1));
+  }
+  return ids;
+}
+
+bool SortedAndPacked(const AddressSpace& space,
+                     const std::function<bool(ObjectId, ObjectId)>& less) {
+  const auto snapshot = space.Snapshot();
+  for (std::size_t i = 0; i + 1 < snapshot.size(); ++i) {
+    if (snapshot[i].second.end() != snapshot[i + 1].second.offset) {
+      return false;  // gap
+    }
+    if (less(snapshot[i + 1].first, snapshot[i].first)) {
+      return false;  // out of order
+    }
+  }
+  return true;
+}
+
+TEST(DefragmenterTest, SortsByIdAscending) {
+  AddressSpace space;
+  auto ids = MakeFragmentedLayout(&space, 64, 100, 0.25, 1);
+  auto less = [](ObjectId a, ObjectId b) { return a < b; };
+  Defragmenter::Stats stats;
+  ASSERT_TRUE(
+      Defragmenter::Sort(&space, ids, less, {.epsilon = 0.25}, &stats).ok());
+  EXPECT_TRUE(SortedAndPacked(space, less));
+  EXPECT_EQ(space.object_count(), ids.size());
+}
+
+TEST(DefragmenterTest, SortsBySizeDescending) {
+  AddressSpace space;
+  auto ids = MakeFragmentedLayout(&space, 48, 200, 0.5, 2);
+  auto less = [&space](ObjectId a, ObjectId b) {
+    const std::uint64_t sa = space.extent_of(a).length;
+    const std::uint64_t sb = space.extent_of(b).length;
+    return sa != sb ? sa > sb : a < b;
+  };
+  ASSERT_TRUE(
+      Defragmenter::Sort(&space, ids, less, {.epsilon = 0.5}, nullptr).ok());
+  EXPECT_TRUE(SortedAndPacked(space, less));
+}
+
+TEST(DefragmenterTest, SpaceNeverExceedsTheoremBound) {
+  // Theorem 2.7: total space usage <= (1+eps)V + ∆ at all times.
+  for (const double eps : {0.125, 0.25, 0.5}) {
+    AddressSpace space;
+    auto ids = MakeFragmentedLayout(&space, 128, 150, eps, 3);
+    auto less = [](ObjectId a, ObjectId b) { return a < b; };
+    Defragmenter::Stats stats;
+    ASSERT_TRUE(Defragmenter::Sort(&space, ids, less, {.epsilon = eps},
+                                   &stats)
+                    .ok());
+    EXPECT_LE(stats.max_footprint, stats.arena_limit)
+        << "eps=" << eps;
+  }
+}
+
+TEST(DefragmenterTest, MovesPerObjectBounded) {
+  // O((1/eps) log(1/eps)) amortized moves per object; assert a generous
+  // concrete constant for eps = 0.25.
+  AddressSpace space;
+  auto ids = MakeFragmentedLayout(&space, 256, 100, 0.25, 4);
+  auto less = [](ObjectId a, ObjectId b) { return a < b; };
+  Defragmenter::Stats stats;
+  ASSERT_TRUE(
+      Defragmenter::Sort(&space, ids, less, {.epsilon = 0.25}, &stats).ok());
+  const double moves_per_object =
+      static_cast<double>(stats.total_moves) /
+      static_cast<double>(ids.size());
+  EXPECT_LE(moves_per_object, 40.0);
+}
+
+TEST(DefragmenterTest, CompactToFrontStartsAtZero) {
+  AddressSpace space;
+  auto ids = MakeFragmentedLayout(&space, 32, 64, 0.25, 5);
+  auto less = [](ObjectId a, ObjectId b) { return a < b; };
+  Defragmenter::Options options;
+  options.epsilon = 0.25;
+  options.compact_to_front = true;
+  ASSERT_TRUE(Defragmenter::Sort(&space, ids, less, options, nullptr).ok());
+  EXPECT_TRUE(SortedAndPacked(space, less));
+  EXPECT_EQ(space.Snapshot().front().second.offset, 0u);
+  EXPECT_EQ(space.footprint(), space.live_volume());
+}
+
+TEST(DefragmenterTest, SingleObjectIsTrivial) {
+  AddressSpace space;
+  space.Place(1, Extent{5, 10});
+  auto less = [](ObjectId a, ObjectId b) { return a < b; };
+  ASSERT_TRUE(
+      Defragmenter::Sort(&space, {1}, less, {.epsilon = 0.5}, nullptr).ok());
+  EXPECT_TRUE(space.contains(1));
+}
+
+TEST(DefragmenterTest, EmptyInputIsOk) {
+  AddressSpace space;
+  auto less = [](ObjectId a, ObjectId b) { return a < b; };
+  EXPECT_TRUE(
+      Defragmenter::Sort(&space, {}, less, {.epsilon = 0.25}, nullptr).ok());
+}
+
+TEST(DefragmenterTest, RejectsUnknownObject) {
+  AddressSpace space;
+  auto less = [](ObjectId a, ObjectId b) { return a < b; };
+  EXPECT_EQ(
+      Defragmenter::Sort(&space, {42}, less, {.epsilon = 0.25}, nullptr)
+          .code(),
+      StatusCode::kNotFound);
+}
+
+TEST(DefragmenterTest, RejectsOversizedInitialLayout) {
+  AddressSpace space;
+  space.Place(1, Extent{1000000, 10});  // way beyond (1+eps)V
+  auto less = [](ObjectId a, ObjectId b) { return a < b; };
+  EXPECT_EQ(
+      Defragmenter::Sort(&space, {1}, less, {.epsilon = 0.25}, nullptr)
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(DefragmenterTest, RejectsCheckpointedSpace) {
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  space.Place(1, Extent{0, 10});
+  auto less = [](ObjectId a, ObjectId b) { return a < b; };
+  EXPECT_EQ(
+      Defragmenter::Sort(&space, {1}, less, {.epsilon = 0.25}, nullptr)
+          .code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(DefragmenterTest, RejectsBadEpsilon) {
+  AddressSpace space;
+  auto less = [](ObjectId a, ObjectId b) { return a < b; };
+  EXPECT_EQ(
+      Defragmenter::Sort(&space, {}, less, {.epsilon = 0.0}, nullptr).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      Defragmenter::Sort(&space, {}, less, {.epsilon = 1.5}, nullptr).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(NaiveDefragTest, TwoMovesPerObjectAndDoubleSpace) {
+  AddressSpace space;
+  auto ids = MakeFragmentedLayout(&space, 64, 100, 0.25, 6);
+  auto less = [](ObjectId a, ObjectId b) { return a < b; };
+  Defragmenter::Stats stats;
+  ASSERT_TRUE(NaiveDefragSort(&space, ids, less, &stats).ok());
+  EXPECT_TRUE(SortedAndPacked(space, less));
+  EXPECT_LE(stats.total_moves, 2 * ids.size());
+  EXPECT_LE(stats.max_footprint, 2 * stats.volume);
+  EXPECT_EQ(space.Snapshot().front().second.offset, 0u);
+}
+
+TEST(NaiveDefragTest, UsesMoreSpaceThanCostOblivious) {
+  auto less = [](ObjectId a, ObjectId b) { return a < b; };
+  Defragmenter::Stats naive_stats, oblivious_stats;
+  {
+    AddressSpace space;
+    auto ids = MakeFragmentedLayout(&space, 128, 100, 0.25, 7);
+    ASSERT_TRUE(NaiveDefragSort(&space, ids, less, &naive_stats).ok());
+  }
+  {
+    AddressSpace space;
+    auto ids = MakeFragmentedLayout(&space, 128, 100, 0.25, 7);
+    ASSERT_TRUE(Defragmenter::Sort(&space, ids, less, {.epsilon = 0.25},
+                                   &oblivious_stats)
+                    .ok());
+  }
+  EXPECT_LT(oblivious_stats.max_footprint, naive_stats.max_footprint);
+}
+
+}  // namespace
+}  // namespace cosr

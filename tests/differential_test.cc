@@ -1,0 +1,176 @@
+// Model-based differential testing: a trivial reference model (a map of
+// live objects) replays the same randomized request stream — including
+// invalid requests — against every implementation. All implementations
+// must return the same status codes and converge to the same live set,
+// with every object's extent length intact.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cosr/alloc/best_fit_allocator.h"
+#include "cosr/alloc/buddy_allocator.h"
+#include "cosr/alloc/first_fit_allocator.h"
+#include "cosr/common/random.h"
+#include "cosr/core/checkpointed_reallocator.h"
+#include "cosr/core/cost_oblivious_reallocator.h"
+#include "cosr/core/deamortized_reallocator.h"
+#include "cosr/realloc/compacting_oracle.h"
+#include "cosr/realloc/logging_compacting_reallocator.h"
+#include "cosr/realloc/size_class_reallocator.h"
+#include "cosr/storage/checkpoint_manager.h"
+#include "cosr/workload/request.h"
+
+namespace cosr {
+namespace {
+
+/// The semantic ground truth: which ids are live and how big they are.
+class ReferenceModel {
+ public:
+  StatusCode Insert(ObjectId id, std::uint64_t size) {
+    if (size == 0) return StatusCode::kInvalidArgument;
+    if (live_.count(id) > 0) return StatusCode::kAlreadyExists;
+    live_.emplace(id, size);
+    return StatusCode::kOk;
+  }
+  StatusCode Delete(ObjectId id) {
+    if (live_.erase(id) == 0) return StatusCode::kNotFound;
+    return StatusCode::kOk;
+  }
+  const std::map<ObjectId, std::uint64_t>& live() const { return live_; }
+
+ private:
+  std::map<ObjectId, std::uint64_t> live_;
+};
+
+struct Op {
+  Request::Type type;
+  ObjectId id;
+  std::uint64_t size;
+};
+
+/// A request stream with ~8% invalid requests mixed in (duplicate inserts
+/// of live ids, zero sizes, deletes of unknown or already-deleted ids).
+/// Ids are never reused after deletion, so pending-delete semantics of the
+/// deamortized variant agree with the model.
+std::vector<Op> MakeStream(std::uint64_t seed, int length) {
+  Rng rng(seed);
+  ReferenceModel model;
+  std::vector<Op> ops;
+  std::vector<ObjectId> live_ids;
+  ObjectId next = 1;
+  for (int i = 0; i < length; ++i) {
+    const double dice = rng.UniformDouble();
+    if (dice < 0.03 && !live_ids.empty()) {
+      // Invalid: duplicate insert of a live id.
+      ops.push_back({Request::Type::kInsert,
+                     live_ids[rng.UniformU64(live_ids.size())],
+                     rng.UniformRange(1, 100)});
+    } else if (dice < 0.05) {
+      // Invalid: zero-size insert.
+      ops.push_back({Request::Type::kInsert, next++, 0});
+    } else if (dice < 0.08) {
+      // Invalid: delete of a never-inserted id.
+      ops.push_back({Request::Type::kDelete, next + 1000000, 0});
+    } else if (dice < 0.6 || live_ids.empty()) {
+      ops.push_back({Request::Type::kInsert, next++,
+                     rng.UniformRange(1, 400)});
+      live_ids.push_back(ops.back().id);
+    } else {
+      const std::size_t k = rng.UniformU64(live_ids.size());
+      ops.push_back({Request::Type::kDelete, live_ids[k], 0});
+      live_ids[k] = live_ids.back();
+      live_ids.pop_back();
+    }
+  }
+  return ops;
+}
+
+struct Impl {
+  std::string name;
+  std::unique_ptr<CheckpointManager> manager;
+  std::unique_ptr<AddressSpace> space;
+  std::unique_ptr<Reallocator> realloc;
+};
+
+std::vector<Impl> MakeImpls() {
+  std::vector<Impl> impls;
+  auto add = [&impls](const std::string& name, bool managed, auto make) {
+    Impl impl;
+    impl.name = name;
+    if (managed) impl.manager = std::make_unique<CheckpointManager>();
+    impl.space = std::make_unique<AddressSpace>(impl.manager.get());
+    impl.realloc = make(impl.space.get());
+    impls.push_back(std::move(impl));
+  };
+  add("first-fit", false,
+      [](AddressSpace* s) { return std::make_unique<FirstFitAllocator>(s); });
+  add("best-fit", false,
+      [](AddressSpace* s) { return std::make_unique<BestFitAllocator>(s); });
+  add("buddy", false,
+      [](AddressSpace* s) { return std::make_unique<BuddyAllocator>(s); });
+  add("log-compact", false, [](AddressSpace* s) {
+    return std::make_unique<LoggingCompactingReallocator>(s);
+  });
+  add("size-class", false, [](AddressSpace* s) {
+    return std::make_unique<SizeClassReallocator>(s);
+  });
+  add("oracle", false,
+      [](AddressSpace* s) { return std::make_unique<CompactingOracle>(s); });
+  add("cost-oblivious", false, [](AddressSpace* s) {
+    return std::make_unique<CostObliviousReallocator>(s);
+  });
+  add("checkpointed", true, [](AddressSpace* s) {
+    return std::make_unique<CheckpointedReallocator>(s);
+  });
+  add("deamortized", true, [](AddressSpace* s) {
+    return std::make_unique<DeamortizedReallocator>(s);
+  });
+  return impls;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialTest, AllImplementationsMatchTheModel) {
+  const std::vector<Op> stream = MakeStream(GetParam(), 2500);
+  ReferenceModel model;
+  std::vector<Impl> impls = MakeImpls();
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const Op& op = stream[i];
+    const StatusCode expected =
+        op.type == Request::Type::kInsert ? model.Insert(op.id, op.size)
+                                          : model.Delete(op.id);
+    for (Impl& impl : impls) {
+      const Status status = op.type == Request::Type::kInsert
+                                ? impl.realloc->Insert(op.id, op.size)
+                                : impl.realloc->Delete(op.id);
+      ASSERT_EQ(status.code(), expected)
+          << impl.name << " diverged at op " << i << " ("
+          << (op.type == Request::Type::kInsert ? "insert " : "delete ")
+          << op.id << ")";
+    }
+  }
+  for (Impl& impl : impls) {
+    impl.realloc->Quiesce();
+    ASSERT_EQ(impl.space->object_count(), model.live().size()) << impl.name;
+    std::uint64_t volume = 0;
+    for (const auto& [id, size] : model.live()) {
+      ASSERT_TRUE(impl.space->contains(id))
+          << impl.name << " lost object " << id;
+      EXPECT_EQ(impl.space->extent_of(id).length, size) << impl.name;
+      volume += size;
+    }
+    EXPECT_EQ(impl.realloc->volume(), volume) << impl.name;
+    EXPECT_TRUE(impl.space->SelfCheck()) << impl.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, DifferentialTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace
+}  // namespace cosr

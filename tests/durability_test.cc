@@ -1,0 +1,83 @@
+// Integration test of the database durability story (Section 3): a
+// checkpointed or deamortized reallocator, a block translation layer, and a
+// byte-level simulated disk, driven by a block workload with checkpoints at
+// arbitrary points. At every "crash point" the last checkpointed table must
+// be fully recoverable, byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cosr/common/random.h"
+#include "cosr/core/checkpointed_reallocator.h"
+#include "cosr/core/deamortized_reallocator.h"
+#include "cosr/db/block_translation_layer.h"
+#include "cosr/storage/checkpoint_manager.h"
+#include "cosr/storage/simulated_disk.h"
+
+namespace cosr {
+namespace {
+
+enum class Variant { kCheckpointed, kDeamortized };
+
+class DurabilityTest
+    : public ::testing::TestWithParam<std::tuple<Variant, std::uint64_t>> {};
+
+TEST_P(DurabilityTest, EveryCrashPointRecovers) {
+  const auto [variant, seed] = GetParam();
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  SimulatedDisk disk;
+  space.AddListener(&disk);
+  std::unique_ptr<Reallocator> realloc;
+  if (variant == Variant::kCheckpointed) {
+    realloc = std::make_unique<CheckpointedReallocator>(&space);
+  } else {
+    realloc = std::make_unique<DeamortizedReallocator>(&space);
+  }
+  BlockTranslationLayer btl(&space, realloc.get());
+
+  Rng rng(seed);
+  std::uint64_t next_name = 1;
+  for (int op = 0; op < 800; ++op) {
+    const double dice = rng.UniformDouble();
+    if (dice < 0.55 || btl.block_count() < 5) {
+      // Write a block: a new one or a rewrite of an existing one.
+      const std::uint64_t name = rng.Bernoulli(0.5) && next_name > 1
+                                     ? rng.UniformRange(1, next_name - 1)
+                                     : next_name++;
+      ASSERT_TRUE(btl.Put(name, rng.UniformRange(1, 200)).ok());
+    } else if (dice < 0.75) {
+      const std::uint64_t name = rng.UniformRange(1, next_name - 1);
+      if (btl.block_exists(name)) {
+        ASSERT_TRUE(btl.Erase(name).ok());
+      }
+    } else if (dice < 0.85) {
+      // A system-initiated checkpoint at an arbitrary moment.
+      space.Checkpoint();
+    }
+    // Simulated crash after every operation: recovery must succeed.
+    ASSERT_TRUE(btl.VerifyRecoverable(disk).ok()) << "op " << op;
+  }
+  // Final quiesce + checkpoint: the full table is recoverable.
+  realloc->Quiesce();
+  space.Checkpoint();
+  ASSERT_TRUE(btl.VerifyRecoverable(disk).ok());
+  EXPECT_EQ(btl.checkpointed_table().size(), btl.block_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, DurabilityTest,
+    ::testing::Combine(::testing::Values(Variant::kCheckpointed,
+                                         Variant::kDeamortized),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<DurabilityTest::ParamType>& info) {
+      const Variant variant = std::get<0>(info.param);
+      const std::uint64_t seed = std::get<1>(info.param);
+      std::string name = variant == Variant::kCheckpointed ? "checkpointed"
+                                                           : "deamortized";
+      return name + "_seed" + std::to_string(seed);
+    });
+
+}  // namespace
+}  // namespace cosr

@@ -1,0 +1,104 @@
+#include "cosr/storage/extent.h"
+
+#include <gtest/gtest.h>
+
+#include "cosr/storage/extent_set.h"
+
+namespace cosr {
+namespace {
+
+TEST(ExtentTest, EndAndContains) {
+  Extent e{10, 5};
+  EXPECT_EQ(e.end(), 15u);
+  EXPECT_TRUE(e.Contains(10));
+  EXPECT_TRUE(e.Contains(14));
+  EXPECT_FALSE(e.Contains(15));
+  EXPECT_FALSE(e.Contains(9));
+}
+
+TEST(ExtentTest, OverlapsHalfOpen) {
+  Extent a{0, 10};
+  EXPECT_TRUE(a.Overlaps((Extent{5, 10})));
+  EXPECT_TRUE(a.Overlaps((Extent{0, 1})));
+  EXPECT_FALSE(a.Overlaps((Extent{10, 5})));  // abutting, not overlapping
+  EXPECT_FALSE(a.Overlaps((Extent{20, 5})));
+  EXPECT_TRUE((Extent{3, 2}).Overlaps(a));  // contained
+}
+
+TEST(ExtentTest, ToString) {
+  EXPECT_EQ(ToString(Extent{3, 4}), "[3,7)");
+}
+
+TEST(ExtentSetTest, AddAndIntersect) {
+  ExtentSet set;
+  EXPECT_FALSE(set.Intersects(Extent{0, 100}));
+  set.Add(Extent{10, 5});
+  EXPECT_TRUE(set.Intersects(Extent{12, 1}));
+  EXPECT_TRUE(set.Intersects(Extent{0, 11}));
+  EXPECT_FALSE(set.Intersects(Extent{15, 5}));
+  EXPECT_FALSE(set.Intersects(Extent{0, 10}));
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_FALSE(set.Contains(15));
+}
+
+TEST(ExtentSetTest, MergesAdjacent) {
+  ExtentSet set;
+  set.Add(Extent{0, 5});
+  set.Add(Extent{5, 5});
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.total_length(), 10u);
+}
+
+TEST(ExtentSetTest, MergesOverlapping) {
+  ExtentSet set;
+  set.Add(Extent{0, 10});
+  set.Add(Extent{5, 10});
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.total_length(), 15u);
+}
+
+TEST(ExtentSetTest, BridgesGap) {
+  ExtentSet set;
+  set.Add(Extent{0, 5});
+  set.Add(Extent{10, 5});
+  EXPECT_EQ(set.interval_count(), 2u);
+  set.Add(Extent{4, 7});  // covers [4, 11): bridges both
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.total_length(), 15u);
+}
+
+TEST(ExtentSetTest, AbsorbsContained) {
+  ExtentSet set;
+  set.Add(Extent{0, 100});
+  set.Add(Extent{10, 5});
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.total_length(), 100u);
+}
+
+TEST(ExtentSetTest, EmptyExtentIgnored) {
+  ExtentSet set;
+  set.Add(Extent{5, 0});
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(ExtentSetTest, ClearResets) {
+  ExtentSet set;
+  set.Add(Extent{0, 5});
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.total_length(), 0u);
+  EXPECT_FALSE(set.Intersects(Extent{0, 10}));
+}
+
+TEST(ExtentSetTest, ToVectorAscending) {
+  ExtentSet set;
+  set.Add(Extent{20, 5});
+  set.Add(Extent{0, 5});
+  const auto v = set.ToVector();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], (Extent{0, 5}));
+  EXPECT_EQ(v[1], (Extent{20, 5}));
+}
+
+}  // namespace
+}  // namespace cosr

@@ -1,0 +1,105 @@
+#include "cosr/realloc/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "cosr/storage/checkpoint_manager.h"
+
+namespace cosr {
+namespace {
+
+TEST(FactoryTest, KnownAlgorithmsListed) {
+  const auto& algorithms = KnownAlgorithms();
+  EXPECT_EQ(algorithms.size(), 10u);
+  EXPECT_EQ(algorithms.front(), "first-fit");
+  EXPECT_EQ(algorithms.back(), "deamortized");
+}
+
+TEST(FactoryTest, CreatesEveryAlgorithm) {
+  for (const std::string& name : KnownAlgorithms()) {
+    std::unique_ptr<CheckpointManager> manager;
+    if (AlgorithmNeedsCheckpointManager(name)) {
+      manager = std::make_unique<CheckpointManager>();
+    }
+    AddressSpace space(manager.get());
+    ReallocatorSpec spec;
+    spec.algorithm = name;
+    std::unique_ptr<Reallocator> realloc;
+    ASSERT_EQ(MakeReallocator(spec, &space, &realloc).ToString(), "Ok")
+        << name;
+    ASSERT_NE(realloc, nullptr) << name;
+    EXPECT_EQ(realloc->name(), name == "oracle" ? "oracle" : realloc->name());
+    const std::uint64_t size = name == "pma" ? 1 : 64;
+    ASSERT_TRUE(realloc->Insert(1, size).ok()) << name;
+    ASSERT_TRUE(realloc->Delete(1).ok()) << name;
+    realloc->Quiesce();
+    EXPECT_EQ(realloc->volume(), 0u) << name;
+  }
+}
+
+TEST(FactoryTest, ReportedNamesMatchSpec) {
+  AddressSpace space;
+  ReallocatorSpec spec;
+  spec.algorithm = "cost-oblivious";
+  std::unique_ptr<Reallocator> realloc;
+  ASSERT_TRUE(MakeReallocator(spec, &space, &realloc).ok());
+  EXPECT_STREQ(realloc->name(), "cost-oblivious");
+}
+
+TEST(FactoryTest, UnknownAlgorithmRejected) {
+  AddressSpace space;
+  ReallocatorSpec spec;
+  spec.algorithm = "quantum";
+  std::unique_ptr<Reallocator> realloc;
+  EXPECT_EQ(MakeReallocator(spec, &space, &realloc).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FactoryTest, ManagerRequirementEnforcedBothWays) {
+  std::unique_ptr<Reallocator> realloc;
+  {
+    AddressSpace bare;
+    ReallocatorSpec spec;
+    spec.algorithm = "checkpointed";
+    EXPECT_EQ(MakeReallocator(spec, &bare, &realloc).code(),
+              StatusCode::kFailedPrecondition);
+  }
+  {
+    CheckpointManager manager;
+    AddressSpace managed(&manager);
+    ReallocatorSpec spec;
+    spec.algorithm = "cost-oblivious";
+    EXPECT_EQ(MakeReallocator(spec, &managed, &realloc).code(),
+              StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(FactoryTest, NeedsManagerPredicate) {
+  EXPECT_TRUE(AlgorithmNeedsCheckpointManager("checkpointed"));
+  EXPECT_TRUE(AlgorithmNeedsCheckpointManager("deamortized"));
+  EXPECT_FALSE(AlgorithmNeedsCheckpointManager("cost-oblivious"));
+  EXPECT_FALSE(AlgorithmNeedsCheckpointManager("first-fit"));
+}
+
+TEST(FactoryTest, SpecParametersApplied) {
+  AddressSpace space;
+  ReallocatorSpec spec;
+  spec.algorithm = "log-compact";
+  spec.threshold = 8.0;
+  std::unique_ptr<Reallocator> realloc;
+  ASSERT_TRUE(MakeReallocator(spec, &space, &realloc).ok());
+  // With threshold 8, a 2x footprint does not trigger compaction.
+  ASSERT_TRUE(realloc->Insert(1, 10).ok());
+  ASSERT_TRUE(realloc->Insert(2, 10).ok());
+  ASSERT_TRUE(realloc->Delete(1).ok());
+  EXPECT_EQ(realloc->reserved_footprint(), 20u);
+}
+
+TEST(FactoryTest, NullArgumentsRejected) {
+  AddressSpace space;
+  std::unique_ptr<Reallocator> realloc;
+  EXPECT_FALSE(MakeReallocator(ReallocatorSpec{}, nullptr, &realloc).ok());
+  EXPECT_FALSE(MakeReallocator(ReallocatorSpec{}, &space, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace cosr

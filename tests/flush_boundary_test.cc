@@ -1,0 +1,129 @@
+// White-box tests of the boundary-class computation (Section 2, "Buffer
+// flush"): b is the maximum value such that all buffered entries in regions
+// >= b and the triggering request belong to classes >= b — a small object
+// parked in a large class's buffer drags the whole suffix into the flush.
+
+#include <gtest/gtest.h>
+
+#include "cosr/common/random.h"
+#include "cosr/core/cost_oblivious_reallocator.h"
+#include "cosr/core/size_class.h"
+#include "cosr/viz/flush_tracer.h"
+
+namespace cosr {
+namespace {
+
+/// Records the boundary class of each flush.
+class BoundaryRecorder : public FlushListener {
+ public:
+  void OnFlushEvent(const FlushEvent& event) override {
+    if (event.stage == FlushEvent::Stage::kBegin) {
+      boundaries.push_back(event.boundary_class);
+    }
+  }
+  std::vector<int> boundaries;
+};
+
+TEST(FlushBoundaryTest, SmallBufferedObjectDragsBoundaryDown) {
+  AddressSpace space;
+  CostObliviousReallocator realloc(&space,
+                                   CostObliviousReallocator::Options{0.5});
+  BoundaryRecorder recorder;
+  realloc.set_flush_listener(&recorder);
+
+  // Class-9 region with a large buffer; a class-1 object parks in it.
+  ASSERT_TRUE(realloc.Insert(1, 400).ok());  // class 9: buffer 200
+  ASSERT_TRUE(realloc.Insert(2, 1).ok());    // class 1 -> class-9 buffer
+  const Region& r9 = realloc.region(SizeClassOf(400));
+  ASSERT_EQ(r9.buffer_entries.size(), 1u);
+  ASSERT_EQ(r9.buffer_entries[0].size_class, 1);
+
+  // Now trigger a flush with a large insert: even though the trigger is
+  // class 9, the buffered class-1 object forces the boundary down to 1.
+  ASSERT_TRUE(realloc.Insert(3, 400).ok());  // exceeds the buffer: flush
+  ASSERT_EQ(recorder.boundaries.size(), 1u);
+  EXPECT_EQ(recorder.boundaries[0], 1);
+}
+
+TEST(FlushBoundaryTest, CleanSuffixKeepsHighBoundary) {
+  AddressSpace space;
+  CostObliviousReallocator realloc(&space,
+                                   CostObliviousReallocator::Options{0.5});
+  BoundaryRecorder recorder;
+  realloc.set_flush_listener(&recorder);
+
+  // Two classes; only same-class objects in the big class's buffer.
+  ASSERT_TRUE(realloc.Insert(1, 400).ok());   // class 9, buffer 200
+  ASSERT_TRUE(realloc.Insert(2, 300).ok());   // class 9, buffered (300 > 200? no)
+  // 300 does not fit the 200-buffer: flush triggered with class-9 trigger
+  // and an empty suffix of buffers.
+  ASSERT_EQ(recorder.boundaries.size(), 1u);
+  EXPECT_EQ(recorder.boundaries[0], SizeClassOf(400));
+}
+
+TEST(FlushBoundaryTest, DummyRecordsCountTowardBoundary) {
+  AddressSpace space;
+  CostObliviousReallocator realloc(&space,
+                                   CostObliviousReallocator::Options{0.5});
+  BoundaryRecorder recorder;
+  realloc.set_flush_listener(&recorder);
+
+  ASSERT_TRUE(realloc.Insert(1, 400).ok());  // class 9
+  ASSERT_TRUE(realloc.Insert(2, 2).ok());    // class 2 in class-9 buffer
+  ASSERT_TRUE(realloc.Delete(2).ok());       // now a class-2 dummy record
+  ASSERT_TRUE(realloc.Insert(3, 400).ok());  // triggers the flush
+  ASSERT_EQ(recorder.boundaries.size(), 1u);
+  // The dummy's class (2) still drags the boundary below the trigger's.
+  EXPECT_EQ(recorder.boundaries[0], 2);
+}
+
+TEST(FlushBoundaryTest, RegionsBelowBoundaryUntouched) {
+  AddressSpace space;
+  CostObliviousReallocator realloc(&space,
+                                   CostObliviousReallocator::Options{0.5});
+  // Build a small class far below a big class.
+  ASSERT_TRUE(realloc.Insert(1, 4).ok());    // class 3
+  ASSERT_TRUE(realloc.Insert(2, 400).ok());  // class 9
+  const Extent small_before = space.extent_of(1);
+  BoundaryRecorder recorder;
+  realloc.set_flush_listener(&recorder);
+  // Flush confined to class 9 (trigger class 9, no small buffered objects).
+  ASSERT_TRUE(realloc.Insert(3, 300).ok());
+  ASSERT_GE(recorder.boundaries.size(), 1u);
+  ASSERT_GE(recorder.boundaries[0], SizeClassOf(300));
+  // The class-3 object never moved.
+  EXPECT_EQ(space.extent_of(1), small_before);
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalLayouts) {
+  // The library is fully deterministic: two replays of the same trace give
+  // byte-identical layouts, move counts, and footprints.
+  auto build = [](AddressSpace& space) {
+    CostObliviousReallocator realloc(&space,
+                                     CostObliviousReallocator::Options{0.25});
+    Rng rng(12345);
+    std::vector<ObjectId> live;
+    ObjectId next = 1;
+    for (int op = 0; op < 2000; ++op) {
+      if (live.empty() || rng.Bernoulli(0.6)) {
+        EXPECT_TRUE(realloc.Insert(next, rng.UniformRange(1, 256)).ok());
+        live.push_back(next++);
+      } else {
+        const std::size_t k = rng.UniformU64(live.size());
+        EXPECT_TRUE(realloc.Delete(live[k]).ok());
+        live[k] = live.back();
+        live.pop_back();
+      }
+    }
+    return realloc.move_count();
+  };
+  AddressSpace a, b;
+  const std::uint64_t moves_a = build(a);
+  const std::uint64_t moves_b = build(b);
+  EXPECT_EQ(moves_a, moves_b);
+  EXPECT_EQ(a.Snapshot(), b.Snapshot());
+  EXPECT_EQ(a.footprint(), b.footprint());
+}
+
+}  // namespace
+}  // namespace cosr

@@ -1,0 +1,184 @@
+// Cross-cutting integration checks: the same trace replayed against every
+// implementation must end with identical live object sets; footprint and
+// cost orderings must reflect each algorithm's design point.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "cosr/alloc/best_fit_allocator.h"
+#include "cosr/alloc/buddy_allocator.h"
+#include "cosr/alloc/first_fit_allocator.h"
+#include "cosr/core/checkpointed_reallocator.h"
+#include "cosr/core/cost_oblivious_reallocator.h"
+#include "cosr/core/deamortized_reallocator.h"
+#include "cosr/cost/cost_battery.h"
+#include "cosr/metrics/run_harness.h"
+#include "cosr/realloc/compacting_oracle.h"
+#include "cosr/realloc/logging_compacting_reallocator.h"
+#include "cosr/realloc/size_class_reallocator.h"
+#include "cosr/storage/checkpoint_manager.h"
+#include "cosr/workload/adversary.h"
+#include "cosr/workload/workload_generator.h"
+
+namespace cosr {
+namespace {
+
+struct Instance {
+  std::string name;
+  std::unique_ptr<CheckpointManager> manager;
+  std::unique_ptr<AddressSpace> space;
+  std::unique_ptr<Reallocator> realloc;
+};
+
+std::vector<Instance> MakeAllImplementations() {
+  std::vector<Instance> all;
+  auto add = [&all](const std::string& name, bool needs_manager,
+                    auto factory) {
+    Instance inst;
+    inst.name = name;
+    if (needs_manager) inst.manager = std::make_unique<CheckpointManager>();
+    inst.space = std::make_unique<AddressSpace>(inst.manager.get());
+    inst.realloc = factory(inst.space.get());
+    all.push_back(std::move(inst));
+  };
+  add("first-fit", false, [](AddressSpace* s) {
+    return std::make_unique<FirstFitAllocator>(s);
+  });
+  add("best-fit", false, [](AddressSpace* s) {
+    return std::make_unique<BestFitAllocator>(s);
+  });
+  add("buddy", false, [](AddressSpace* s) {
+    return std::make_unique<BuddyAllocator>(s);
+  });
+  add("log-compact", false, [](AddressSpace* s) {
+    return std::make_unique<LoggingCompactingReallocator>(s);
+  });
+  add("size-class", false, [](AddressSpace* s) {
+    return std::make_unique<SizeClassReallocator>(s);
+  });
+  add("oracle", false, [](AddressSpace* s) {
+    return std::make_unique<CompactingOracle>(s);
+  });
+  add("cost-oblivious", false, [](AddressSpace* s) {
+    return std::make_unique<CostObliviousReallocator>(s);
+  });
+  add("checkpointed", true, [](AddressSpace* s) {
+    return std::make_unique<CheckpointedReallocator>(s);
+  });
+  add("deamortized", true, [](AddressSpace* s) {
+    return std::make_unique<DeamortizedReallocator>(s);
+  });
+  return all;
+}
+
+TEST(IntegrationTest, AllImplementationsAgreeOnLiveSet) {
+  Trace trace = MakeChurnTrace({.operations = 1500,
+                                .target_live_volume = 1 << 13,
+                                .max_size = 200,
+                                .seed = 99});
+  CostBattery battery = MakeDefaultBattery();
+
+  std::map<ObjectId, std::uint64_t> expected;  // live id -> size
+  {
+    std::map<ObjectId, std::uint64_t> live;
+    for (const Request& r : trace.requests()) {
+      if (r.type == Request::Type::kInsert) {
+        live[r.id] = r.size;
+      } else {
+        live.erase(r.id);
+      }
+    }
+    expected = live;
+  }
+
+  for (Instance& inst : MakeAllImplementations()) {
+    RunReport report =
+        RunTrace(*inst.realloc, *inst.space, trace, battery);
+    EXPECT_EQ(inst.space->object_count(), expected.size()) << inst.name;
+    for (const auto& [id, size] : expected) {
+      ASSERT_TRUE(inst.space->contains(id)) << inst.name << " lost " << id;
+      EXPECT_EQ(inst.space->extent_of(id).length, size) << inst.name;
+    }
+    EXPECT_EQ(inst.realloc->volume(), inst.space->live_volume())
+        << inst.name;
+    EXPECT_GE(report.max_footprint_ratio, 1.0) << inst.name;
+  }
+}
+
+TEST(IntegrationTest, ReallocatorsBeatNoMoveAllocatorsOnFragmentation) {
+  // The motivating claim of the paper's introduction: after adversarial
+  // fragmentation, moving allocators recover the footprint while no-move
+  // allocators stay pinned near the peak.
+  Trace trace = MakeFragmentationTrace(/*pairs=*/200, /*small_size=*/1,
+                                       /*large_size=*/127);
+  CostBattery battery = MakeDefaultBattery();
+  std::map<std::string, double> final_ratio;
+  for (Instance& inst : MakeAllImplementations()) {
+    RunOptions options;
+    options.min_volume_for_ratio = 1;
+    RunReport report =
+        RunTrace(*inst.realloc, *inst.space, trace, battery, options);
+    final_ratio[inst.name] = report.final_footprint_ratio;
+  }
+  // No-move allocators: live volume is 200, footprint stays ~200*128.
+  EXPECT_GE(final_ratio["first-fit"], 20.0);
+  EXPECT_GE(final_ratio["best-fit"], 20.0);
+  // Reallocators recover to a small constant.
+  EXPECT_LE(final_ratio["cost-oblivious"], 3.0);
+  EXPECT_LE(final_ratio["checkpointed"], 3.0);
+  EXPECT_LE(final_ratio["log-compact"], 3.0);
+  EXPECT_LE(final_ratio["size-class"], 4.0);
+  EXPECT_DOUBLE_EQ(final_ratio["oracle"], 1.0);
+}
+
+TEST(IntegrationTest, CostObliviousnessAcrossBattery) {
+  // One execution, many cost models: the oblivious algorithm's realloc
+  // ratio stays within the same O((1/eps) log(1/eps)) envelope for every
+  // subadditive f, unlike the specialists which favor one extreme.
+  Trace trace = MakeChurnTrace({.operations = 4000,
+                                .target_live_volume = 1 << 14,
+                                .max_size = 512,
+                                .seed = 123});
+  CostBattery battery = MakeDefaultBattery();
+  AddressSpace space;
+  CostObliviousReallocator realloc(
+      &space, CostObliviousReallocator::Options{0.25});
+  RunReport report = RunTrace(realloc, space, trace, battery);
+  for (const FunctionReport& fn : report.functions) {
+    // (1/0.25) * log2(1/0.25) = 8; allow constant slack.
+    EXPECT_LE(fn.realloc_ratio, 8.0 * 4.0) << fn.name;
+  }
+}
+
+TEST(IntegrationTest, DeamortizedMatchesAmortizedOutcome) {
+  Trace trace = MakeChurnTrace({.operations = 2000,
+                                .target_live_volume = 1 << 13,
+                                .max_size = 200,
+                                .seed = 5});
+  CostBattery battery = MakeDefaultBattery();
+
+  AddressSpace amortized_space;
+  CostObliviousReallocator amortized(&amortized_space);
+  RunReport amortized_report =
+      RunTrace(amortized, amortized_space, trace, battery);
+
+  CheckpointManager manager;
+  AddressSpace deamortized_space(&manager);
+  DeamortizedReallocator deamortized(&deamortized_space);
+  RunReport deamortized_report =
+      RunTrace(deamortized, deamortized_space, trace, battery);
+
+  // Same live set; both within the same big-O cost envelope.
+  EXPECT_EQ(amortized_space.object_count(),
+            deamortized_space.object_count());
+  const double amortized_linear =
+      amortized_report.function("linear")->realloc_ratio;
+  const double deamortized_linear =
+      deamortized_report.function("linear")->realloc_ratio;
+  EXPECT_LE(deamortized_linear, 8.0 * amortized_linear + 8.0);
+}
+
+}  // namespace
+}  // namespace cosr

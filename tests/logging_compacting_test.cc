@@ -1,0 +1,123 @@
+#include "cosr/realloc/logging_compacting_reallocator.h"
+
+#include <gtest/gtest.h>
+
+#include "cosr/cost/cost_battery.h"
+#include "cosr/metrics/run_harness.h"
+#include "cosr/workload/adversary.h"
+#include "cosr/workload/workload_generator.h"
+
+namespace cosr {
+namespace {
+
+TEST(LoggingCompactingTest, AppendsLeftToRight) {
+  AddressSpace space;
+  LoggingCompactingReallocator realloc(&space);
+  ASSERT_TRUE(realloc.Insert(1, 10).ok());
+  ASSERT_TRUE(realloc.Insert(2, 20).ok());
+  EXPECT_EQ(space.extent_of(1).offset, 0u);
+  EXPECT_EQ(space.extent_of(2).offset, 10u);
+}
+
+TEST(LoggingCompactingTest, DeleteLeavesHoleUntilThreshold) {
+  AddressSpace space;
+  LoggingCompactingReallocator realloc(&space);
+  ASSERT_TRUE(realloc.Insert(1, 10).ok());
+  ASSERT_TRUE(realloc.Insert(2, 10).ok());
+  ASSERT_TRUE(realloc.Insert(3, 10).ok());
+  ASSERT_TRUE(realloc.Delete(1).ok());
+  // footprint 30, volume 20: below 2x, no compaction yet.
+  EXPECT_EQ(realloc.compaction_count(), 0u);
+  EXPECT_EQ(space.extent_of(3).offset, 20u);
+  ASSERT_TRUE(realloc.Delete(2).ok());
+  // footprint 30, volume 10: exceeds 2x, compaction fires.
+  EXPECT_EQ(realloc.compaction_count(), 1u);
+  EXPECT_EQ(space.extent_of(3).offset, 0u);
+  EXPECT_EQ(realloc.reserved_footprint(), 10u);
+}
+
+TEST(LoggingCompactingTest, FootprintNeverExceedsTwiceVolumePlusInsert) {
+  AddressSpace space;
+  LoggingCompactingReallocator realloc(&space);
+  Trace trace = MakeChurnTrace({.operations = 4000,
+                                .target_live_volume = 1 << 14,
+                                .max_size = 512,
+                                .seed = 5});
+  CostBattery battery = MakeDefaultBattery();
+  RunOptions options;
+  options.min_volume_for_ratio = 2048;
+  RunReport report = RunTrace(realloc, space, trace, battery, options);
+  // The strategy is 2-competitive on footprint (modulo one in-flight op).
+  EXPECT_LE(report.max_footprint_ratio, 2.2);
+}
+
+TEST(LoggingCompactingTest, LinearCostRatioIsConstant) {
+  // (2,2)-competitive for linear f: the deleted volume pays for compaction.
+  AddressSpace space;
+  LoggingCompactingReallocator realloc(&space);
+  Trace trace = MakeChurnTrace({.operations = 4000,
+                                .target_live_volume = 1 << 14,
+                                .max_size = 512,
+                                .seed = 6});
+  CostBattery battery = MakeDefaultBattery();
+  RunReport report = RunTrace(realloc, space, trace, battery);
+  const FunctionReport* linear = report.function("linear");
+  ASSERT_NE(linear, nullptr);
+  EXPECT_LE(linear->cost_ratio, 3.0);  // 1 (alloc) + 2 (realloc bound)
+}
+
+TEST(LoggingCompactingTest, ConstantCostDeletionsPayThetaDelta) {
+  // The Section 2 intuition: a size-∆ deletion forces a compaction that
+  // moves ∆ unit objects, so with f(w)=1 that single deletion costs Θ(∆).
+  const std::uint64_t delta = 256;
+  AddressSpace space;
+  LoggingCompactingReallocator realloc(&space);
+  Trace trace = MakeLoggingKillerTrace(delta, /*rounds=*/20);
+  CostBattery battery = MakeDefaultBattery();
+  RunReport report = RunTrace(realloc, space, trace, battery);
+  const FunctionReport* constant = report.function("constant");
+  ASSERT_NE(constant, nullptr);
+  EXPECT_GE(constant->max_op_cost, static_cast<double>(delta) * 0.9);
+  EXPECT_GT(report.flushes + realloc.compaction_count(), 10u);
+}
+
+TEST(LoggingCompactingTest, PerDeletionConstantCostScalesWithDelta) {
+  CostBattery battery = MakeDefaultBattery();
+  double previous = 0;
+  for (const std::uint64_t delta : {64u, 128u, 256u}) {
+    AddressSpace space;
+    LoggingCompactingReallocator realloc(&space);
+    Trace trace = MakeLoggingKillerTrace(delta, /*rounds=*/10);
+    RunReport report = RunTrace(realloc, space, trace, battery);
+    const double worst = report.function("constant")->max_op_cost;
+    EXPECT_GE(worst, static_cast<double>(delta) * 0.9);
+    EXPECT_GT(worst, previous);
+    previous = worst;
+  }
+}
+
+TEST(LoggingCompactingTest, ErrorCases) {
+  AddressSpace space;
+  LoggingCompactingReallocator realloc(&space);
+  EXPECT_EQ(realloc.Insert(1, 0).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(realloc.Insert(1, 4).ok());
+  EXPECT_EQ(realloc.Insert(1, 4).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(realloc.Delete(2).code(), StatusCode::kNotFound);
+}
+
+TEST(LoggingCompactingTest, CustomThreshold) {
+  AddressSpace space;
+  LoggingCompactingReallocator::Options options;
+  options.threshold = 4.0;
+  LoggingCompactingReallocator realloc(&space, options);
+  ASSERT_TRUE(realloc.Insert(1, 10).ok());
+  ASSERT_TRUE(realloc.Insert(2, 10).ok());
+  ASSERT_TRUE(realloc.Insert(3, 10).ok());
+  ASSERT_TRUE(realloc.Delete(1).ok());
+  ASSERT_TRUE(realloc.Delete(2).ok());
+  // footprint 30 vs volume 10 = 3x: below the 4x threshold.
+  EXPECT_EQ(realloc.compaction_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cosr

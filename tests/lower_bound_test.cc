@@ -1,0 +1,122 @@
+// Lemma 3.7: for any reallocation algorithm maintaining a (1 + 1/2)V
+// footprint, the sequence (insert ∆; insert ∆ ones; delete ∆) forces a
+// reallocation cost of Ω(f(∆)) on some update — either the big object moves
+// (cost >= f(∆)) or deleting it forces Ω(∆) small objects to move (cost
+// >= Ω(∆ f(1)) ⊇ Ω(f(∆)) for subadditive f). We verify the dichotomy
+// empirically for every implemented reallocator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cosr/core/checkpointed_reallocator.h"
+#include "cosr/core/cost_oblivious_reallocator.h"
+#include "cosr/core/deamortized_reallocator.h"
+#include "cosr/cost/cost_battery.h"
+#include "cosr/metrics/run_harness.h"
+#include "cosr/realloc/compacting_oracle.h"
+#include "cosr/realloc/logging_compacting_reallocator.h"
+#include "cosr/storage/checkpoint_manager.h"
+#include "cosr/workload/adversary.h"
+
+namespace cosr {
+namespace {
+
+struct Rig {
+  std::unique_ptr<CheckpointManager> manager;
+  std::unique_ptr<AddressSpace> space;
+  std::unique_ptr<Reallocator> realloc;
+};
+
+Rig MakeSetup(const std::string& which) {
+  Rig s;
+  if (which == "checkpointed" || which == "deamortized") {
+    s.manager = std::make_unique<CheckpointManager>();
+    s.space = std::make_unique<AddressSpace>(s.manager.get());
+  } else {
+    s.space = std::make_unique<AddressSpace>();
+  }
+  if (which == "cost-oblivious") {
+    s.realloc = std::make_unique<CostObliviousReallocator>(s.space.get());
+  } else if (which == "checkpointed") {
+    s.realloc = std::make_unique<CheckpointedReallocator>(s.space.get());
+  } else if (which == "deamortized") {
+    s.realloc = std::make_unique<DeamortizedReallocator>(s.space.get());
+  } else if (which == "log-compact") {
+    LoggingCompactingReallocator::Options options;
+    options.threshold = 1.5;  // the lemma's (1 + 1/2) footprint regime
+    s.realloc = std::make_unique<LoggingCompactingReallocator>(s.space.get(),
+                                                               options);
+  } else {
+    s.realloc = std::make_unique<CompactingOracle>(s.space.get());
+  }
+  return s;
+}
+
+class LowerBoundTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LowerBoundTest, SomeUpdateCostsOrderFOfDelta) {
+  const std::uint64_t delta = 512;
+  Rig s = MakeSetup(GetParam());
+  Trace trace = MakeLowerBoundTrace(delta);
+  CostBattery battery = MakeDefaultBattery();
+  RunReport report = RunTrace(*s.realloc, *s.space, trace, battery);
+
+  // Footprint sanity: the algorithms under test do maintain a constant-
+  // factor footprint (the premise of the lemma).
+  EXPECT_LE(report.final_footprint_ratio, 2.6) << report.algorithm;
+
+  // Linear f: some update wrote Ω(∆) volume beyond its own allocation.
+  const FunctionReport* linear = report.function("linear");
+  ASSERT_NE(linear, nullptr);
+  EXPECT_GE(linear->max_op_cost, static_cast<double>(delta) / 4.0)
+      << report.algorithm;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllReallocators, LowerBoundTest,
+                         ::testing::Values("cost-oblivious", "checkpointed",
+                                           "log-compact", "oracle"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(LowerBoundScalingTest, MaxOpCostScalesWithDelta) {
+  // As ∆ doubles, the worst single-update linear cost on the adversary
+  // doubles too (it is Θ(∆)).
+  CostBattery battery = MakeDefaultBattery();
+  double previous = 0;
+  for (const std::uint64_t delta : {128u, 256u, 512u, 1024u}) {
+    AddressSpace space;
+    CostObliviousReallocator realloc(&space);
+    Trace trace = MakeLowerBoundTrace(delta);
+    RunReport report = RunTrace(realloc, space, trace, battery);
+    const double worst = report.function("linear")->max_op_cost;
+    EXPECT_GE(worst, static_cast<double>(delta) / 4.0);
+    if (previous > 0) {
+      EXPECT_GT(worst, previous);
+    }
+    previous = worst;
+  }
+}
+
+TEST(LowerBoundScalingTest, DeamortizedSpreadsButStillPaysFDelta) {
+  // The deamortized variant bounds each op by O((1/eps) w f(1) + f(∆)) —
+  // the f(∆) term is unavoidable (Lemma 3.7), and the big-object insert
+  // itself costs f(∆).
+  const std::uint64_t delta = 512;
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  DeamortizedReallocator realloc(&space);
+  Trace trace = MakeLowerBoundTrace(delta);
+  CostBattery battery = MakeDefaultBattery();
+  RunReport report = RunTrace(realloc, space, trace, battery);
+  const FunctionReport* linear = report.function("linear");
+  EXPECT_GE(linear->max_op_cost, static_cast<double>(delta));
+}
+
+}  // namespace
+}  // namespace cosr

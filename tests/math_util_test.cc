@@ -1,0 +1,60 @@
+#include "cosr/common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cosr {
+namespace {
+
+TEST(MathUtilTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(std::uint64_t{1} << 63), 63);
+}
+
+TEST(MathUtilTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(std::uint64_t{1} << 40));
+  EXPECT_FALSE(IsPowerOfTwo((std::uint64_t{1} << 40) + 1));
+}
+
+TEST(MathUtilTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+TEST(MathUtilTest, FloorScale) {
+  EXPECT_EQ(FloorScale(0.25, 100), 25u);
+  EXPECT_EQ(FloorScale(0.25, 3), 0u);
+  EXPECT_EQ(FloorScale(0.5, 7), 3u);
+  EXPECT_EQ(FloorScale(1.0, 42), 42u);
+  EXPECT_EQ(FloorScale(0.1, 0), 0u);
+}
+
+TEST(MathUtilTest, FloorScaleNeverExceedsProduct) {
+  for (std::uint64_t x = 1; x < 1000; x += 7) {
+    const std::uint64_t scaled = FloorScale(0.3, x);
+    EXPECT_LE(static_cast<double>(scaled), 0.3 * static_cast<double>(x));
+    EXPECT_GT(static_cast<double>(scaled) + 1.0,
+              0.3 * static_cast<double>(x));
+  }
+}
+
+}  // namespace
+}  // namespace cosr

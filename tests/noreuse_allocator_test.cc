@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "cosr/alloc/best_fit_allocator.h"
+#include "cosr/alloc/first_fit_allocator.h"
+#include "cosr/storage/address_space.h"
+
+namespace cosr {
+namespace {
+
+TEST(FirstFitTest, AllocatesLeftToRight) {
+  AddressSpace space;
+  FirstFitAllocator alloc(&space);
+  ASSERT_TRUE(alloc.Insert(1, 10).ok());
+  ASSERT_TRUE(alloc.Insert(2, 20).ok());
+  EXPECT_EQ(space.extent_of(1).offset, 0u);
+  EXPECT_EQ(space.extent_of(2).offset, 10u);
+  EXPECT_EQ(alloc.reserved_footprint(), 30u);
+}
+
+TEST(FirstFitTest, ReusesFirstAdequateHole) {
+  AddressSpace space;
+  FirstFitAllocator alloc(&space);
+  ASSERT_TRUE(alloc.Insert(1, 10).ok());
+  ASSERT_TRUE(alloc.Insert(2, 30).ok());
+  ASSERT_TRUE(alloc.Insert(3, 10).ok());
+  ASSERT_TRUE(alloc.Delete(2).ok());
+  ASSERT_TRUE(alloc.Insert(4, 20).ok());
+  EXPECT_EQ(space.extent_of(4).offset, 10u);  // first (and only) hole
+  EXPECT_EQ(alloc.reserved_footprint(), 50u);
+}
+
+TEST(FirstFitTest, ObjectsNeverMove) {
+  AddressSpace space;
+  FirstFitAllocator alloc(&space);
+  ASSERT_TRUE(alloc.Insert(1, 10).ok());
+  const Extent before = space.extent_of(1);
+  for (ObjectId id = 2; id < 20; ++id) {
+    ASSERT_TRUE(alloc.Insert(id, 8).ok());
+  }
+  for (ObjectId id = 2; id < 20; id += 2) {
+    ASSERT_TRUE(alloc.Delete(id).ok());
+  }
+  EXPECT_EQ(space.extent_of(1), before);
+}
+
+TEST(FirstFitTest, ErrorCases) {
+  AddressSpace space;
+  FirstFitAllocator alloc(&space);
+  EXPECT_EQ(alloc.Insert(1, 0).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(alloc.Insert(1, 10).ok());
+  EXPECT_EQ(alloc.Insert(1, 10).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(alloc.Delete(99).code(), StatusCode::kNotFound);
+}
+
+TEST(BestFitTest, PrefersTightestHole) {
+  AddressSpace space;
+  BestFitAllocator alloc(&space);
+  ASSERT_TRUE(alloc.Insert(1, 30).ok());
+  ASSERT_TRUE(alloc.Insert(2, 1).ok());
+  ASSERT_TRUE(alloc.Insert(3, 10).ok());
+  ASSERT_TRUE(alloc.Insert(4, 1).ok());
+  ASSERT_TRUE(alloc.Delete(1).ok());  // 30-wide hole at 0
+  ASSERT_TRUE(alloc.Delete(3).ok());  // 10-wide hole at 31
+  ASSERT_TRUE(alloc.Insert(5, 10).ok());
+  EXPECT_EQ(space.extent_of(5).offset, 31u);  // tightest fit
+}
+
+TEST(BestFitTest, FragmentationPinsFootprint) {
+  // Alternate small/large, delete the large ones: the smalls pin the
+  // footprint near its peak — the regime motivating reallocation.
+  AddressSpace space;
+  BestFitAllocator alloc(&space);
+  ObjectId id = 1;
+  std::vector<ObjectId> larges;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(alloc.Insert(id++, 1).ok());
+    larges.push_back(id);
+    ASSERT_TRUE(alloc.Insert(id++, 100).ok());
+  }
+  const std::uint64_t peak = alloc.reserved_footprint();
+  for (ObjectId big : larges) ASSERT_TRUE(alloc.Delete(big).ok());
+  // Live volume collapsed to 50 but the footprint stays near the peak.
+  EXPECT_EQ(alloc.volume(), 50u);
+  EXPECT_GT(alloc.reserved_footprint(), peak / 2);
+}
+
+TEST(BestFitTest, ErrorCases) {
+  AddressSpace space;
+  BestFitAllocator alloc(&space);
+  EXPECT_EQ(alloc.Insert(1, 0).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(alloc.Insert(1, 10).ok());
+  EXPECT_EQ(alloc.Insert(1, 5).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(alloc.Delete(2).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cosr

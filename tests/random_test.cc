@@ -1,0 +1,111 @@
+#include "cosr/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cosr {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeIsInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.UniformRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformRangeSingleton) {
+  Rng rng(11);
+  EXPECT_EQ(rng.UniformRange(42, 42), 42u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversBuckets) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.UniformU64(10)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);  // expectation 1000 per bucket
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(23);
+  ZipfDistribution zipf(100, 1.1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = zipf.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfTest, RankOneIsMostPopular) {
+  Rng rng(29);
+  ZipfDistribution zipf(50, 1.2);
+  std::vector<int> counts(51, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(ZipfTest, SingletonDomain) {
+  Rng rng(31);
+  ZipfDistribution zipf(1, 1.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace cosr

@@ -1,0 +1,62 @@
+#include "cosr/storage/simulated_disk.h"
+
+#include <gtest/gtest.h>
+
+namespace cosr {
+namespace {
+
+TEST(SimulatedDiskTest, PatternIsDeterministicPerObject) {
+  EXPECT_EQ(SimulatedDisk::PatternByte(1, 0), SimulatedDisk::PatternByte(1, 0));
+  // Different objects almost surely differ at offset 0.
+  EXPECT_NE(SimulatedDisk::PatternByte(1, 0), SimulatedDisk::PatternByte(2, 0));
+}
+
+TEST(SimulatedDiskTest, PlaceFillsPattern) {
+  AddressSpace space;
+  SimulatedDisk disk;
+  space.AddListener(&disk);
+  space.Place(7, Extent{10, 20});
+  EXPECT_TRUE(disk.VerifyObject(7, Extent{10, 20}));
+  EXPECT_EQ(disk.ByteAt(10), SimulatedDisk::PatternByte(7, 0));
+  EXPECT_EQ(disk.ByteAt(29), SimulatedDisk::PatternByte(7, 19));
+}
+
+TEST(SimulatedDiskTest, MoveCopiesBytes) {
+  AddressSpace space;
+  SimulatedDisk disk;
+  space.AddListener(&disk);
+  space.Place(7, Extent{0, 16});
+  space.Move(7, Extent{100, 16});
+  EXPECT_TRUE(disk.VerifyObject(7, Extent{100, 16}));
+  // The old copy is still intact (nothing overwrote it).
+  EXPECT_TRUE(disk.VerifyObject(7, Extent{0, 16}));
+  EXPECT_EQ(disk.bytes_copied(), 16u);
+}
+
+TEST(SimulatedDiskTest, SelfOverlappingMoveIsMemmove) {
+  AddressSpace space;
+  SimulatedDisk disk;
+  space.AddListener(&disk);
+  space.Place(3, Extent{8, 16});
+  space.Move(3, Extent{4, 16});  // shift left by less than the size
+  EXPECT_TRUE(disk.VerifyObject(3, Extent{4, 16}));
+}
+
+TEST(SimulatedDiskTest, OverwriteDetected) {
+  AddressSpace space;
+  SimulatedDisk disk;
+  space.AddListener(&disk);
+  space.Place(1, Extent{0, 16});
+  space.Remove(1);
+  space.Place(2, Extent{8, 16});  // clobbers the second half of object 1
+  EXPECT_FALSE(disk.VerifyObject(1, Extent{0, 16}));
+  EXPECT_TRUE(disk.VerifyObject(2, Extent{8, 16}));
+}
+
+TEST(SimulatedDiskTest, VerifyBeyondDiskFails) {
+  SimulatedDisk disk;
+  EXPECT_FALSE(disk.VerifyObject(1, Extent{1000, 10}));
+}
+
+}  // namespace
+}  // namespace cosr

@@ -1,0 +1,188 @@
+#include "cosr/realloc/size_class_reallocator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cosr/common/random.h"
+#include "cosr/cost/cost_battery.h"
+#include "cosr/metrics/cost_meter.h"
+#include "cosr/metrics/run_harness.h"
+#include "cosr/storage/address_space.h"
+#include "cosr/workload/adversary.h"
+#include "cosr/workload/workload_generator.h"
+
+namespace cosr {
+namespace {
+
+TEST(SizeClassReallocTest, BasicInsertDelete) {
+  AddressSpace space;
+  SizeClassReallocator realloc(&space);
+  ASSERT_TRUE(realloc.Insert(1, 4).ok());
+  ASSERT_TRUE(realloc.Insert(2, 4).ok());
+  ASSERT_TRUE(realloc.Insert(3, 16).ok());
+  EXPECT_TRUE(realloc.SelfCheck());
+  ASSERT_TRUE(realloc.Delete(2).ok());
+  EXPECT_TRUE(realloc.SelfCheck());
+  EXPECT_EQ(realloc.volume(), 20u);
+}
+
+TEST(SizeClassReallocTest, ClassesAscendLeftToRight) {
+  AddressSpace space;
+  SizeClassReallocator realloc(&space);
+  ASSERT_TRUE(realloc.Insert(1, 1).ok());
+  ASSERT_TRUE(realloc.Insert(2, 2).ok());
+  ASSERT_TRUE(realloc.Insert(3, 4).ok());
+  EXPECT_LT(space.extent_of(1).offset, space.extent_of(2).offset);
+  EXPECT_LT(space.extent_of(2).offset, space.extent_of(3).offset);
+}
+
+TEST(SizeClassReallocTest, GapReusedBeforeDisplacement) {
+  AddressSpace space;
+  SizeClassReallocator realloc(&space);
+  ASSERT_TRUE(realloc.Insert(1, 4).ok());
+  ASSERT_TRUE(realloc.Insert(2, 4).ok());
+  ASSERT_TRUE(realloc.Insert(3, 32).ok());  // a larger class above
+  ASSERT_TRUE(realloc.Delete(1).ok());  // leaves a gap slot for class-4s
+  const std::uint64_t footprint = realloc.reserved_footprint();
+  ASSERT_TRUE(realloc.Insert(4, 4).ok());  // fills the gap: no growth
+  EXPECT_EQ(realloc.reserved_footprint(), footprint);
+  EXPECT_TRUE(realloc.SelfCheck());
+}
+
+TEST(SizeClassReallocTest, TrailingFreeSlotShrinksFootprint) {
+  // A freed slot at the very end of the structure is dropped rather than
+  // kept as a gap, so the footprint shrinks.
+  AddressSpace space;
+  SizeClassReallocator realloc(&space);
+  ASSERT_TRUE(realloc.Insert(1, 4).ok());
+  ASSERT_TRUE(realloc.Insert(2, 4).ok());
+  EXPECT_EQ(realloc.reserved_footprint(), 8u);
+  ASSERT_TRUE(realloc.Delete(2).ok());
+  EXPECT_EQ(realloc.reserved_footprint(), 4u);
+  EXPECT_TRUE(realloc.SelfCheck());
+}
+
+TEST(SizeClassReallocTest, InsertIntoFullPyramidCascades) {
+  // One object per class, no gaps: a unit insert displaces through every
+  // class (the geometric-series case from the paper's intuition).
+  AddressSpace space;
+  SizeClassReallocator realloc(&space);
+  for (int k = 0; k <= 6; ++k) {
+    ASSERT_TRUE(realloc.Insert(100 + k, std::uint64_t{1} << k).ok());
+  }
+  CostBattery battery = MakeDefaultBattery();
+  CostMeter meter(&battery);
+  space.AddListener(&meter);
+  ASSERT_TRUE(realloc.Insert(1, 1).ok());
+  EXPECT_TRUE(realloc.SelfCheck());
+  // Every class above 1 had its first object displaced: 6 moves.
+  EXPECT_EQ(meter.moves(), 6u);
+  // Moved volume 2+4+...+64 = 126.
+  EXPECT_EQ(meter.bytes_moved(), 126u);
+  space.RemoveListener(&meter);
+}
+
+TEST(SizeClassReallocTest, DeleteCascadesGapMerges) {
+  AddressSpace space;
+  SizeClassReallocator realloc(&space);
+  for (int k = 0; k <= 6; ++k) {
+    ASSERT_TRUE(realloc.Insert(100 + k, std::uint64_t{1} << k).ok());
+  }
+  ASSERT_TRUE(realloc.Insert(1, 1).ok());  // cascades, leaves gaps
+  CostBattery battery = MakeDefaultBattery();
+  CostMeter meter(&battery);
+  space.AddListener(&meter);
+  ASSERT_TRUE(realloc.Delete(1).ok());  // gap merges cascade back up
+  EXPECT_TRUE(realloc.SelfCheck());
+  EXPECT_GE(meter.moves(), 5u);
+  space.RemoveListener(&meter);
+}
+
+TEST(SizeClassReallocTest, FootprintWithinConstantOfVolume) {
+  AddressSpace space;
+  SizeClassReallocator realloc(&space);
+  Trace trace = MakeChurnTrace({.operations = 3000,
+                                .target_live_volume = 1 << 14,
+                                .max_size = 256,
+                                .seed = 7});
+  CostBattery battery = MakeDefaultBattery();
+  RunOptions options;
+  options.min_volume_for_ratio = 4096;
+  RunReport report = RunTrace(realloc, space, trace, battery, options);
+  // Rounding to powers of two doubles the volume at worst; gaps add at
+  // most one slot per class. Expect a small-constant footprint ratio.
+  EXPECT_LE(report.max_footprint_ratio, 3.0);
+}
+
+TEST(SizeClassReallocTest, SelfCheckUnderRandomChurn) {
+  AddressSpace space;
+  SizeClassReallocator realloc(&space);
+  Rng rng(11);
+  std::vector<std::pair<ObjectId, std::uint64_t>> live;
+  ObjectId next = 1;
+  for (int op = 0; op < 3000; ++op) {
+    if (live.empty() || rng.Bernoulli(0.55)) {
+      const std::uint64_t size = rng.UniformRange(1, 300);
+      ASSERT_TRUE(realloc.Insert(next, size).ok());
+      live.emplace_back(next++, size);
+    } else {
+      const std::size_t k = rng.UniformU64(live.size());
+      ASSERT_TRUE(realloc.Delete(live[k].first).ok());
+      live[k] = live.back();
+      live.pop_back();
+    }
+    if (op % 50 == 0) {
+      ASSERT_TRUE(realloc.SelfCheck()) << "op " << op;
+      ASSERT_TRUE(space.SelfCheck());
+    }
+  }
+  ASSERT_TRUE(realloc.SelfCheck());
+}
+
+TEST(SizeClassReallocTest, CascadeTraceCheapForConstantCostlyForLinear) {
+  // The specialist is built for f(w)=1: O(1) moves per op. Under f(w)=w the
+  // same ops move geometrically-sized objects (Θ(∆) volume per round).
+  AddressSpace space;
+  SizeClassReallocator realloc(&space);
+  Trace trace = MakeSizeClassCascadeTrace(/*max_order=*/8, /*rounds=*/100);
+  CostBattery battery = MakeDefaultBattery();
+  RunReport report = RunTrace(realloc, space, trace, battery);
+  const FunctionReport* constant = report.function("constant");
+  const FunctionReport* linear = report.function("linear");
+  ASSERT_NE(constant, nullptr);
+  ASSERT_NE(linear, nullptr);
+  // Constant cost: at most ~2*max_order moves per round (one cascade up,
+  // one cascade of gap merges back) — grows only with log ∆.
+  EXPECT_LE(constant->cost_ratio, 3.0 * 8);
+  // Linear cost: each round moves ~2*2^max_order volume against ~1 volume
+  // allocated — the ratio reflects Θ(∆), far above the constant-f ratio.
+  EXPECT_GE(linear->cost_ratio, 20.0);
+  EXPECT_GT(linear->cost_ratio, 2.0 * constant->cost_ratio);
+}
+
+TEST(SizeClassReallocTest, ErrorCases) {
+  AddressSpace space;
+  SizeClassReallocator realloc(&space);
+  EXPECT_EQ(realloc.Insert(1, 0).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(realloc.Insert(1, 4).ok());
+  EXPECT_EQ(realloc.Insert(1, 4).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(realloc.Delete(2).code(), StatusCode::kNotFound);
+}
+
+TEST(SizeClassReallocTest, DrainToEmpty) {
+  AddressSpace space;
+  SizeClassReallocator realloc(&space);
+  for (ObjectId id = 1; id <= 20; ++id) {
+    ASSERT_TRUE(realloc.Insert(id, id * 3).ok());
+  }
+  for (ObjectId id = 1; id <= 20; ++id) {
+    ASSERT_TRUE(realloc.Delete(id).ok());
+    ASSERT_TRUE(realloc.SelfCheck());
+  }
+  EXPECT_EQ(realloc.volume(), 0u);
+  EXPECT_EQ(space.object_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cosr

@@ -1,0 +1,38 @@
+#include "cosr/core/size_class.h"
+
+#include <gtest/gtest.h>
+
+namespace cosr {
+namespace {
+
+TEST(SizeClassTest, ClassBoundaries) {
+  // Class i holds 2^(i-1) <= w < 2^i.
+  EXPECT_EQ(SizeClassOf(1), 1);
+  EXPECT_EQ(SizeClassOf(2), 2);
+  EXPECT_EQ(SizeClassOf(3), 2);
+  EXPECT_EQ(SizeClassOf(4), 3);
+  EXPECT_EQ(SizeClassOf(7), 3);
+  EXPECT_EQ(SizeClassOf(8), 4);
+  EXPECT_EQ(SizeClassOf(1023), 10);
+  EXPECT_EQ(SizeClassOf(1024), 11);
+}
+
+TEST(SizeClassTest, MinMaxConsistent) {
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_EQ(SizeClassOf(ClassMinSize(i)), i);
+    EXPECT_EQ(SizeClassOf(ClassMaxSize(i)), i);
+    if (i > 1) {
+      EXPECT_EQ(ClassMaxSize(i - 1) + 1, ClassMinSize(i));
+    }
+  }
+}
+
+TEST(SizeClassTest, ClassCountMatchesPaper) {
+  // floor(log2 delta) + 1 classes for delta.
+  EXPECT_EQ(SizeClassOf(1), 1);
+  const std::uint64_t delta = 1 << 16;
+  EXPECT_EQ(SizeClassOf(delta), 17);  // floor(log2 2^16) + 1
+}
+
+}  // namespace
+}  // namespace cosr

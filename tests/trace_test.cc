@@ -1,0 +1,89 @@
+#include "cosr/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace cosr {
+namespace {
+
+TEST(TraceTest, SerializeParseRoundTrip) {
+  Trace trace;
+  trace.AddInsert(1, 100);
+  trace.AddInsert(2, 50);
+  trace.AddDelete(1);
+  trace.AddInsert(3, 7);
+  const std::string text = trace.Serialize();
+  Trace parsed;
+  ASSERT_TRUE(Trace::Parse(text, &parsed).ok());
+  EXPECT_EQ(parsed.requests(), trace.requests());
+}
+
+TEST(TraceTest, SerializeFormat) {
+  Trace trace;
+  trace.AddInsert(5, 42);
+  trace.AddDelete(5);
+  EXPECT_EQ(trace.Serialize(), "I 5 42\nD 5\n");
+}
+
+TEST(TraceTest, ParseRejectsGarbage) {
+  Trace parsed;
+  EXPECT_FALSE(Trace::Parse("X 1 2\n", &parsed).ok());
+  EXPECT_FALSE(Trace::Parse("I 1\n", &parsed).ok());
+  EXPECT_FALSE(Trace::Parse("D\n", &parsed).ok());
+}
+
+TEST(TraceTest, ParseSkipsEmptyLines) {
+  Trace parsed;
+  ASSERT_TRUE(Trace::Parse("I 1 10\n\nD 1\n", &parsed).ok());
+  EXPECT_EQ(parsed.size(), 2u);
+}
+
+TEST(TraceTest, ValidateCatchesDuplicateInsert) {
+  Trace trace;
+  trace.AddInsert(1, 10);
+  trace.AddInsert(1, 10);
+  EXPECT_EQ(trace.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TraceTest, ValidateCatchesDanglingDelete) {
+  Trace trace;
+  trace.AddDelete(7);
+  EXPECT_FALSE(trace.Validate().ok());
+}
+
+TEST(TraceTest, ValidateCatchesZeroSize) {
+  Trace trace;
+  trace.Add(Request{Request::Type::kInsert, 1, 0});
+  EXPECT_FALSE(trace.Validate().ok());
+}
+
+TEST(TraceTest, ValidateAllowsReinsertAfterDelete) {
+  Trace trace;
+  trace.AddInsert(1, 10);
+  trace.AddDelete(1);
+  trace.AddInsert(1, 20);
+  EXPECT_TRUE(trace.Validate().ok());
+}
+
+TEST(TraceTest, MaxStatistics) {
+  Trace trace;
+  trace.AddInsert(1, 10);
+  trace.AddInsert(2, 100);
+  trace.AddDelete(2);
+  trace.AddInsert(3, 20);
+  EXPECT_EQ(trace.max_object_size(), 100u);
+  EXPECT_EQ(trace.max_live_volume(), 110u);
+}
+
+TEST(TraceTest, EmptyTrace) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.max_object_size(), 0u);
+  EXPECT_EQ(trace.max_live_volume(), 0u);
+  EXPECT_TRUE(trace.Validate().ok());
+  Trace parsed;
+  EXPECT_TRUE(Trace::Parse("", &parsed).ok());
+  EXPECT_TRUE(parsed.empty());
+}
+
+}  // namespace
+}  // namespace cosr

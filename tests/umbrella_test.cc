@@ -1,0 +1,46 @@
+// Compile-and-smoke test for the umbrella header: everything a downstream
+// user needs is reachable from a single include.
+
+#include "cosr/cosr.h"
+
+#include <gtest/gtest.h>
+
+namespace cosr {
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughPublicApi) {
+  CheckpointManager manager;
+  AddressSpace space(&manager);
+  SimulatedDisk disk;
+  space.AddListener(&disk);
+
+  ReallocatorSpec spec;
+  spec.algorithm = "deamortized";
+  spec.epsilon = 0.25;
+  std::unique_ptr<Reallocator> realloc;
+  ASSERT_TRUE(MakeReallocator(spec, &space, &realloc).ok());
+
+  BlockTranslationLayer btl(&space, realloc.get());
+  ASSERT_TRUE(btl.Put(1, 128).ok());
+  ASSERT_TRUE(btl.Put(2, 64).ok());
+  space.Checkpoint();
+  ASSERT_TRUE(btl.Put(1, 256).ok());  // rewrite
+  realloc->Quiesce();
+  EXPECT_TRUE(btl.VerifyRecoverable(disk).ok());
+  EXPECT_EQ(btl.block_count(), 2u);
+  EXPECT_GE(realloc->volume(), 256u + 64u);
+}
+
+TEST(UmbrellaTest, WorkloadAndMetricsReachable) {
+  Trace trace = MakeLowerBoundTrace(16);
+  EXPECT_TRUE(trace.Validate().ok());
+  CostBattery battery = MakeDefaultBattery();
+  AddressSpace space;
+  CostObliviousReallocator realloc(&space);
+  RunReport report = RunTrace(realloc, space, trace, battery);
+  EXPECT_EQ(report.operations, trace.size());
+  EXPECT_FALSE(RenderSpace(space, space.footprint(), 32).empty());
+}
+
+}  // namespace
+}  // namespace cosr

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "cosr/core/cost_oblivious_reallocator.h"
+#include "cosr/viz/flush_tracer.h"
+#include "cosr/viz/layout_renderer.h"
+
+namespace cosr {
+namespace {
+
+TEST(RenderSpaceTest, EmptySpaceIsAllDots) {
+  AddressSpace space;
+  EXPECT_EQ(RenderSpace(space, 100, 10), "..........");
+}
+
+TEST(RenderSpaceTest, ObjectsShowAsLetters) {
+  AddressSpace space;
+  space.Place(0, Extent{0, 50});    // 'A'
+  space.Place(1, Extent{50, 50});   // 'B'
+  const std::string bar = RenderSpace(space, 100, 10);
+  EXPECT_EQ(bar, "AAAAABBBBB");
+}
+
+TEST(RenderSpaceTest, HolesVisible) {
+  AddressSpace space;
+  space.Place(0, Extent{0, 25});
+  space.Place(1, Extent{75, 25});
+  const std::string bar = RenderSpace(space, 100, 8);
+  EXPECT_EQ(bar.substr(0, 2), "AA");
+  EXPECT_EQ(bar.substr(2, 4), "....");
+  EXPECT_EQ(bar.substr(6, 2), "BB");
+}
+
+TEST(RenderSpaceTest, ZeroEndIsSafe) {
+  AddressSpace space;
+  EXPECT_EQ(RenderSpace(space, 0, 5), ".....");
+}
+
+TEST(RenderLayoutTest, MarksPayloadAndBufferSegments) {
+  AddressSpace space;
+  CostObliviousReallocator realloc(&space,
+                                   CostObliviousReallocator::Options{0.5});
+  ASSERT_TRUE(realloc.Insert(1, 64).ok());
+  const std::string rendered = RenderLayout(realloc, space, 48);
+  // Two lines: occupancy + ruler with 'p' and 'b' markers.
+  const auto newline = rendered.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  const std::string ruler = rendered.substr(newline + 1);
+  EXPECT_NE(ruler.find('p'), std::string::npos);
+  EXPECT_NE(ruler.find('b'), std::string::npos);
+}
+
+TEST(FlushTracerTest, CapturesAllFiveStages) {
+  AddressSpace space;
+  CostObliviousReallocator realloc(&space,
+                                   CostObliviousReallocator::Options{0.5});
+  FlushTracer tracer(&realloc, &space, 64);
+  realloc.set_flush_listener(&tracer);
+  // Force a flush: fill the buffer of the only class, then overflow it.
+  ASSERT_TRUE(realloc.Insert(1, 100).ok());
+  ASSERT_TRUE(realloc.Insert(2, 30).ok());
+  ASSERT_TRUE(realloc.Insert(3, 20).ok());
+  ASSERT_TRUE(realloc.Insert(4, 10).ok());  // triggers
+  ASSERT_GE(realloc.flush_count(), 1u);
+  ASSERT_EQ(tracer.frames().size(), 5u);
+  EXPECT_NE(tracer.frames()[0].find("(i)"), std::string::npos);
+  EXPECT_NE(tracer.frames()[4].find("(v)"), std::string::npos);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.frames().empty());
+}
+
+TEST(FlushTracerTest, StageNamesMatchFigureThree) {
+  EXPECT_STREQ(FlushTracer::StageName(FlushEvent::Stage::kBegin),
+               "(i)   flush triggered");
+  EXPECT_STREQ(
+      FlushTracer::StageName(FlushEvent::Stage::kEnd),
+      "(v)   buffered objects placed; buffers empty");
+}
+
+}  // namespace
+}  // namespace cosr

@@ -1,0 +1,153 @@
+#include "cosr/workload/workload_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "cosr/workload/adversary.h"
+
+namespace cosr {
+namespace {
+
+TEST(ChurnTraceTest, ValidatesAndIsDeterministic) {
+  ChurnOptions options;
+  options.operations = 2000;
+  options.target_live_volume = 1 << 14;
+  Trace a = MakeChurnTrace(options);
+  Trace b = MakeChurnTrace(options);
+  EXPECT_TRUE(a.Validate().ok());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.requests(), b.requests());
+}
+
+TEST(ChurnTraceTest, DifferentSeedsDiffer) {
+  ChurnOptions options;
+  options.operations = 500;
+  options.seed = 1;
+  Trace a = MakeChurnTrace(options);
+  options.seed = 2;
+  Trace b = MakeChurnTrace(options);
+  EXPECT_NE(a.requests(), b.requests());
+}
+
+TEST(ChurnTraceTest, HoversAroundTargetVolume) {
+  ChurnOptions options;
+  options.operations = 5000;
+  options.target_live_volume = 1 << 15;
+  options.max_size = 256;
+  Trace trace = MakeChurnTrace(options);
+  const std::uint64_t peak = trace.max_live_volume();
+  EXPECT_GE(peak, options.target_live_volume);
+  EXPECT_LE(peak, options.target_live_volume + options.max_size * 4);
+  EXPECT_GT(trace.requests().back().id, 0u);
+}
+
+TEST(ChurnTraceTest, MixesInsertsAndDeletes) {
+  Trace trace = MakeChurnTrace({.operations = 3000,
+                                .target_live_volume = 1 << 12,
+                                .max_size = 128});
+  int inserts = 0, deletes = 0;
+  for (const Request& r : trace.requests()) {
+    (r.type == Request::Type::kInsert ? inserts : deletes)++;
+  }
+  EXPECT_GT(deletes, 500);
+  EXPECT_GT(inserts, deletes);  // inserts include the warm-up
+}
+
+TEST(ChurnTraceTest, SizeDistributionsRespectBounds) {
+  for (const auto dist :
+       {SizeDistribution::kUniform, SizeDistribution::kPowerOfTwo,
+        SizeDistribution::kZipf, SizeDistribution::kBimodal,
+        SizeDistribution::kFixed}) {
+    ChurnOptions options;
+    options.operations = 1000;
+    options.min_size = 8;
+    options.max_size = 1024;
+    options.distribution = dist;
+    Trace trace = MakeChurnTrace(options);
+    for (const Request& r : trace.requests()) {
+      if (r.type != Request::Type::kInsert) continue;
+      EXPECT_GE(r.size, options.min_size);
+      EXPECT_LE(r.size, options.max_size);
+    }
+  }
+}
+
+TEST(ChurnTraceTest, PowerOfTwoSizesArePowers) {
+  ChurnOptions options;
+  options.operations = 500;
+  options.min_size = 4;
+  options.max_size = 512;
+  options.distribution = SizeDistribution::kPowerOfTwo;
+  Trace trace = MakeChurnTrace(options);
+  for (const Request& r : trace.requests()) {
+    if (r.type != Request::Type::kInsert) continue;
+    EXPECT_EQ(r.size & (r.size - 1), 0u) << r.size;
+  }
+}
+
+TEST(GrowShrinkTraceTest, CyclesReachPeakAndFloor) {
+  GrowShrinkOptions options;
+  options.cycles = 3;
+  options.peak_volume = 1 << 14;
+  options.shrink_fraction = 0.25;
+  options.max_size = 128;
+  Trace trace = MakeGrowShrinkTrace(options);
+  EXPECT_TRUE(trace.Validate().ok());
+  EXPECT_GE(trace.max_live_volume(), options.peak_volume);
+  // The trace must contain long delete runs (the shrink phases).
+  int longest_delete_run = 0, current = 0;
+  for (const Request& r : trace.requests()) {
+    current = (r.type == Request::Type::kDelete) ? current + 1 : 0;
+    longest_delete_run = std::max(longest_delete_run, current);
+  }
+  EXPECT_GT(longest_delete_run, 20);
+}
+
+TEST(DatabaseBlockTraceTest, RewritesDeleteOldVersions) {
+  DatabaseBlockOptions options;
+  options.operations = 2000;
+  options.blocks = 64;
+  Trace trace = MakeDatabaseBlockTrace(options);
+  EXPECT_TRUE(trace.Validate().ok());
+  int deletes = 0;
+  for (const Request& r : trace.requests()) {
+    if (r.type == Request::Type::kDelete) ++deletes;
+  }
+  // With 64 hot blocks and 2000 writes, nearly every write is a rewrite.
+  EXPECT_GT(deletes, 1500);
+}
+
+TEST(AdversaryTest, LowerBoundShape) {
+  Trace trace = MakeLowerBoundTrace(64);
+  EXPECT_TRUE(trace.Validate().ok());
+  ASSERT_EQ(trace.size(), 1u + 64u + 1u);
+  EXPECT_EQ(trace.requests().front().size, 64u);
+  EXPECT_EQ(trace.requests().back().type, Request::Type::kDelete);
+  EXPECT_EQ(trace.max_object_size(), 64u);
+}
+
+TEST(AdversaryTest, LoggingKillerShape) {
+  Trace trace = MakeLoggingKillerTrace(32, 10);
+  EXPECT_TRUE(trace.Validate().ok());
+  // Per round: 1 big insert + 32 unit inserts + 1 big delete, plus 32 old-
+  // unit deletes in rounds 2..10.
+  EXPECT_EQ(trace.size(), 10u * 34u + 9u * 32u);
+  // Peak: previous units + big + fresh units.
+  EXPECT_EQ(trace.max_live_volume(), 3u * 32u);
+}
+
+TEST(AdversaryTest, CascadeShape) {
+  Trace trace = MakeSizeClassCascadeTrace(5, 7);
+  EXPECT_TRUE(trace.Validate().ok());
+  EXPECT_EQ(trace.size(), 6u + 2u * 7u);
+  EXPECT_EQ(trace.max_object_size(), 32u);
+}
+
+TEST(AdversaryTest, FragmentationShape) {
+  Trace trace = MakeFragmentationTrace(10, 1, 100);
+  EXPECT_TRUE(trace.Validate().ok());
+  EXPECT_EQ(trace.size(), 30u);
+  EXPECT_EQ(trace.max_live_volume(), 10u * 101u);
+}
+
+}  // namespace
+}  // namespace cosr
