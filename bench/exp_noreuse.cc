@@ -20,10 +20,11 @@
 namespace cosr {
 namespace {
 
-template <typename Allocator>
-double FinalRatio(const Trace& trace, const CostBattery& battery) {
+template <typename Allocator, typename... ExtraArgs>
+double FinalRatio(const Trace& trace, const CostBattery& battery,
+                  ExtraArgs... extra) {
   AddressSpace space;
-  Allocator realloc(&space);
+  Allocator realloc(&space, extra...);
   RunOptions options;
   options.min_volume_for_ratio = 1;
   RunReport report = RunTrace(realloc, space, trace, battery, options);
@@ -42,8 +43,13 @@ void Run() {
   for (const std::uint64_t large : {63u, 255u, 1023u, 4095u}) {
     Trace trace =
         MakeFragmentationTrace(/*pairs=*/512, /*small_size=*/1, large);
-    const double first_fit = FinalRatio<FirstFitAllocator>(trace, battery);
-    const double best_fit = FinalRatio<BestFitAllocator>(trace, battery);
+    // The classical allocators run map-scan so the reproduction measures
+    // the literature's exact first-/best-fit placement rules, not the
+    // bin-granular fast path (see src/cosr/alloc/README.md).
+    const double first_fit = FinalRatio<FirstFitAllocator>(
+        trace, battery, FreeList::Policy::kMapScan);
+    const double best_fit = FinalRatio<BestFitAllocator>(
+        trace, battery, FreeList::Policy::kMapScan);
     const double buddy = FinalRatio<BuddyAllocator>(trace, battery);
     const double log_compact =
         FinalRatio<LoggingCompactingReallocator>(trace, battery);

@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "cosr/alloc/best_fit_allocator.h"
 #include "cosr/alloc/buddy_allocator.h"
@@ -20,6 +22,17 @@
 
 namespace cosr {
 namespace {
+
+/// Map-scan-policy wrappers so BM_Churn can compare the binned free-space
+/// index (the allocators' default) against the ordered-map baseline.
+struct FirstFitMapScan : FirstFitAllocator {
+  explicit FirstFitMapScan(AddressSpace* space)
+      : FirstFitAllocator(space, FreeList::Policy::kMapScan) {}
+};
+struct BestFitMapScan : BestFitAllocator {
+  explicit BestFitMapScan(AddressSpace* space)
+      : BestFitAllocator(space, FreeList::Policy::kMapScan) {}
+};
 
 Trace SharedTrace() {
   return MakeChurnTrace({.operations = 20000,
@@ -66,7 +79,9 @@ void BM_ChurnCheckpointed(benchmark::State& state) {
 }
 
 BENCHMARK(BM_Churn<FirstFitAllocator>)->Name("churn/first-fit");
+BENCHMARK(BM_Churn<FirstFitMapScan>)->Name("churn/first-fit-mapscan");
 BENCHMARK(BM_Churn<BestFitAllocator>)->Name("churn/best-fit");
+BENCHMARK(BM_Churn<BestFitMapScan>)->Name("churn/best-fit-mapscan");
 BENCHMARK(BM_Churn<BuddyAllocator>)->Name("churn/buddy");
 BENCHMARK(BM_Churn<LoggingCompactingReallocator>)->Name("churn/log-compact");
 BENCHMARK(BM_Churn<SizeClassReallocator>)->Name("churn/size-class");
@@ -110,4 +125,26 @@ BENCHMARK(BM_SizeSpread)->Name("cost-oblivious/delta")->Arg(64)->Arg(1024)->Arg(
 }  // namespace
 }  // namespace cosr
 
-BENCHMARK_MAIN();
+// Default the JSON report to BENCH_micro.json so every run leaves a perf
+// trajectory artifact; explicit --benchmark_out flags still win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  char default_out[] = "--benchmark_out=BENCH_micro.json";
+  char default_fmt[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(default_out);
+    args.push_back(default_fmt);
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

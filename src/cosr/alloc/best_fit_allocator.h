@@ -11,9 +11,16 @@ namespace cosr {
 
 /// Classical Best Fit memory allocation: each object is placed in the
 /// smallest adequate gap and never moves.
+///
+/// With the default binned free-space policy the fit query is O(1) and
+/// bin-granular (smallest bin guaranteed to fit, within 12.5% of true best
+/// fit); pass FreeList::Policy::kMapScan for exact tightest-gap placement
+/// at O(#gaps) per insert.
 class BestFitAllocator : public Reallocator {
  public:
-  explicit BestFitAllocator(AddressSpace* space) : space_(space) {}
+  explicit BestFitAllocator(AddressSpace* space,
+                            FreeList::Policy policy = FreeList::Policy::kBinned)
+      : space_(space), free_list_(policy) {}
   BestFitAllocator(const BestFitAllocator&) = delete;
   BestFitAllocator& operator=(const BestFitAllocator&) = delete;
 

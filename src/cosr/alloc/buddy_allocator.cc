@@ -71,25 +71,29 @@ void BuddyAllocator::FreeBlock(std::uint64_t offset, int order) {
 
 Status BuddyAllocator::Insert(ObjectId id, std::uint64_t size) {
   if (size == 0) return Status::InvalidArgument("size must be positive");
-  if (space_->contains(id)) {
+  const int order = FloorLog2(NextPowerOfTwo(size));
+  // Duplicate detection rides the order_of_ insertion (one hash probe, no
+  // string on the success path); TakeBlock only runs for fresh ids.
+  const auto [it, inserted] = order_of_.try_emplace(id, order);
+  if (!inserted) {
     return Status::AlreadyExists("object " + std::to_string(id));
   }
-  const int order = FloorLog2(NextPowerOfTwo(size));
   const std::uint64_t offset = TakeBlock(order);
-  order_of_[id] = order;
   space_->Place(id, Extent{offset, size});
   high_water_ = std::max(high_water_, offset + (std::uint64_t{1} << order));
   return Status::Ok();
 }
 
 Status BuddyAllocator::Delete(ObjectId id) {
-  if (!space_->contains(id)) {
+  auto it = order_of_.find(id);
+  if (it == order_of_.end()) {
     return Status::NotFound("object " + std::to_string(id));
   }
-  const Extent extent = space_->extent_of(id);
-  const int order = order_of_.at(id);
-  order_of_.erase(id);
-  space_->Remove(id);
+  const int order = it->second;
+  order_of_.erase(it);
+  Extent extent;
+  const bool removed = space_->TryRemove(id, &extent);
+  COSR_CHECK(removed);
   FreeBlock(extent.offset, order);
   return Status::Ok();
 }

@@ -4,26 +4,22 @@ namespace cosr {
 
 Status FirstFitAllocator::Insert(ObjectId id, std::uint64_t size) {
   if (size == 0) return Status::InvalidArgument("size must be positive");
-  if (space_->contains(id)) {
+  // Query first (pure read), then TryPlace: the success path performs a
+  // single hash probe and never materializes a std::string.
+  const std::uint64_t offset =
+      free_list_.FindFirstFit(size).value_or(free_list_.frontier());
+  if (!space_->TryPlace(id, Extent{offset, size})) {
     return Status::AlreadyExists("object " + std::to_string(id));
   }
-  std::uint64_t offset;
-  if (auto fit = free_list_.FindFirstFit(size); fit.has_value()) {
-    offset = *fit;
-  } else {
-    offset = free_list_.frontier();
-  }
   free_list_.Reserve(offset, size);
-  space_->Place(id, Extent{offset, size});
   return Status::Ok();
 }
 
 Status FirstFitAllocator::Delete(ObjectId id) {
-  if (!space_->contains(id)) {
+  Extent extent;
+  if (!space_->TryRemove(id, &extent)) {
     return Status::NotFound("object " + std::to_string(id));
   }
-  const Extent extent = space_->extent_of(id);
-  space_->Remove(id);
   free_list_.Release(extent);
   return Status::Ok();
 }

@@ -13,9 +13,16 @@ namespace cosr {
 /// lowest address where it fits, and never moves. This is the baseline
 /// regime of the paper's introduction, whose footprint competitive ratio has
 /// a logarithmic lower bound [Luby et al. 1996].
+///
+/// With the default binned free-space policy the fit query is O(1) and
+/// bin-granular (the gap picked is guaranteed to fit but is not always the
+/// lowest-addressed candidate); pass FreeList::Policy::kMapScan for exact
+/// lowest-offset placement at O(#gaps) per insert.
 class FirstFitAllocator : public Reallocator {
  public:
-  explicit FirstFitAllocator(AddressSpace* space) : space_(space) {}
+  explicit FirstFitAllocator(AddressSpace* space,
+                             FreeList::Policy policy = FreeList::Policy::kBinned)
+      : space_(space), free_list_(policy) {}
   FirstFitAllocator(const FirstFitAllocator&) = delete;
   FirstFitAllocator& operator=(const FirstFitAllocator&) = delete;
 

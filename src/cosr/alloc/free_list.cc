@@ -5,6 +5,7 @@
 namespace cosr {
 
 std::optional<std::uint64_t> FreeList::FindFirstFit(std::uint64_t size) const {
+  if (policy_ == Policy::kBinned) return binned_.FindFit(size);
   for (const auto& [offset, length] : gaps_) {
     if (length >= size) return offset;
   }
@@ -12,6 +13,7 @@ std::optional<std::uint64_t> FreeList::FindFirstFit(std::uint64_t size) const {
 }
 
 std::optional<std::uint64_t> FreeList::FindBestFit(std::uint64_t size) const {
+  if (policy_ == Policy::kBinned) return binned_.FindFit(size);
   std::optional<std::uint64_t> best;
   std::uint64_t best_length = 0;
   for (const auto& [offset, length] : gaps_) {
@@ -25,6 +27,10 @@ std::optional<std::uint64_t> FreeList::FindBestFit(std::uint64_t size) const {
 }
 
 void FreeList::Reserve(std::uint64_t offset, std::uint64_t size) {
+  if (policy_ == Policy::kBinned) {
+    binned_.Reserve(offset, size);
+    return;
+  }
   COSR_CHECK(size > 0);
   if (offset >= frontier_) {
     // Allocation in untracked space: any skipped space becomes a gap.
@@ -58,6 +64,10 @@ void FreeList::Reserve(std::uint64_t offset, std::uint64_t size) {
 }
 
 void FreeList::Release(const Extent& extent) {
+  if (policy_ == Policy::kBinned) {
+    binned_.Release(extent);
+    return;
+  }
   COSR_CHECK(extent.length > 0);
   COSR_CHECK_LE(extent.end(), frontier_);
   std::uint64_t offset = extent.offset;
@@ -86,6 +96,16 @@ void FreeList::Release(const Extent& extent) {
   }
   gaps_.emplace(offset, end - offset);
   free_volume_ += end - offset;
+}
+
+std::vector<Extent> FreeList::Gaps() const {
+  if (policy_ == Policy::kBinned) return binned_.Gaps();
+  std::vector<Extent> gaps;
+  gaps.reserve(gaps_.size());
+  for (const auto& [offset, length] : gaps_) {
+    gaps.push_back(Extent{offset, length});
+  }
+  return gaps;
 }
 
 }  // namespace cosr

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
+#include "cosr/alloc/binned_free_index.h"
 #include "cosr/storage/extent.h"
 
 namespace cosr {
@@ -13,15 +15,38 @@ namespace cosr {
 /// Space at or beyond the frontier is implicitly free and unbounded (the
 /// paper's arbitrarily large array); allocating past the frontier extends it.
 /// Shared by the first-fit and best-fit allocators.
+///
+/// Two interchangeable engines sit behind the API:
+///   * kBinned (default) — BinnedFreeIndex: O(1) fit queries and O(1)
+///     expected mutations via exponent+mantissa size bins and two-level
+///     bitmaps. Fit queries are bin-granular: FindFirstFit and FindBestFit
+///     both resolve to the round-up bin query (oldest gap in the smallest
+///     bin guaranteed to fit), trading exact placement order for constant
+///     time with bounded internal fragmentation (see alloc/README.md).
+///   * kMapScan — the original ordered std::map walk with exact
+///     lowest-offset first-fit and tightest-gap best-fit semantics, kept
+///     for differential testing and as the oracle for exact-placement
+///     assertions. Queries are O(#gaps).
+/// Both engines apply identical set arithmetic in Reserve/Release, so under
+/// the same mutation sequence their gap sets, free volume, and frontier are
+/// identical; only which fit a query *picks* differs.
 class FreeList {
  public:
-  FreeList() = default;
+  enum class Policy {
+    kMapScan,  // ordered map, exact first/best fit, O(#gaps) queries
+    kBinned,   // binned bitmap index, round-up bin queries, O(1)
+  };
 
-  /// Lowest-offset free gap of length >= size, or nullopt when none exists
-  /// below the frontier.
+  explicit FreeList(Policy policy = Policy::kBinned) : policy_(policy) {}
+
+  /// A free gap of length >= size, or nullopt when none is indexed below
+  /// the frontier. kMapScan: the lowest-offset such gap. kBinned: the
+  /// round-up bin query (may report nullopt when only the boundary bin
+  /// could fit the request; the caller then allocates at the frontier).
   std::optional<std::uint64_t> FindFirstFit(std::uint64_t size) const;
 
-  /// Smallest adequate gap (ties broken by lowest offset), or nullopt.
+  /// Smallest adequate gap (kMapScan: ties broken by lowest offset;
+  /// kBinned: bin-granular — the same round-up bin query as first fit).
   std::optional<std::uint64_t> FindBestFit(std::uint64_t size) const;
 
   /// Claims [offset, offset+size). The range must lie in a tracked gap or
@@ -32,11 +57,25 @@ class FreeList {
   /// touching the frontier shrink the frontier instead of being tracked.
   void Release(const Extent& extent);
 
-  std::uint64_t frontier() const { return frontier_; }
-  std::uint64_t free_volume() const { return free_volume_; }
-  std::size_t gap_count() const { return gaps_.size(); }
+  std::uint64_t frontier() const {
+    return policy_ == Policy::kBinned ? binned_.frontier() : frontier_;
+  }
+  std::uint64_t free_volume() const {
+    return policy_ == Policy::kBinned ? binned_.free_volume() : free_volume_;
+  }
+  std::size_t gap_count() const {
+    return policy_ == Policy::kBinned ? binned_.gap_count() : gaps_.size();
+  }
+  Policy policy() const { return policy_; }
+
+  /// All tracked gaps in ascending offset order (diagnostics/tests).
+  std::vector<Extent> Gaps() const;
 
  private:
+  Policy policy_;
+  // kBinned engine.
+  BinnedFreeIndex binned_;
+  // kMapScan engine.
   std::map<std::uint64_t, std::uint64_t> gaps_;  // offset -> length
   std::uint64_t frontier_ = 0;
   std::uint64_t free_volume_ = 0;  // tracked gaps only (below frontier)

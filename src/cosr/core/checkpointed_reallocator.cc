@@ -75,10 +75,7 @@ Status CheckpointedReallocator::Delete(ObjectId id) {
                    "buffer entry missing for object " + std::to_string(id));
   }
 
-  auto pos = std::find(home.payload_objects.begin(),
-                       home.payload_objects.end(), id);
-  COSR_CHECK(pos != home.payload_objects.end());
-  home.payload_objects.erase(pos);
+  ErasePayloadObject(home, id, info.size);
 
   if (TryBufferDummy(info.size, info.size_class)) return Status::Ok();
 
@@ -182,8 +179,6 @@ void CheckpointedReallocator::FlushWithCheckpoints(
       cursor += new_payload[idx] + new_buffer[idx];
     }
   }
-  std::vector<std::uint64_t> payload_live(static_cast<std::size_t>(maxc) + 1,
-                                          0);
   std::uint64_t phase_low = start;
   bool phase_open = false;
   for (int i = boundary; i <= maxc; ++i) {
@@ -201,7 +196,6 @@ void CheckpointedReallocator::FlushWithCheckpoints(
       const Extent& current = space_->extent_of(id);
       COSR_CHECK_LE(cursor, current.offset);
       if (current.offset != cursor) MoveTracked(id, Extent{cursor, size});
-      payload_live[static_cast<std::size_t>(i)] += size;
       cursor += size;
     }
   }
@@ -211,13 +205,16 @@ void CheckpointedReallocator::FlushWithCheckpoints(
   // Step D: move buffered objects from the overflow segment to the ends of
   // their payload segments. Sources are at or beyond work_area, targets end
   // before L' + ∆ <= work_area: a single window suffices.
+  // Region::payload_live is maintained incrementally (unchanged by steps
+  // B/C, which only move objects), so the arrival cursor needs no
+  // re-derivation pass over the object table.
   for (int i = boundary; i <= maxc; ++i) {
     const auto idx = static_cast<std::size_t>(i);
     Region& r = regions_[idx];
-    std::uint64_t cursor = final_start[idx] + payload_live[idx];
+    std::uint64_t cursor = final_start[idx] + r.payload_live;
     for (const auto& [id, size] : overflow_by_class[idx]) {
       MoveTracked(id, Extent{cursor, size});
-      r.payload_objects.push_back(id);
+      AppendPayloadObject(r, id, size);
       ObjectInfo& info = objects_.at(id);
       info.in_buffer = false;
       info.region = i;

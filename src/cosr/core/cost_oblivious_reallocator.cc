@@ -100,10 +100,7 @@ Status CostObliviousReallocator::DeleteImpl(ObjectId id, bool extract,
 
   // Payload object: leave a hole, then add a dummy delete record consuming
   // `size` space in the earliest buffer j >= class with room.
-  auto pos = std::find(home.payload_objects.begin(),
-                       home.payload_objects.end(), id);
-  COSR_CHECK(pos != home.payload_objects.end());
-  home.payload_objects.erase(pos);
+  ErasePayloadObject(home, id, info.size);
 
   if (TryBufferDummy(info.size, info.size_class)) return Status::Ok();
 
@@ -182,14 +179,12 @@ void CostObliviousReallocator::Flush(int boundary, const Pending& pending) {
       cursor += new_payload[idx] + new_buffer[idx];
     }
   }
-  std::vector<std::uint64_t> payload_live(static_cast<std::size_t>(maxc) + 1,
-                                          0);
+  // Region::payload_live is maintained incrementally, so the unpack pass
+  // no longer re-derives each region's live volume from the object table.
   for (int i = maxc; i >= boundary; --i) {
     Region& r = regions_[static_cast<std::size_t>(i)];
-    std::uint64_t live = 0;
-    for (ObjectId id : r.payload_objects) live += objects_.at(id).size;
-    payload_live[static_cast<std::size_t>(i)] = live;
-    std::uint64_t cursor = final_start[static_cast<std::size_t>(i)] + live;
+    std::uint64_t cursor =
+        final_start[static_cast<std::size_t>(i)] + r.payload_live;
     for (auto rit = r.payload_objects.rbegin();
          rit != r.payload_objects.rend(); ++rit) {
       const std::uint64_t size = objects_.at(*rit).size;
@@ -206,10 +201,10 @@ void CostObliviousReallocator::Flush(int boundary, const Pending& pending) {
   for (int i = boundary; i <= maxc; ++i) {
     const auto idx = static_cast<std::size_t>(i);
     Region& r = regions_[idx];
-    std::uint64_t cursor = final_start[idx] + payload_live[idx];
+    std::uint64_t cursor = final_start[idx] + r.payload_live;
     for (const auto& [id, size] : overflow_by_class[idx]) {
       MoveTracked(id, Extent{cursor, size});
-      r.payload_objects.push_back(id);
+      AppendPayloadObject(r, id, size);
       ObjectInfo& info = objects_.at(id);
       info.in_buffer = false;
       info.region = i;
@@ -221,18 +216,15 @@ void CostObliviousReallocator::Flush(int boundary, const Pending& pending) {
   }
 
   // Finally place the pending insert in the gap Invariant 2.4 reserved at
-  // the end of its payload segment.
+  // the end of its payload segment. payload_live already counts the
+  // overflow arrivals, so no re-walk of overflow_by_class is needed.
   if (pending.kind == PendingKind::kInsert) {
     const auto idx = static_cast<std::size_t>(pending.size_class);
     Region& r = regions_[idx];
-    std::uint64_t cursor = r.payload_start + payload_live[idx];
-    for (const auto& [id, size] : overflow_by_class[idx]) {
-      (void)id;
-      cursor += size;
-    }
-    PlaceOrMove(pending.id, Extent{cursor, pending.size},
+    PlaceOrMove(pending.id, Extent{r.payload_start + r.payload_live,
+                                   pending.size},
                 pending.already_placed);
-    r.payload_objects.push_back(pending.id);
+    AppendPayloadObject(r, pending.id, pending.size);
     objects_.emplace(pending.id,
                      ObjectInfo{pending.size, pending.size_class,
                                 /*in_buffer=*/false, pending.size_class});

@@ -155,10 +155,7 @@ void DeamortizedReallocator::ApplyDelete(ObjectId id) {
   }
 
   Region& home = regions_[static_cast<std::size_t>(info.region)];
-  auto pos = std::find(home.payload_objects.begin(),
-                       home.payload_objects.end(), id);
-  COSR_CHECK(pos != home.payload_objects.end());
-  home.payload_objects.erase(pos);
+  ErasePayloadObject(home, id, info.size);
 
   if (TryBufferDummy(info.size, info.size_class)) return;
   if (tail_used_ + info.size <= tail_capacity_) {
@@ -389,8 +386,8 @@ void DeamortizedReallocator::InstallMetadata() {
     r.payload_capacity = plan.payload_capacity;
     r.buffer_capacity = plan.buffer_capacity;
     for (ObjectId id : plan.arrivals) {
-      r.payload_objects.push_back(id);
       ObjectInfo& info = objects_.at(id);
+      AppendPayloadObject(r, id, info.size);
       info.in_buffer = false;
       info.region = i;
     }

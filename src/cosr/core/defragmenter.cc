@@ -122,10 +122,11 @@ Status Defragmenter::Sort(AddressSpace* space,
   }
 
   // Phase 3: extract in reverse sorted order, packing the suffix from the
-  // right end; the suffix ends sorted ascending by `less`.
+  // right end; the suffix ends sorted ascending by `less`. The sorted order
+  // is computed once and shared with the optional compaction slide.
+  std::vector<ObjectId> order = ids;
+  std::sort(order.begin(), order.end(), less);
   {
-    std::vector<ObjectId> order = ids;
-    std::sort(order.begin(), order.end(), less);
     std::uint64_t cursor = arena_end;
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       const std::uint64_t size = space->extent_of(*it).length;
@@ -135,8 +136,6 @@ Status Defragmenter::Sort(AddressSpace* space,
   }
 
   if (options.compact_to_front) {
-    std::vector<ObjectId> order = ids;
-    std::sort(order.begin(), order.end(), less);
     std::uint64_t cursor = 0;
     for (ObjectId id : order) {
       const Extent& e = space->extent_of(id);

@@ -38,6 +38,10 @@ struct Region {
   /// are implicit).
   std::vector<ObjectId> payload_objects;
   std::vector<BufferEntry> buffer_entries;
+  /// Sum of payload_objects' sizes, maintained incrementally (via
+  /// SizeClassLayout::AppendPayloadObject / ErasePayloadObject) so flushes
+  /// never re-derive the live payload volume by walking the object table.
+  std::uint64_t payload_live = 0;
 
   std::uint64_t buffer_start() const {
     return payload_start + payload_capacity;

@@ -54,6 +54,15 @@ void SizeClassLayout::NoteTempFootprint(std::uint64_t end) {
   max_temp_footprint_ = std::max(max_temp_footprint_, end);
 }
 
+void SizeClassLayout::ErasePayloadObject(Region& region, ObjectId id,
+                                         std::uint64_t size) {
+  auto pos = std::find(region.payload_objects.begin(),
+                       region.payload_objects.end(), id);
+  COSR_CHECK(pos != region.payload_objects.end());
+  region.payload_objects.erase(pos);
+  region.payload_live -= size;
+}
+
 bool SizeClassLayout::TryBufferInsert(ObjectId id, std::uint64_t size,
                                       int cls, bool already_placed) {
   for (int j = cls; j <= BufferSearchLimit(cls); ++j) {
@@ -95,7 +104,7 @@ void SizeClassLayout::CreateNewLargestClass(ObjectId id, std::uint64_t size,
   r.payload_capacity = size;
   r.buffer_capacity = FloorScale(epsilon_, size);
   PlaceOrMove(id, Extent{r.payload_start, size}, already_placed);
-  r.payload_objects.push_back(id);
+  AppendPayloadObject(r, id, size);
   volumes_.back() = size;
   total_volume_ += size;
   objects_.emplace(id, ObjectInfo{size, cls, /*in_buffer=*/false, cls});
@@ -151,6 +160,7 @@ Status SizeClassLayout::CheckRegions(std::vector<std::uint64_t>& class_volume,
     const Region& r = regions_[static_cast<std::size_t>(i)];
     // Payload objects: class i only (Invariant 2.3), in bounds, ascending.
     std::uint64_t prev_end = r.payload_start;
+    std::uint64_t payload_sum = 0;
     for (ObjectId id : r.payload_objects) {
       auto it = objects_.find(id);
       if (it == objects_.end()) {
@@ -169,9 +179,14 @@ Status SizeClassLayout::CheckRegions(std::vector<std::uint64_t>& class_volume,
         return Status::Internal("payload object out of segment bounds");
       }
       prev_end = e.end();
+      payload_sum += info.size;
       class_volume[static_cast<std::size_t>(i)] += info.size;
       total += info.size;
       ++object_count;
+    }
+    if (payload_sum != r.payload_live) {
+      return Status::Internal("payload_live accounting mismatch in region " +
+                              std::to_string(i));
     }
     // Buffer entries: classes <= i (Invariant 2.2(4)), packed in order.
     std::uint64_t used = 0;

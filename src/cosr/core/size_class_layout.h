@@ -87,6 +87,16 @@ class SizeClassLayout : public Reallocator {
 
   void PlaceOrMove(ObjectId id, const Extent& extent, bool already_placed);
   void MoveTracked(ObjectId id, const Extent& to);
+
+  /// Payload membership changes route through these so Region::payload_live
+  /// stays exact without per-flush re-derivation.
+  static void AppendPayloadObject(Region& region, ObjectId id,
+                                  std::uint64_t size) {
+    region.payload_objects.push_back(id);
+    region.payload_live += size;
+  }
+  static void ErasePayloadObject(Region& region, ObjectId id,
+                                 std::uint64_t size);
   void Notify(FlushEvent::Stage stage, int boundary);
   void NoteTempFootprint(std::uint64_t end);
 

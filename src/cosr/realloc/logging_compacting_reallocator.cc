@@ -14,20 +14,20 @@ LoggingCompactingReallocator::LoggingCompactingReallocator(
 
 Status LoggingCompactingReallocator::Insert(ObjectId id, std::uint64_t size) {
   if (size == 0) return Status::InvalidArgument("size must be positive");
-  if (space_->contains(id)) {
+  // Single hash probe; the error string only materializes on failure.
+  if (!space_->TryPlace(id, Extent{log_end_, size})) {
     return Status::AlreadyExists("object " + std::to_string(id));
   }
-  space_->Place(id, Extent{log_end_, size});
   log_end_ += size;
   MaybeCompact();
   return Status::Ok();
 }
 
 Status LoggingCompactingReallocator::Delete(ObjectId id) {
-  if (!space_->contains(id)) {
+  Extent removed;
+  if (!space_->TryRemove(id, &removed)) {
     return Status::NotFound("object " + std::to_string(id));
   }
-  space_->Remove(id);
   MaybeCompact();
   return Status::Ok();
 }

@@ -49,15 +49,22 @@ void AddressSpace::CheckWritable(const Extent& extent, ObjectId self) const {
 }
 
 void AddressSpace::Place(ObjectId id, const Extent& extent) {
+  COSR_CHECK_MSG(TryPlace(id, extent),
+                 "object " + std::to_string(id) + " already placed");
+}
+
+bool AddressSpace::TryPlace(ObjectId id, const Extent& extent) {
   COSR_CHECK_MSG(extent.length > 0, "empty extent for object " +
                                         std::to_string(id));
-  COSR_CHECK_MSG(extents_.count(id) == 0,
-                 "object " + std::to_string(id) + " already placed");
+  const auto [it, inserted] = extents_.try_emplace(id, extent);
+  if (!inserted) return false;
+  // A failed CheckWritable aborts the process, so the eager try_emplace
+  // above never leaks an inconsistent entry.
   CheckWritable(extent, kInvalidObjectId);
-  extents_.emplace(id, extent);
   by_offset_.emplace(extent.offset, id);
   live_volume_ += extent.length;
   for (SpaceListener* l : listeners_) l->OnPlace(id, extent);
+  return true;
 }
 
 void AddressSpace::Move(ObjectId id, const Extent& to) {
@@ -83,15 +90,22 @@ void AddressSpace::Move(ObjectId id, const Extent& to) {
 }
 
 void AddressSpace::Remove(ObjectId id) {
-  auto it = extents_.find(id);
-  COSR_CHECK_MSG(it != extents_.end(),
+  Extent extent;
+  COSR_CHECK_MSG(TryRemove(id, &extent),
                  "remove of unplaced object " + std::to_string(id));
+}
+
+bool AddressSpace::TryRemove(ObjectId id, Extent* removed) {
+  auto it = extents_.find(id);
+  if (it == extents_.end()) return false;
   const Extent extent = it->second;
   by_offset_.erase(extent.offset);
   extents_.erase(it);
   live_volume_ -= extent.length;
   if (checkpoints_ != nullptr) checkpoints_->NoteFreed(extent);
   for (SpaceListener* l : listeners_) l->OnRemove(id, extent);
+  *removed = extent;
+  return true;
 }
 
 const Extent& AddressSpace::extent_of(ObjectId id) const {

@@ -50,11 +50,21 @@ class AddressSpace {
   /// extent length positive.
   void Place(ObjectId id, const Extent& extent);
 
+  /// Like Place, but returns false (touching nothing) when `id` is already
+  /// placed. Single hash probe: lets allocator hot paths skip a separate
+  /// contains() check and build error strings only on the failure branch.
+  bool TryPlace(ObjectId id, const Extent& extent);
+
   /// Moves an existing object to `to` (length must match).
   void Move(ObjectId id, const Extent& to);
 
   /// Frees an object's extent.
   void Remove(ObjectId id);
+
+  /// Like Remove, but returns false when `id` is absent; on success stores
+  /// the freed extent in *removed. Single hash probe (contains() +
+  /// extent_of() + Remove() folded into one lookup).
+  bool TryRemove(ObjectId id, Extent* removed);
 
   bool contains(ObjectId id) const { return extents_.count(id) > 0; }
   const Extent& extent_of(ObjectId id) const;
