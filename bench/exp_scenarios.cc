@@ -1,0 +1,279 @@
+// EXP-SCENARIOS — the standing scenario-diversity battery: every
+// reallocator × free-list policy × bin-discipline cell replayed over every
+// scenario in workload/scenario.h (steady churn, ramp-collapse, bimodal
+// sizes, and the four adversarial traces), recording footprint ratios,
+// moved volume, and throughput via RunHarness/CostMeter. Writes one JSON
+// row per cell to BENCH_scenarios.json (run from the repo root to refresh
+// the committed artifact) and prints a per-scenario table plus the
+// bin-discipline verdict the ROADMAP asks for.
+//
+// Usage: exp_scenarios [--smoke]   (--smoke: ~20x smaller traces for CI)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cosr/common/check.h"
+#include "cosr/cost/cost_battery.h"
+#include "cosr/metrics/run_harness.h"
+#include "cosr/realloc/factory.h"
+#include "cosr/storage/checkpoint_manager.h"
+#include "cosr/workload/scenario.h"
+
+namespace cosr {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One reallocator configuration of the battery. `policy`/`discipline` are
+/// display labels ("-" where the knob does not exist for the algorithm).
+struct Cell {
+  ReallocatorSpec spec;
+  std::string policy;
+  std::string discipline;
+
+  std::string Label() const {
+    std::string label = spec.algorithm;
+    if (policy != "-") label += "/" + policy;
+    if (discipline != "-") label += "/" + discipline;
+    return label;
+  }
+};
+
+/// Every cell the battery runs. The free-list knobs exist only on the
+/// FreeList-backed allocators (first-fit, best-fit): those expand into the
+/// full policy × discipline product (mapscan is exact, so the discipline
+/// axis collapses to one cell there). "pma" is excluded: the classical
+/// sparse table holds uniform-slot objects only and rejects these traces.
+std::vector<Cell> MakeCells() {
+  std::vector<Cell> cells;
+  for (const std::string algorithm : {"first-fit", "best-fit"}) {
+    Cell exact;
+    exact.spec.algorithm = algorithm;
+    exact.spec.free_list_policy = FreeList::Policy::kMapScan;
+    exact.policy = "mapscan";
+    exact.discipline = "-";
+    cells.push_back(exact);
+    for (const BinDiscipline discipline :
+         {BinDiscipline::kFifo, BinDiscipline::kLifo,
+          BinDiscipline::kAddressOrdered}) {
+      Cell binned;
+      binned.spec.algorithm = algorithm;
+      binned.spec.free_list_policy = FreeList::Policy::kBinned;
+      binned.spec.discipline = discipline;
+      binned.policy = "binned";
+      binned.discipline = BinDisciplineName(discipline);
+      cells.push_back(binned);
+    }
+  }
+  for (const std::string algorithm :
+       {"buddy", "log-compact", "size-class", "oracle", "cost-oblivious",
+        "checkpointed", "deamortized"}) {
+    Cell cell;
+    cell.spec.algorithm = algorithm;
+    cell.policy = "-";
+    cell.discipline = "-";
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+struct Row {
+  std::string scenario;
+  Cell cell;
+  RunReport report;
+  double wall_seconds = 0;
+  double ops_per_sec = 0;
+};
+
+Row RunCell(const Scenario& scenario, const Cell& cell,
+            const CostBattery& battery) {
+  std::unique_ptr<CheckpointManager> manager;
+  if (AlgorithmNeedsCheckpointManager(cell.spec.algorithm)) {
+    manager = std::make_unique<CheckpointManager>();
+  }
+  AddressSpace space(manager.get());
+  std::unique_ptr<Reallocator> realloc;
+  COSR_CHECK_OK(MakeReallocator(cell.spec, &space, &realloc));
+
+  RunOptions options;
+  // Scale the ratio floor with the trace so collapse phases (the regime the
+  // fragmentation and ramp scenarios exist for) still produce samples at
+  // smoke sizes, while tiny-structure noise stays excluded.
+  options.min_volume_for_ratio = std::min<std::uint64_t>(
+      1024, std::max<std::uint64_t>(1, scenario.trace.max_live_volume() / 8));
+
+  Row row;
+  row.scenario = scenario.name;
+  row.cell = cell;
+  const auto start = Clock::now();
+  row.report = RunTrace(*realloc, space, scenario.trace, battery, options);
+  row.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  row.ops_per_sec =
+      static_cast<double>(row.report.operations) / row.wall_seconds;
+  return row;
+}
+
+void WriteJson(const std::vector<Row>& rows, bool smoke) {
+  std::FILE* json = std::fopen("BENCH_scenarios.json", "w");
+  if (json == nullptr) {
+    std::printf("cannot open BENCH_scenarios.json for writing\n");
+    return;
+  }
+  std::fprintf(json, "{\n  \"schema_version\": 1,\n  \"smoke\": %s,\n",
+               smoke ? "true" : "false");
+  std::fprintf(json,
+               "  \"excluded\": [{\"algorithm\": \"pma\", \"reason\": "
+               "\"uniform slot sizes only\"}],\n");
+  std::fprintf(json, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const FunctionReport* linear = row.report.function("linear");
+    std::fprintf(
+        json,
+        "    {\"scenario\": \"%s\", \"algorithm\": \"%s\", "
+        "\"policy\": \"%s\", \"discipline\": \"%s\", "
+        "\"operations\": %llu, "
+        "\"max_footprint_ratio\": %.4f, \"avg_footprint_ratio\": %.4f, "
+        "\"final_footprint_ratio\": %.4f, "
+        "\"max_reserved_footprint\": %llu, \"max_volume\": %llu, "
+        "\"moves\": %llu, \"bytes_moved\": %llu, \"bytes_placed\": %llu, "
+        "\"linear_cost_ratio\": %.4f, \"linear_realloc_ratio\": %.4f, "
+        "\"wall_seconds\": %.4f, \"ops_per_sec\": %.0f}%s\n",
+        row.scenario.c_str(), row.cell.spec.algorithm.c_str(),
+        row.cell.policy.c_str(), row.cell.discipline.c_str(),
+        static_cast<unsigned long long>(row.report.operations),
+        row.report.max_footprint_ratio, row.report.avg_footprint_ratio,
+        row.report.final_footprint_ratio,
+        static_cast<unsigned long long>(row.report.max_reserved_footprint),
+        static_cast<unsigned long long>(row.report.max_volume),
+        static_cast<unsigned long long>(row.report.moves),
+        static_cast<unsigned long long>(row.report.bytes_moved),
+        static_cast<unsigned long long>(row.report.bytes_placed),
+        linear != nullptr ? linear->cost_ratio : 0.0,
+        linear != nullptr ? linear->realloc_ratio : 0.0, row.wall_seconds,
+        row.ops_per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_scenarios.json (%zu rows)\n", rows.size());
+}
+
+struct DisciplineScore {
+  double footprint_vs_best = 0;  // mean of (peak ratio / best discipline's)
+  double mean_kops = 0;
+};
+
+/// Scores the binned first-/best-fit cells per discipline — the numbers the
+/// ROADMAP's bin-discipline open item asks for. Peak footprint is
+/// normalized against the best discipline of the same (scenario, algorithm)
+/// pair, so scenarios where placement is discipline-blind (no gap reuse,
+/// e.g. pure ramp phases) contribute 1.0 instead of swamping the mean.
+std::map<std::string, DisciplineScore> ScoreDisciplines(
+    const std::vector<Row>& rows) {
+  std::map<std::string, std::vector<const Row*>> groups;  // scenario|algo
+  for (const Row& row : rows) {
+    if (row.cell.policy != "binned") continue;
+    groups[row.scenario + "|" + row.cell.spec.algorithm].push_back(&row);
+  }
+  std::map<std::string, DisciplineScore> sum;
+  std::map<std::string, int> count;
+  for (const auto& [key, group] : groups) {
+    double best = 0;
+    for (const Row* row : group) {
+      if (best == 0 || row->report.max_footprint_ratio < best) {
+        best = row->report.max_footprint_ratio;
+      }
+    }
+    for (const Row* row : group) {
+      DisciplineScore& score = sum[row->cell.discipline];
+      score.footprint_vs_best += row->report.max_footprint_ratio / best;
+      score.mean_kops += row->ops_per_sec / 1000.0;
+      ++count[row->cell.discipline];
+    }
+  }
+  for (auto& [discipline, score] : sum) {
+    score.footprint_vs_best /= count[discipline];
+    score.mean_kops /= count[discipline];
+  }
+  return sum;
+}
+
+}  // namespace
+}  // namespace cosr
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  cosr::bench::Banner(
+      "EXP-SCENARIOS — reallocator x policy x discipline x scenario battery",
+      "bin discipline is the placement knob; measure its footprint impact");
+
+  const cosr::ScenarioBatteryOptions options =
+      smoke ? cosr::ScenarioBatteryOptions::Smoke()
+            : cosr::ScenarioBatteryOptions();
+  const std::vector<cosr::Scenario> scenarios =
+      cosr::MakeScenarioBattery(options);
+  const std::vector<cosr::Cell> cells = cosr::MakeCells();
+  const cosr::CostBattery battery = cosr::MakeDefaultBattery();
+
+  std::vector<cosr::Row> rows;
+  rows.reserve(scenarios.size() * cells.size());
+  for (const cosr::Scenario& scenario : scenarios) {
+    std::printf("\n-- %s: %s (%zu requests) --\n", scenario.name.c_str(),
+                scenario.description.c_str(), scenario.trace.size());
+    cosr::bench::Table table({"cell", "max fp", "avg fp", "final fp",
+                              "moves/op", "MiB moved", "kops/s"});
+    for (const cosr::Cell& cell : cells) {
+      rows.push_back(cosr::RunCell(scenario, cell, battery));
+      const cosr::Row& row = rows.back();
+      table.AddRow(
+          {cell.Label(), cosr::bench::Fmt(row.report.max_footprint_ratio),
+           cosr::bench::Fmt(row.report.avg_footprint_ratio),
+           cosr::bench::Fmt(row.report.final_footprint_ratio),
+           cosr::bench::Fmt(static_cast<double>(row.report.moves) /
+                                static_cast<double>(row.report.operations),
+                            2),
+           cosr::bench::Fmt(static_cast<double>(row.report.bytes_moved) /
+                                (1024.0 * 1024.0),
+                            1),
+           cosr::bench::Fmt(row.ops_per_sec / 1000.0, 0)});
+    }
+    table.Print();
+  }
+
+  const std::map<std::string, cosr::DisciplineScore> scores =
+      cosr::ScoreDisciplines(rows);
+  std::string best;
+  for (const auto& [discipline, score] : scores) {
+    if (best.empty() ||
+        score.footprint_vs_best < scores.at(best).footprint_vs_best) {
+      best = discipline;
+    }
+  }
+  std::printf(
+      "\nbinned first-/best-fit discipline scores (footprint normalized to "
+      "the per-scenario best):\n");
+  for (const auto& [discipline, score] : scores) {
+    std::printf("  %-5s peak footprint x%.4f of best, %8.0f kops/s%s\n",
+                discipline.c_str(), score.footprint_vs_best, score.mean_kops,
+                discipline == best ? "  <- lowest footprint" : "");
+  }
+
+  cosr::WriteJson(rows, smoke);
+  const bool complete = rows.size() == scenarios.size() * cells.size();
+  cosr::bench::Verdict(
+      complete,
+      "battery complete; lowest normalized peak footprint: " + best + " (x" +
+          cosr::bench::Fmt(scores.at(best).footprint_vs_best) + ")");
+  return complete ? 0 : 1;
+}

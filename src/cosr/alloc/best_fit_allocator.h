@@ -15,12 +15,15 @@ namespace cosr {
 /// With the default binned free-space policy the fit query is O(1) and
 /// bin-granular (smallest bin guaranteed to fit, within 12.5% of true best
 /// fit); pass FreeList::Policy::kMapScan for exact tightest-gap placement
-/// at O(#gaps) per insert.
+/// at O(#gaps) per insert. Under kBinned, `discipline` picks which gap of
+/// the qualifying bin is reused (oldest / newest / lowest-addressed — see
+/// alloc/README.md for measured trade-offs).
 class BestFitAllocator : public Reallocator {
  public:
-  explicit BestFitAllocator(AddressSpace* space,
-                            FreeList::Policy policy = FreeList::Policy::kBinned)
-      : space_(space), free_list_(policy) {}
+  explicit BestFitAllocator(
+      AddressSpace* space, FreeList::Policy policy = FreeList::Policy::kBinned,
+      BinDiscipline discipline = BinDiscipline::kFifo)
+      : space_(space), free_list_(policy, discipline) {}
   BestFitAllocator(const BestFitAllocator&) = delete;
   BestFitAllocator& operator=(const BestFitAllocator&) = delete;
 

@@ -17,12 +17,15 @@ namespace cosr {
 /// With the default binned free-space policy the fit query is O(1) and
 /// bin-granular (the gap picked is guaranteed to fit but is not always the
 /// lowest-addressed candidate); pass FreeList::Policy::kMapScan for exact
-/// lowest-offset placement at O(#gaps) per insert.
+/// lowest-offset placement at O(#gaps) per insert. Under kBinned,
+/// `discipline` picks which gap of the qualifying bin is reused (oldest /
+/// newest / lowest-addressed — see alloc/README.md for measured trade-offs).
 class FirstFitAllocator : public Reallocator {
  public:
-  explicit FirstFitAllocator(AddressSpace* space,
-                             FreeList::Policy policy = FreeList::Policy::kBinned)
-      : space_(space), free_list_(policy) {}
+  explicit FirstFitAllocator(
+      AddressSpace* space, FreeList::Policy policy = FreeList::Policy::kBinned,
+      BinDiscipline discipline = BinDiscipline::kFifo)
+      : space_(space), free_list_(policy, discipline) {}
   FirstFitAllocator(const FirstFitAllocator&) = delete;
   FirstFitAllocator& operator=(const FirstFitAllocator&) = delete;
 

@@ -20,9 +20,17 @@ namespace cosr {
 ///   * kBinned (default) — BinnedFreeIndex: O(1) fit queries and O(1)
 ///     expected mutations via exponent+mantissa size bins and two-level
 ///     bitmaps. Fit queries are bin-granular: FindFirstFit and FindBestFit
-///     both resolve to the round-up bin query (oldest gap in the smallest
-///     bin guaranteed to fit), trading exact placement order for constant
-///     time with bounded internal fragmentation (see alloc/README.md).
+///     both resolve to the round-up bin query (head gap of the smallest bin
+///     guaranteed to fit), trading exact placement order for constant time
+///     with bounded internal fragmentation (see alloc/README.md). Which gap
+///     heads a bin is the constructor's BinDiscipline: kFifo reuses the
+///     oldest gap, kLifo the most recently freed, kAddressOrdered the
+///     lowest-addressed. Measured across the scenario battery
+///     (BENCH_scenarios.json, details in alloc/README.md): kFifo is never
+///     beaten on peak footprint (kLifo +0.12%, kAddressOrdered +0.13%),
+///     and kAddressOrdered's O(bin-population) sorted inserts cost ~6x
+///     throughput when fragmentation crowds a bin — so kFifo is the
+///     default on both axes.
 ///   * kMapScan — the original ordered std::map walk with exact
 ///     lowest-offset first-fit and tightest-gap best-fit semantics, kept
 ///     for differential testing and as the oracle for exact-placement
@@ -37,7 +45,11 @@ class FreeList {
     kBinned,   // binned bitmap index, round-up bin queries, O(1)
   };
 
-  explicit FreeList(Policy policy = Policy::kBinned) : policy_(policy) {}
+  /// `discipline` orders the gaps inside each size bin of the kBinned
+  /// engine; it is ignored by kMapScan (whose queries are exact).
+  explicit FreeList(Policy policy = Policy::kBinned,
+                    BinDiscipline discipline = BinDiscipline::kFifo)
+      : policy_(policy), binned_(discipline) {}
 
   /// A free gap of length >= size, or nullopt when none is indexed below
   /// the frontier. kMapScan: the lowest-offset such gap. kBinned: the
@@ -67,6 +79,7 @@ class FreeList {
     return policy_ == Policy::kBinned ? binned_.gap_count() : gaps_.size();
   }
   Policy policy() const { return policy_; }
+  BinDiscipline discipline() const { return binned_.discipline(); }
 
   /// All tracked gaps in ascending offset order (diagnostics/tests).
   std::vector<Extent> Gaps() const;

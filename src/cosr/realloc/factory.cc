@@ -45,9 +45,11 @@ Status MakeReallocator(const ReallocatorSpec& spec, AddressSpace* space,
         " uses overlapping slides; detach the CheckpointManager");
   }
   if (spec.algorithm == "first-fit") {
-    *out = std::make_unique<FirstFitAllocator>(space);
+    *out = std::make_unique<FirstFitAllocator>(space, spec.free_list_policy,
+                                               spec.discipline);
   } else if (spec.algorithm == "best-fit") {
-    *out = std::make_unique<BestFitAllocator>(space);
+    *out = std::make_unique<BestFitAllocator>(space, spec.free_list_policy,
+                                              spec.discipline);
   } else if (spec.algorithm == "buddy") {
     *out = std::make_unique<BuddyAllocator>(space);
   } else if (spec.algorithm == "log-compact") {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "cosr/alloc/free_list.h"
 #include "cosr/common/status.h"
 #include "cosr/realloc/reallocator.h"
 #include "cosr/storage/address_space.h"
@@ -22,6 +23,10 @@ struct ReallocatorSpec {
   double work_factor = 4.0;   // deamortized
   double threshold = 2.0;     // log-compact
   std::uint64_t slot_size = 1;  // pma (sparse tables hold uniform objects)
+  /// Free-space engine for first-fit / best-fit (others ignore both).
+  FreeList::Policy free_list_policy = FreeList::Policy::kBinned;
+  /// Per-bin gap ordering under kBinned; ignored by kMapScan.
+  BinDiscipline discipline = BinDiscipline::kFifo;
 };
 
 /// Creates the named (re)allocator over `space`. Fails with

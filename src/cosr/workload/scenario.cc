@@ -1,0 +1,85 @@
+#include "cosr/workload/scenario.h"
+
+#include "cosr/workload/adversary.h"
+#include "cosr/workload/workload_generator.h"
+
+namespace cosr {
+
+ScenarioBatteryOptions ScenarioBatteryOptions::Smoke() {
+  ScenarioBatteryOptions options;
+  options.churn_operations = 600;
+  options.churn_target_volume = 1u << 14;
+  options.max_object_size = 512;
+  options.ramp_peak_volume = 1u << 14;
+  options.ramp_cycles = 2;
+  options.lower_bound_delta = 256;
+  options.logging_killer_delta = 64;
+  options.logging_killer_rounds = 4;
+  options.cascade_max_order = 7;
+  options.cascade_rounds = 8;
+  options.fragmentation_pairs = 100;
+  return options;
+}
+
+std::vector<Scenario> MakeScenarioBattery(
+    const ScenarioBatteryOptions& options) {
+  std::vector<Scenario> battery;
+
+  battery.push_back(
+      {"steady-churn",
+       "uniform-size inserts/deletes hovering at a target live volume",
+       MakeChurnTrace({.operations = options.churn_operations,
+                       .target_live_volume = options.churn_target_volume,
+                       .min_size = 1,
+                       .max_size = options.max_object_size,
+                       .distribution = SizeDistribution::kUniform,
+                       .seed = options.seed})});
+
+  battery.push_back(
+      {"ramp-collapse",
+       "grow to peak volume, mass-delete to 5%, re-ramp (footprint shrink)",
+       MakeGrowShrinkTrace({.cycles = options.ramp_cycles,
+                            .peak_volume = options.ramp_peak_volume,
+                            .shrink_fraction = 0.05,
+                            .min_size = 1,
+                            .max_size = options.max_object_size,
+                            .distribution = SizeDistribution::kUniform,
+                            .seed = options.seed})});
+
+  battery.push_back(
+      {"bimodal-churn",
+       "churn with 90% small / 10% large objects (two-size fragmentation)",
+       MakeChurnTrace({.operations = options.churn_operations,
+                       .target_live_volume = options.churn_target_volume,
+                       .min_size = 16,
+                       .max_size = options.max_object_size,
+                       .distribution = SizeDistribution::kBimodal,
+                       .seed = options.seed + 1})});
+
+  battery.push_back(
+      {"adv-lower-bound",
+       "Lemma 3.7 sequence: size-delta object, delta units, big delete",
+       MakeLowerBoundTrace(options.lower_bound_delta)});
+
+  battery.push_back(
+      {"adv-logging-killer",
+       "rounds of [big][units] whose big-delete forces delta unit moves",
+       MakeLoggingKillerTrace(options.logging_killer_delta,
+                              options.logging_killer_rounds)});
+
+  battery.push_back(
+      {"adv-cascade",
+       "gapless power-of-two pyramid with a churning unit at the base",
+       MakeSizeClassCascadeTrace(options.cascade_max_order,
+                                 options.cascade_rounds)});
+
+  battery.push_back(
+      {"adv-fragmentation",
+       "small/large pairs, then all large deleted: pinned-footprint regime",
+       MakeFragmentationTrace(options.fragmentation_pairs, /*small_size=*/16,
+                              /*large_size=*/1024)});
+
+  return battery;
+}
+
+}  // namespace cosr

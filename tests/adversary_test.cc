@@ -1,0 +1,148 @@
+// Property tests for the adversarial trace generators in
+// workload/adversary.cc and the scenario battery built on top of them:
+// every generated trace must be well-formed (fresh-id inserts, live-id
+// deletes — Trace::Validate), carry the claimed structure (sizes, request
+// counts, insert/delete balance), and leave the documented live set behind.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cosr/workload/adversary.h"
+#include "cosr/workload/scenario.h"
+
+namespace cosr {
+namespace {
+
+/// Replays the trace over an id->size map and returns the final live
+/// volume. EXPECTs the balance invariants Validate also enforces, plus
+/// insert/delete counts.
+struct ReplaySummary {
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t live_volume = 0;
+  std::uint64_t live_objects = 0;
+};
+
+ReplaySummary Replay(const Trace& trace) {
+  ReplaySummary summary;
+  std::unordered_map<ObjectId, std::uint64_t> live;
+  for (const Request& request : trace.requests()) {
+    if (request.type == Request::Type::kInsert) {
+      EXPECT_GT(request.size, 0u);
+      EXPECT_TRUE(live.emplace(request.id, request.size).second)
+          << "duplicate insert of id " << request.id;
+      ++summary.inserts;
+    } else {
+      auto it = live.find(request.id);
+      EXPECT_NE(it, live.end()) << "delete of dead id " << request.id;
+      if (it != live.end()) live.erase(it);
+      ++summary.deletes;
+    }
+  }
+  for (const auto& [id, size] : live) summary.live_volume += size;
+  summary.live_objects = live.size();
+  return summary;
+}
+
+TEST(AdversaryTest, LowerBoundTraceHasClaimedShape) {
+  for (const std::uint64_t delta : {1u, 7u, 256u, 4096u}) {
+    const Trace trace = MakeLowerBoundTrace(delta);
+    ASSERT_TRUE(trace.Validate().ok()) << "delta " << delta;
+    // One size-delta insert, delta unit inserts, one delete of the big.
+    ASSERT_EQ(trace.size(), delta + 2);
+    EXPECT_EQ(trace.requests().front().size, delta);
+    EXPECT_EQ(trace.requests().back().type, Request::Type::kDelete);
+    EXPECT_EQ(trace.requests().back().id, trace.requests().front().id);
+    EXPECT_EQ(trace.max_object_size(), delta);
+    EXPECT_EQ(trace.max_live_volume(), 2 * delta);
+    const ReplaySummary summary = Replay(trace);
+    EXPECT_EQ(summary.inserts, delta + 1);
+    EXPECT_EQ(summary.deletes, 1u);
+    EXPECT_EQ(summary.live_volume, delta);  // the delta surviving units
+    EXPECT_EQ(summary.live_objects, delta);
+  }
+}
+
+TEST(AdversaryTest, LoggingKillerTraceRetiresAllButLastRound) {
+  for (const int rounds : {1, 2, 5}) {
+    const std::uint64_t delta = 64;
+    const Trace trace = MakeLoggingKillerTrace(delta, rounds);
+    ASSERT_TRUE(trace.Validate().ok()) << "rounds " << rounds;
+    EXPECT_EQ(trace.max_object_size(), delta);
+    const ReplaySummary summary = Replay(trace);
+    // Per round: one big + delta units inserted; every big is deleted, and
+    // every unit cohort except the last round's is retired.
+    const auto r = static_cast<std::uint64_t>(rounds);
+    EXPECT_EQ(summary.inserts, r * (delta + 1));
+    EXPECT_EQ(summary.deletes, r + (r - 1) * delta);
+    EXPECT_EQ(summary.live_volume, delta);  // last round's delta unit objects
+    EXPECT_EQ(summary.live_objects, delta);
+  }
+}
+
+TEST(AdversaryTest, SizeClassCascadeTraceBuildsPyramidThenChurnsUnit) {
+  const int max_order = 9;
+  const int rounds = 5;
+  const Trace trace = MakeSizeClassCascadeTrace(max_order, rounds);
+  ASSERT_TRUE(trace.Validate().ok());
+  // Ascending pyramid: one object of each size 2^0..2^max_order.
+  for (int k = 0; k <= max_order; ++k) {
+    const Request& request = trace.requests()[static_cast<std::size_t>(k)];
+    ASSERT_EQ(request.type, Request::Type::kInsert);
+    EXPECT_EQ(request.size, std::uint64_t{1} << k);
+  }
+  EXPECT_EQ(trace.max_object_size(), std::uint64_t{1} << max_order);
+  const ReplaySummary summary = Replay(trace);
+  EXPECT_EQ(summary.inserts,
+            static_cast<std::uint64_t>(max_order + 1 + rounds));
+  EXPECT_EQ(summary.deletes, static_cast<std::uint64_t>(rounds));
+  // The pyramid survives; the churning unit never does.
+  EXPECT_EQ(summary.live_objects, static_cast<std::uint64_t>(max_order + 1));
+  EXPECT_EQ(summary.live_volume, (std::uint64_t{1} << (max_order + 1)) - 1);
+  // The unit churn raises the peak by exactly 1 over the pyramid volume.
+  EXPECT_EQ(trace.max_live_volume(), (std::uint64_t{1} << (max_order + 1)));
+}
+
+TEST(AdversaryTest, FragmentationTraceDeletesExactlyTheLargeObjects) {
+  const std::uint64_t pairs = 50;
+  const std::uint64_t small_size = 16;
+  const std::uint64_t large_size = 1024;
+  const Trace trace = MakeFragmentationTrace(pairs, small_size, large_size);
+  ASSERT_TRUE(trace.Validate().ok());
+  EXPECT_EQ(trace.size(), 3 * pairs);
+  EXPECT_EQ(trace.max_live_volume(), pairs * (small_size + large_size));
+  const ReplaySummary summary = Replay(trace);
+  EXPECT_EQ(summary.inserts, 2 * pairs);
+  EXPECT_EQ(summary.deletes, pairs);
+  // Only the small objects survive, pinning the footprint near its peak.
+  EXPECT_EQ(summary.live_objects, pairs);
+  EXPECT_EQ(summary.live_volume, pairs * small_size);
+}
+
+TEST(ScenarioBatteryTest, EveryScenarioValidatesAtBothSizes) {
+  for (const bool smoke : {false, true}) {
+    const std::vector<Scenario> battery = MakeScenarioBattery(
+        smoke ? ScenarioBatteryOptions::Smoke() : ScenarioBatteryOptions());
+    ASSERT_EQ(battery.size(), 7u);
+    for (const Scenario& scenario : battery) {
+      EXPECT_FALSE(scenario.name.empty());
+      EXPECT_FALSE(scenario.description.empty());
+      EXPECT_FALSE(scenario.trace.empty()) << scenario.name;
+      EXPECT_TRUE(scenario.trace.Validate().ok()) << scenario.name;
+    }
+  }
+}
+
+TEST(ScenarioBatteryTest, TracesAreDeterministicGivenTheSeed) {
+  const std::vector<Scenario> a = MakeScenarioBattery();
+  const std::vector<Scenario> b = MakeScenarioBattery();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].trace.Serialize(), b[i].trace.Serialize()) << a[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace cosr

@@ -94,6 +94,43 @@ TEST(FactoryTest, SpecParametersApplied) {
   EXPECT_EQ(realloc->reserved_footprint(), 20u);
 }
 
+TEST(FactoryTest, FreeListPolicyAndDisciplineApplied) {
+  // Lay out three same-size objects with live separators, then delete them
+  // in the order B, A, C: three length-16 gaps at offsets 24, 0, 48 whose
+  // release order differs from address order. The next insert exposes which
+  // free-list engine and bin discipline the factory wired in.
+  const auto place_and_probe = [](const ReallocatorSpec& spec) {
+    AddressSpace space;
+    std::unique_ptr<Reallocator> realloc;
+    EXPECT_TRUE(MakeReallocator(spec, &space, &realloc).ok());
+    const ObjectId a = 1, b = 2, c = 3, probe = 100;
+    ObjectId separator = 10;
+    for (const ObjectId id : {a, b, c}) {
+      EXPECT_TRUE(realloc->Insert(id, 16).ok());
+      EXPECT_TRUE(realloc->Insert(separator++, 8).ok());
+    }
+    for (const ObjectId id : {b, a, c}) {
+      EXPECT_TRUE(realloc->Delete(id).ok());
+    }
+    EXPECT_TRUE(realloc->Insert(probe, 16).ok());
+    return space.extent_of(probe).offset;
+  };
+  ReallocatorSpec spec;
+  spec.algorithm = "first-fit";
+  spec.free_list_policy = FreeList::Policy::kBinned;
+  spec.discipline = BinDiscipline::kFifo;
+  EXPECT_EQ(place_and_probe(spec), 24u);  // oldest release
+  spec.discipline = BinDiscipline::kLifo;
+  EXPECT_EQ(place_and_probe(spec), 48u);  // newest release
+  spec.discipline = BinDiscipline::kAddressOrdered;
+  EXPECT_EQ(place_and_probe(spec), 0u);  // lowest address
+  spec.free_list_policy = FreeList::Policy::kMapScan;
+  spec.discipline = BinDiscipline::kLifo;  // ignored by mapscan
+  EXPECT_EQ(place_and_probe(spec), 0u);  // exact lowest-offset first fit
+  spec.algorithm = "best-fit";
+  EXPECT_EQ(place_and_probe(spec), 0u);  // tightest gap, lowest-offset tie
+}
+
 TEST(FactoryTest, NullArgumentsRejected) {
   AddressSpace space;
   std::unique_ptr<Reallocator> realloc;

@@ -115,10 +115,14 @@ void ExpectValidFit(const std::vector<Extent>& gaps, std::uint64_t fit,
 /// Runs 10k mixed operations through both policies. `binned_drives` selects
 /// which policy's fit decisions shape the placement sequence, so both the
 /// exact-fit and the bin-granular placement distributions are exercised.
-void RunDifferentialChurn(std::uint64_t seed, bool binned_drives) {
+/// `discipline` orders the binned engine's bins: the gap-set invariant must
+/// hold regardless, because the discipline only permutes members within a
+/// bin and never changes the Reserve/Release set arithmetic.
+void RunDifferentialChurn(std::uint64_t seed, bool binned_drives,
+                          BinDiscipline discipline = BinDiscipline::kFifo) {
   Rng rng(seed);
   FreeList map_list(FreeList::Policy::kMapScan);
-  FreeList bin_list(FreeList::Policy::kBinned);
+  FreeList bin_list(FreeList::Policy::kBinned, discipline);
   FreeList* driver = binned_drives ? &bin_list : &map_list;
   std::vector<Allocation> live;
 
@@ -178,30 +182,85 @@ TEST(FreeIndexDifferentialTest, BinnedDrivenChurnKeepsAccountingIdentical) {
   RunDifferentialChurn(/*seed=*/202, /*binned_drives=*/true);
 }
 
+TEST(FreeIndexDifferentialTest, LifoDisciplinePreservesGapSetInvariant) {
+  RunDifferentialChurn(/*seed=*/303, /*binned_drives=*/true,
+                       BinDiscipline::kLifo);
+  RunDifferentialChurn(/*seed=*/304, /*binned_drives=*/false,
+                       BinDiscipline::kLifo);
+}
+
+TEST(FreeIndexDifferentialTest, AddressOrderedDisciplinePreservesGapSetInvariant) {
+  RunDifferentialChurn(/*seed=*/404, /*binned_drives=*/true,
+                       BinDiscipline::kAddressOrdered);
+  RunDifferentialChurn(/*seed=*/405, /*binned_drives=*/false,
+                       BinDiscipline::kAddressOrdered);
+}
+
 // ------------------------------------------------------------- invariants
 
 TEST(BinnedFreeIndexTest, IntegrityHoldsUnderRandomChurn) {
-  Rng rng(303);
-  BinnedFreeIndex index;
-  std::vector<Allocation> live;
-  for (int op = 0; op < 4000; ++op) {
-    if (live.empty() || rng.Bernoulli(0.55)) {
-      const std::uint64_t size = rng.UniformRange(1, kMaxSize);
-      const std::uint64_t offset =
-          index.FindFit(size).value_or(index.frontier());
-      index.Reserve(offset, size);
-      live.push_back({offset, size});
-    } else {
-      const std::size_t k =
-          static_cast<std::size_t>(rng.UniformU64(live.size()));
-      const Allocation a = live[k];
-      live[k] = live.back();
-      live.pop_back();
-      index.Release(Extent{a.offset, a.size});
+  for (const BinDiscipline discipline :
+       {BinDiscipline::kFifo, BinDiscipline::kLifo,
+        BinDiscipline::kAddressOrdered}) {
+    Rng rng(303);
+    BinnedFreeIndex index(discipline);
+    std::vector<Allocation> live;
+    for (int op = 0; op < 4000; ++op) {
+      if (live.empty() || rng.Bernoulli(0.55)) {
+        const std::uint64_t size = rng.UniformRange(1, kMaxSize);
+        const std::uint64_t offset =
+            index.FindFit(size).value_or(index.frontier());
+        index.Reserve(offset, size);
+        live.push_back({offset, size});
+      } else {
+        const std::size_t k =
+            static_cast<std::size_t>(rng.UniformU64(live.size()));
+        const Allocation a = live[k];
+        live[k] = live.back();
+        live.pop_back();
+        index.Release(Extent{a.offset, a.size});
+      }
+      const Status s = index.CheckIntegrity();
+      ASSERT_TRUE(s.ok()) << BinDisciplineName(discipline) << " op " << op
+                          << ": " << s.message();
     }
-    const Status s = index.CheckIntegrity();
-    ASSERT_TRUE(s.ok()) << "op " << op << ": " << s.message();
   }
+}
+
+TEST(BinnedFreeIndexTest, DisciplineFixesWhichGapServesTheBin) {
+  // Three same-bin (length 16) gaps released newest-last at offsets chosen
+  // so release order (400, 100, 700) differs from address order.
+  const auto build = [](BinDiscipline discipline) {
+    BinnedFreeIndex index(discipline);
+    index.Reserve(0, 1000);  // frontier past the action
+    index.Release(Extent{400, 16});
+    index.Release(Extent{100, 16});
+    index.Release(Extent{700, 16});
+    return index;
+  };
+  // FIFO: oldest release (400). LIFO: newest release (700). Address-
+  // ordered: lowest offset (100).
+  EXPECT_EQ(build(BinDiscipline::kFifo).FindFit(16).value(), 400u);
+  EXPECT_EQ(build(BinDiscipline::kLifo).FindFit(16).value(), 700u);
+  EXPECT_EQ(build(BinDiscipline::kAddressOrdered).FindFit(16).value(), 100u);
+}
+
+TEST(BinnedFreeIndexTest, AddressOrderedKeepsOrderAsGapsComeAndGo) {
+  BinnedFreeIndex index(BinDiscipline::kAddressOrdered);
+  index.Reserve(0, 1000);
+  // Interleave releases and re-reserves so inserts land at the head, the
+  // middle, and the tail of the sorted bin list.
+  index.Release(Extent{500, 16});
+  index.Release(Extent{100, 16});  // head insert
+  index.Release(Extent{900, 16});  // tail insert
+  index.Release(Extent{300, 16});  // middle insert
+  ASSERT_TRUE(index.CheckIntegrity().ok());
+  EXPECT_EQ(index.FindFit(16).value(), 100u);
+  index.Reserve(100, 16);  // consume the head; 300 becomes lowest
+  EXPECT_EQ(index.FindFit(16).value(), 300u);
+  index.Release(Extent{100, 16});  // head again
+  EXPECT_EQ(index.FindFit(16).value(), 100u);
+  ASSERT_TRUE(index.CheckIntegrity().ok());
 }
 
 TEST(BinnedFreeIndexTest, CoalescesInEveryReleaseOrder) {

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Usage: tools/check_markdown_links.py [file-or-dir ...]
+Defaults to every tracked *.md in the repo root, docs/, and src/.
+External (http/https/mailto) links and pure #anchors are skipped; a
+relative link with an anchor is checked against its file part. Exits
+non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def md_files(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = [d for d in dirs if not d.startswith(("build", "."))]
+                for name in names:
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        elif path.endswith(".md"):
+            yield path
+
+
+def check(files):
+    broken = []
+    for md in files:
+        with open(md, encoding="utf-8") as handle:
+            text = handle.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md), relative))
+            if not os.path.exists(resolved):
+                line = text.count("\n", 0, match.start()) + 1
+                broken.append(f"{md}:{line}: broken link -> {target}")
+    return broken
+
+
+def main():
+    args = sys.argv[1:]
+    if not args:
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        os.chdir(repo)
+        args = [name for name in os.listdir(".") if name.endswith(".md")]
+        args += ["docs", "src"]
+    files = sorted(set(md_files(args)))
+    broken = check(files)
+    for problem in broken:
+        print(problem)
+    print(f"checked {len(files)} markdown files: "
+          f"{'FAIL' if broken else 'ok'} ({len(broken)} broken)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
