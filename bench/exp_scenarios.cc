@@ -1,7 +1,7 @@
 // EXP-SCENARIOS — the standing scenario-diversity battery: every
 // reallocator × free-list policy × bin-discipline cell replayed over every
 // scenario in workload/scenario.h (steady churn, ramp-collapse, bimodal
-// sizes, and the four adversarial traces), recording footprint ratios,
+// sizes, Zipf churn, and the four adversarial traces), recording footprint ratios,
 // moved volume, and throughput via RunHarness/CostMeter. Writes one JSON
 // row per cell to BENCH_scenarios.json (run from the repo root to refresh
 // the committed artifact) and prints a per-scenario table plus the

@@ -122,7 +122,9 @@ void CheckpointedReallocator::FlushWithCheckpoints(
 
   // Step A: evacuate live buffered objects (including the triggering
   // insert) to [work_area, ...). Sources all end before L + ∆ <= work_area,
-  // so a single inter-checkpoint window suffices.
+  // so a single inter-checkpoint window suffices — and the whole step is
+  // one ApplyMoves batch, as is every checkpoint phase below: the space
+  // validates the Lemma 3.2 nonoverlap property once per batch.
   std::uint64_t overflow = work_area;
   std::vector<std::vector<std::pair<ObjectId, std::uint64_t>>>
       overflow_by_class(static_cast<std::size_t>(maxc) + 1);
@@ -130,13 +132,14 @@ void CheckpointedReallocator::FlushWithCheckpoints(
     Region& r = regions_[static_cast<std::size_t>(i)];
     for (const BufferEntry& entry : r.buffer_entries) {
       if (!entry.live()) continue;
-      MoveTracked(entry.id, Extent{overflow, entry.size});
+      PlanMove(entry.id, Extent{overflow, entry.size});
       overflow_by_class[static_cast<std::size_t>(entry.size_class)]
           .emplace_back(entry.id, entry.size);
       overflow += entry.size;
     }
     r.ResetBuffer();
   }
+  FlushPlannedMoves();
   NoteTempFootprint(overflow);
   space_->Checkpoint();
   Notify(FlushEvent::Stage::kBuffersEvacuated, boundary);
@@ -144,7 +147,8 @@ void CheckpointedReallocator::FlushWithCheckpoints(
   // Step B: pack payloads rightward, largest class first, so that the last
   // object ends at work_area. Every move shifts right by at least B + ∆,
   // hence never overlaps a live extent; phases cover at most B + ∆ of
-  // target addresses with a checkpoint after each phase.
+  // target addresses with a checkpoint (preceded by the phase's batch)
+  // after each phase.
   std::uint64_t pack_cursor = work_area;
   std::uint64_t phase_high = work_area;
   for (int i = maxc; i >= boundary; --i) {
@@ -154,16 +158,18 @@ void CheckpointedReallocator::FlushWithCheckpoints(
       const std::uint64_t size = objects_.at(*rit).size;
       pack_cursor -= size;
       if (phase_high - pack_cursor > phase_limit) {
+        FlushPlannedMoves();
         space_->Checkpoint();
         phase_high = pack_cursor + size;
       }
       const Extent& current = space_->extent_of(*rit);
       COSR_CHECK_LE(current.offset, pack_cursor);
       if (current.offset != pack_cursor) {
-        MoveTracked(*rit, Extent{pack_cursor, size});
+        PlanMove(*rit, Extent{pack_cursor, size});
       }
     }
   }
+  FlushPlannedMoves();
   space_->Checkpoint();
   Notify(FlushEvent::Stage::kCompacted, boundary);
 
@@ -190,15 +196,17 @@ void CheckpointedReallocator::FlushWithCheckpoints(
         phase_low = cursor;
         phase_open = true;
       } else if (cursor + size - phase_low > phase_limit) {
+        FlushPlannedMoves();
         space_->Checkpoint();
         phase_low = cursor;
       }
       const Extent& current = space_->extent_of(id);
       COSR_CHECK_LE(cursor, current.offset);
-      if (current.offset != cursor) MoveTracked(id, Extent{cursor, size});
+      if (current.offset != cursor) PlanMove(id, Extent{cursor, size});
       cursor += size;
     }
   }
+  FlushPlannedMoves();
   space_->Checkpoint();
   Notify(FlushEvent::Stage::kUnpacked, boundary);
 
@@ -213,7 +221,7 @@ void CheckpointedReallocator::FlushWithCheckpoints(
     Region& r = regions_[idx];
     std::uint64_t cursor = final_start[idx] + r.payload_live;
     for (const auto& [id, size] : overflow_by_class[idx]) {
-      MoveTracked(id, Extent{cursor, size});
+      PlanMove(id, Extent{cursor, size});
       AppendPayloadObject(r, id, size);
       ObjectInfo& info = objects_.at(id);
       info.in_buffer = false;
@@ -224,6 +232,7 @@ void CheckpointedReallocator::FlushWithCheckpoints(
     r.payload_capacity = new_payload[idx];
     r.buffer_capacity = new_buffer[idx];
   }
+  FlushPlannedMoves();
   // Final checkpoint: persists the rebuilt translation map so the next
   // flush's working area (which may be lower) can reuse space freed here.
   space_->Checkpoint();

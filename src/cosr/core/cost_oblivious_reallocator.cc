@@ -135,7 +135,10 @@ void CostObliviousReallocator::Flush(int boundary, const Pending& pending) {
   const std::uint64_t old_end = regions_.back().region_end();
 
   // Step 1: evacuate live buffered objects to the overflow segment, which
-  // starts after both the old and the new suffix; drop dummy records.
+  // starts after both the old and the new suffix; drop dummy records. The
+  // whole stage is one ApplyMoves batch (as are steps 2-4): the space
+  // validates the batch once and listeners see one coherent event per
+  // stage instead of per-move fan-out.
   std::uint64_t overflow = std::max(new_end, old_end);
   std::vector<std::vector<std::pair<ObjectId, std::uint64_t>>>
       overflow_by_class(static_cast<std::size_t>(maxc) + 1);
@@ -143,13 +146,14 @@ void CostObliviousReallocator::Flush(int boundary, const Pending& pending) {
     Region& r = regions_[static_cast<std::size_t>(i)];
     for (const BufferEntry& entry : r.buffer_entries) {
       if (!entry.live()) continue;
-      MoveTracked(entry.id, Extent{overflow, entry.size});
+      PlanMove(entry.id, Extent{overflow, entry.size});
       overflow_by_class[static_cast<std::size_t>(entry.size_class)]
           .emplace_back(entry.id, entry.size);
       overflow += entry.size;
     }
     r.ResetBuffer();
   }
+  FlushPlannedMoves();
   NoteTempFootprint(overflow);
   Notify(FlushEvent::Stage::kBuffersEvacuated, boundary);
 
@@ -161,10 +165,11 @@ void CostObliviousReallocator::Flush(int boundary, const Pending& pending) {
       const std::uint64_t size = objects_.at(id).size;
       const Extent& current = space_->extent_of(id);
       COSR_CHECK_LE(pack, current.offset);
-      if (current.offset != pack) MoveTracked(id, Extent{pack, size});
+      if (current.offset != pack) PlanMove(id, Extent{pack, size});
       pack += size;
     }
   }
+  FlushPlannedMoves();
   Notify(FlushEvent::Stage::kCompacted, boundary);
 
   // Step 3: unpack payloads right-to-left to their final positions (each
@@ -191,9 +196,10 @@ void CostObliviousReallocator::Flush(int boundary, const Pending& pending) {
       cursor -= size;
       const Extent& current = space_->extent_of(*rit);
       COSR_CHECK_LE(current.offset, cursor);
-      if (current.offset != cursor) MoveTracked(*rit, Extent{cursor, size});
+      if (current.offset != cursor) PlanMove(*rit, Extent{cursor, size});
     }
   }
+  FlushPlannedMoves();
   Notify(FlushEvent::Stage::kUnpacked, boundary);
 
   // Step 4: place overflow objects at the ends of their payload segments
@@ -203,7 +209,7 @@ void CostObliviousReallocator::Flush(int boundary, const Pending& pending) {
     Region& r = regions_[idx];
     std::uint64_t cursor = final_start[idx] + r.payload_live;
     for (const auto& [id, size] : overflow_by_class[idx]) {
-      MoveTracked(id, Extent{cursor, size});
+      PlanMove(id, Extent{cursor, size});
       AppendPayloadObject(r, id, size);
       ObjectInfo& info = objects_.at(id);
       info.in_buffer = false;
@@ -214,6 +220,7 @@ void CostObliviousReallocator::Flush(int boundary, const Pending& pending) {
     r.payload_capacity = new_payload[idx];
     r.buffer_capacity = new_buffer[idx];
   }
+  FlushPlannedMoves();
 
   // Finally place the pending insert in the gap Invariant 2.4 reserved at
   // the end of its payload segment. payload_live already counts the

@@ -314,14 +314,16 @@ void DeamortizedReallocator::DoWork(std::uint64_t budget) {
     if (plan_cursor_ < plan_.size()) {
       const PlannedMove& m = plan_[plan_cursor_];
       if (m.stage != current_stage_) {
-        // Stage boundary: checkpoint so the next stage may reuse space
-        // freed by the previous one.
+        // Stage boundary: apply the staged batch, then checkpoint so the
+        // next stage may reuse space freed by the previous one.
+        FlushPlannedMoves();
         CheckpointNow();
         current_stage_ = m.stage;
         phase_open_ = false;
       }
       if (m.stage == Stage::kPack) {
         if (phase_open_ && phase_high_ - m.target > phase_limit_) {
+          FlushPlannedMoves();
           CheckpointNow();
           phase_open_ = false;
         }
@@ -331,6 +333,7 @@ void DeamortizedReallocator::DoWork(std::uint64_t budget) {
         }
       } else if (m.stage == Stage::kUnpack) {
         if (phase_open_ && m.target + m.size - phase_low_ > phase_limit_) {
+          FlushPlannedMoves();
           CheckpointNow();
           phase_open_ = false;
         }
@@ -341,13 +344,14 @@ void DeamortizedReallocator::DoWork(std::uint64_t budget) {
       }
       const Extent& current = space_->extent_of(m.id);
       if (current.offset != m.target) {
-        MoveTracked(m.id, Extent{m.target, m.size});
+        PlanMove(m.id, Extent{m.target, m.size});
       }
       done += m.size;
       ++plan_cursor_;
       continue;
     }
     if (!installed_) {
+      FlushPlannedMoves();
       CheckpointNow();
       InstallMetadata();
       installed_ = true;
@@ -374,6 +378,9 @@ void DeamortizedReallocator::DoWork(std::uint64_t budget) {
       }
     }
   }
+  // Budget exhausted mid-stage: apply what is staged so callers (and the
+  // next DoWork slice) observe a consistent address space.
+  FlushPlannedMoves();
 }
 
 void DeamortizedReallocator::InstallMetadata() {

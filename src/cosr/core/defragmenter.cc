@@ -48,15 +48,20 @@ std::vector<ObjectId> ByOffsetDescending(const AddressSpace& space,
 }
 
 /// Packs the objects against `right_end` (one slide per object; slides may
-/// self-overlap, i.e. memmove semantics).
+/// self-overlap, i.e. memmove semantics). The whole crunch is one batched
+/// move plan: targets are computed from the pre-crunch layout, so the
+/// space applies and validates them in a single ApplyMoves.
 void CrunchRight(AddressSpace* space, const std::vector<ObjectId>& ids,
                  std::uint64_t right_end) {
+  std::vector<MovePlan> plan;
+  plan.reserve(ids.size());
   std::uint64_t cursor = right_end;
   for (ObjectId id : ByOffsetDescending(*space, ids)) {
     const Extent& e = space->extent_of(id);
     cursor -= e.length;
-    if (e.offset != cursor) space->Move(id, Extent{cursor, e.length});
+    if (e.offset != cursor) plan.push_back(MovePlan{id, {cursor, e.length}});
   }
+  space->ApplyMoves(plan);
 }
 
 }  // namespace
@@ -136,12 +141,15 @@ Status Defragmenter::Sort(AddressSpace* space,
   }
 
   if (options.compact_to_front) {
+    std::vector<MovePlan> plan;
+    plan.reserve(order.size());
     std::uint64_t cursor = 0;
     for (ObjectId id : order) {
       const Extent& e = space->extent_of(id);
-      if (e.offset != cursor) space->Move(id, Extent{cursor, e.length});
+      if (e.offset != cursor) plan.push_back(MovePlan{id, {cursor, e.length}});
       cursor += e.length;
     }
+    space->ApplyMoves(plan);
   }
 
   if (stats != nullptr) {
@@ -181,11 +189,16 @@ Status NaiveDefragSort(AddressSpace* space, const std::vector<ObjectId>& ids,
   // Move 2: place each object at its final sorted position in [0, V).
   std::vector<ObjectId> order = ids;
   std::sort(order.begin(), order.end(), less);
-  std::uint64_t cursor = 0;
-  for (ObjectId id : order) {
-    const Extent& e = space->extent_of(id);
-    space->Move(id, Extent{cursor, e.length});
-    cursor += e.length;
+  {
+    std::vector<MovePlan> plan;
+    plan.reserve(order.size());
+    std::uint64_t cursor = 0;
+    for (ObjectId id : order) {
+      const Extent& e = space->extent_of(id);
+      plan.push_back(MovePlan{id, {cursor, e.length}});
+      cursor += e.length;
+    }
+    space->ApplyMoves(plan);
   }
 
   if (stats != nullptr) {

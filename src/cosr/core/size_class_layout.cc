@@ -42,6 +42,14 @@ void SizeClassLayout::MoveTracked(ObjectId id, const Extent& to) {
   moved_volume_ += size;
 }
 
+void SizeClassLayout::FlushPlannedMoves() {
+  if (move_batch_.empty()) return;
+  space_->ApplyMoves(move_batch_.data(), move_batch_.size());
+  move_count_ += move_batch_.size();
+  for (const MovePlan& plan : move_batch_) moved_volume_ += plan.to.length;
+  move_batch_.clear();
+}
+
 void SizeClassLayout::Notify(FlushEvent::Stage stage, int boundary) {
   if (flush_listener_ == nullptr) return;
   FlushEvent event;

@@ -88,6 +88,16 @@ class SizeClassLayout : public Reallocator {
   void PlaceOrMove(ObjectId id, const Extent& extent, bool already_placed);
   void MoveTracked(ObjectId id, const Extent& to);
 
+  /// Move-plan staging for the flush paths: PlanMove stages, and
+  /// FlushPlannedMoves applies everything staged so far as one
+  /// AddressSpace::ApplyMoves batch (one batch per flush stage, or per
+  /// checkpoint phase in the durability variants). Staged plans must be
+  /// applied before anything reads the movers' extents again.
+  void PlanMove(ObjectId id, const Extent& to) {
+    move_batch_.push_back(MovePlan{id, to});
+  }
+  void FlushPlannedMoves();
+
   /// Payload membership changes route through these so Region::payload_live
   /// stays exact without per-flush re-derivation.
   static void AppendPayloadObject(Region& region, ObjectId id,
@@ -121,6 +131,7 @@ class SizeClassLayout : public Reallocator {
   std::uint64_t moved_volume_ = 0;
   std::uint64_t max_temp_footprint_ = 0;
   FlushListener* flush_listener_ = nullptr;
+  std::vector<MovePlan> move_batch_;  // staged flush moves (PlanMove)
 };
 
 }  // namespace cosr

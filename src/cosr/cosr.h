@@ -36,6 +36,7 @@
 #include "cosr/realloc/size_class_reallocator.h"  // IWYU pragma: export
 #include "cosr/storage/address_space.h"       // IWYU pragma: export
 #include "cosr/storage/checkpoint_manager.h"  // IWYU pragma: export
+#include "cosr/storage/offset_index.h"        // IWYU pragma: export
 #include "cosr/storage/simulated_disk.h"      // IWYU pragma: export
 #include "cosr/viz/flush_tracer.h"            // IWYU pragma: export
 #include "cosr/viz/layout_renderer.h"         // IWYU pragma: export

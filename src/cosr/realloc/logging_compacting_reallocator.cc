@@ -39,14 +39,17 @@ void LoggingCompactingReallocator::MaybeCompact() {
   // "Whenever a deallocation causes the footprint to reach threshold * V".
   if (static_cast<double>(log_end_) < limit) return;
   // Compact: slide every object left in offset order (memmove semantics;
-  // this baseline lives in the unconstrained Section 2 model).
+  // this baseline lives in the unconstrained Section 2 model). One batched
+  // move plan covers the whole slide.
+  std::vector<MovePlan> plan;
   std::uint64_t cursor = 0;
   for (const auto& [id, extent] : space_->Snapshot()) {
     if (extent.offset != cursor) {
-      space_->Move(id, Extent{cursor, extent.length});
+      plan.push_back(MovePlan{id, {cursor, extent.length}});
     }
     cursor += extent.length;
   }
+  space_->ApplyMoves(plan);
   log_end_ = cursor;
   ++compaction_count_;
 }

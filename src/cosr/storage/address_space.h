@@ -1,7 +1,9 @@
 #ifndef COSR_STORAGE_ADDRESS_SPACE_H_
 #define COSR_STORAGE_ADDRESS_SPACE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -9,8 +11,23 @@
 #include "cosr/common/types.h"
 #include "cosr/storage/checkpoint_manager.h"
 #include "cosr/storage/extent.h"
+#include "cosr/storage/offset_index.h"
 
 namespace cosr {
+
+/// One move of a batch handed to AddressSpace::ApplyMoves. The source is
+/// implicit (the object's current extent); `to.length` must match it.
+struct MovePlan {
+  ObjectId id = kInvalidObjectId;
+  Extent to;
+};
+
+/// An applied move, as reported to listeners.
+struct MoveRecord {
+  ObjectId id = kInvalidObjectId;
+  Extent from;
+  Extent to;
+};
 
 /// Observer of physical storage events. Cost meters, the simulated disk,
 /// and visualization hooks all implement this.
@@ -19,6 +36,10 @@ class SpaceListener {
   virtual ~SpaceListener() = default;
   virtual void OnPlace(ObjectId id, const Extent& extent);
   virtual void OnMove(ObjectId id, const Extent& from, const Extent& to);
+  /// One ApplyMoves batch in application order. The default implementation
+  /// fans out to OnMove once per record, so per-move listeners keep working
+  /// unchanged; tracers wanting the coherent batch view override this.
+  virtual void OnMoves(const MoveRecord* records, std::size_t count);
   virtual void OnRemove(ObjectId id, const Extent& extent);
   virtual void OnCheckpoint(std::uint64_t checkpoint_seq);
 };
@@ -32,10 +53,30 @@ class SpaceListener {
 ///     durability rules of Section 3.1);
 ///   * without a manager, a move may overlap its own source (memmove
 ///     semantics), matching the unconstrained model of Section 2.
+///
+/// Two storage engines sit behind the API (mirroring FreeList::Policy):
+///   * kFlat (default) — a dense ObjectId-indexed slot table (ids are
+///     sequential uint64s from the workload layer; sparse ids spill into a
+///     small overflow map) plus a paged sorted-vector offset index
+///     (OffsetIndex). O(1) id lookups, cache-friendly neighbor checks, O(1)
+///     footprint, and a batched ApplyMoves that validates once per batch.
+///   * kMap — the original std::map/unordered_map engine, kept selectable
+///     as the conservative oracle: its ApplyMoves validates every move
+///     sequentially with the historical per-move rules, so all
+///     placement-sensitive reproductions stay bit-identical. Differential
+///     fuzzing (tests/address_space_engine_test.cc) drives both engines
+///     through identical traces.
 class AddressSpace {
  public:
-  explicit AddressSpace(CheckpointManager* checkpoints = nullptr)
-      : checkpoints_(checkpoints) {}
+  enum class Engine {
+    kFlat,  // slot table + paged offset index, batched validation
+    kMap,   // ordered map + hash map, per-move validation (the oracle)
+  };
+
+  explicit AddressSpace(CheckpointManager* checkpoints = nullptr,
+                        Engine engine = Engine::kFlat)
+      : engine_(engine), checkpoints_(checkpoints) {}
+  explicit AddressSpace(Engine engine) : AddressSpace(nullptr, engine) {}
   AddressSpace(const AddressSpace&) = delete;
   AddressSpace& operator=(const AddressSpace&) = delete;
 
@@ -51,37 +92,61 @@ class AddressSpace {
   void Place(ObjectId id, const Extent& extent);
 
   /// Like Place, but returns false (touching nothing) when `id` is already
-  /// placed. Single hash probe: lets allocator hot paths skip a separate
+  /// placed. Single lookup: lets allocator hot paths skip a separate
   /// contains() check and build error strings only on the failure branch.
   bool TryPlace(ObjectId id, const Extent& extent);
 
   /// Moves an existing object to `to` (length must match).
   void Move(ObjectId id, const Extent& to);
 
+  /// Applies a batch of moves — the flush-storm fast path. Ids must be
+  /// distinct; no-op plans (target == current position) are skipped.
+  /// Listeners receive a single OnMoves with the applied records.
+  ///
+  /// Validation is batch-level on the kFlat engine: the *final* layout must
+  /// be disjoint (each reindexed target is checked against its definitive
+  /// neighbors), and under a checkpoint manager every target must
+  /// additionally be disjoint from every batch source and from regions
+  /// frozen before the batch — the Lemma 3.2 nonoverlap property, checked
+  /// with one sorted sweep per batch instead of per-move probes. Without a
+  /// manager, transient ordering hazards between batch members (a target
+  /// crossing a not-yet-vacated source) are the caller's responsibility,
+  /// exactly like a self-overlapping memmove. The kMap engine instead
+  /// applies the batch as sequential per-move validations (the strictest
+  /// historical semantics), which the differential fuzz leans on.
+  void ApplyMoves(const MovePlan* plans, std::size_t count);
+  void ApplyMoves(const std::vector<MovePlan>& plans) {
+    ApplyMoves(plans.data(), plans.size());
+  }
+
   /// Frees an object's extent.
   void Remove(ObjectId id);
 
   /// Like Remove, but returns false when `id` is absent; on success stores
-  /// the freed extent in *removed. Single hash probe (contains() +
-  /// extent_of() + Remove() folded into one lookup).
+  /// the freed extent in *removed.
   bool TryRemove(ObjectId id, Extent* removed);
 
-  bool contains(ObjectId id) const { return extents_.count(id) > 0; }
+  bool contains(ObjectId id) const;
   const Extent& extent_of(ObjectId id) const;
 
   /// Largest end address of any placed object (the literal "footprint" of
-  /// the paper: the largest memory address containing an allocated object).
+  /// the paper). O(1): the flat engine reads the offset index tail, the map
+  /// engine maintains the value incrementally (recomputed only when the
+  /// rightmost object leaves).
   std::uint64_t footprint() const;
 
   /// Sum of the lengths of all placed objects.
   std::uint64_t live_volume() const { return live_volume_; }
-  std::size_t object_count() const { return extents_.size(); }
+  std::size_t object_count() const {
+    return engine_ == Engine::kFlat ? flat_count_ : extents_.size();
+  }
 
   /// Runs a checkpoint: releases frozen regions (if a manager is attached)
   /// and notifies listeners.
   void Checkpoint();
 
   CheckpointManager* checkpoint_manager() const { return checkpoints_; }
+  Engine engine() const { return engine_; }
 
   /// All (id, extent) pairs in ascending offset order.
   std::vector<std::pair<ObjectId, Extent>> Snapshot() const;
@@ -91,15 +156,66 @@ class AddressSpace {
   bool SelfCheck() const;
 
  private:
+  // ---------------------------------------------------------- kFlat engine
+  /// Mutable slot of a placed object, or nullptr. Dense ids resolve with
+  /// one deque probe; the overflow map is consulted only when non-empty.
+  Extent* FlatSlotFor(ObjectId id);
+  const Extent* FlatSlotFor(ObjectId id) const;
+
+  /// Whether a fresh id may live in the dense table (growing it at most
+  /// geometrically); everything else goes to the overflow map.
+  bool FlatDenseEligible(ObjectId id) const {
+    return id < slots_.size() + slots_.size() / 2 + kDenseFloor;
+  }
+
+  /// Inserts into the offset index and CHECKs the new entry against its
+  /// neighbors — with pairwise-disjoint existing entries, only the direct
+  /// neighbors can overlap, so this enforces full disjointness inductively.
+  void FlatIndexInsertChecked(ObjectId id, const Extent& extent);
+
+  bool FlatTryPlace(ObjectId id, const Extent& extent);
+  bool FlatMoveInternal(ObjectId id, const Extent& to, Extent* from_out);
+  bool FlatTryRemove(ObjectId id, Extent* removed);
+  void FlatApplyMoves(const MovePlan* plans, std::size_t count);
+  bool FlatSelfCheck() const;
+
+  // ----------------------------------------------------------- kMap engine
   /// CHECKs that [extent] does not overlap any object other than `self` and
   /// is writable under the checkpoint policy.
-  void CheckWritable(const Extent& extent, ObjectId self) const;
+  void MapCheckWritable(const Extent& extent, ObjectId self) const;
+  bool MapTryPlace(ObjectId id, const Extent& extent);
+  bool MapMoveInternal(ObjectId id, const Extent& to, Extent* from_out);
+  bool MapTryRemove(ObjectId id, Extent* removed);
+  void MapApplyMoves(const MovePlan* plans, std::size_t count);
+  void MapNoteRemoved(const Extent& extent);
+  bool MapSelfCheck() const;
 
-  std::map<std::uint64_t, ObjectId> by_offset_;
-  std::unordered_map<ObjectId, Extent> extents_;
+  void NotifyMoves();
+  void CheckBatchAgainstFrozen();
+
+  static constexpr std::size_t kDenseFloor = 4096;
+
+  Engine engine_;
   CheckpointManager* checkpoints_;
   std::vector<SpaceListener*> listeners_;
   std::uint64_t live_volume_ = 0;
+
+  // kFlat engine state. A deque keeps references stable while the dense
+  // table grows at the back (extent_of hands out references).
+  std::deque<Extent> slots_;  // length == 0 means the slot is empty
+  std::unordered_map<ObjectId, Extent> flat_overflow_;
+  OffsetIndex index_;
+  std::size_t flat_count_ = 0;
+
+  // kMap engine state.
+  std::map<std::uint64_t, ObjectId> by_offset_;
+  std::unordered_map<ObjectId, Extent> extents_;
+  std::uint64_t map_footprint_ = 0;
+
+  // Reused ApplyMoves scratch (avoids per-batch allocation in move storms).
+  std::vector<MoveRecord> batch_records_;
+  std::vector<Extent> batch_sources_;
+  std::vector<Extent> batch_targets_;
 };
 
 }  // namespace cosr

@@ -41,6 +41,26 @@ bool ExtentSet::Intersects(const Extent& e) const {
   return it != intervals_.end() && it->first < e.end();
 }
 
+bool ExtentSet::IntersectsAnySorted(const std::vector<Extent>& sorted) const {
+  if (sorted.empty() || intervals_.empty()) return false;
+  // Skip intervals entirely below the batch, then sweep both sequences.
+  auto it = intervals_.upper_bound(sorted.front().offset);
+  if (it != intervals_.begin()) --it;
+  std::size_t i = 0;
+  while (it != intervals_.end() && i < sorted.size()) {
+    if (it->second <= sorted[i].offset) {
+      ++it;
+    } else if (sorted[i].end() <= it->first) {
+      ++i;
+    } else if (sorted[i].empty()) {
+      ++i;  // zero-length extents intersect nothing
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool ExtentSet::Contains(std::uint64_t address) const {
   return Intersects(Extent{address, 1});
 }

@@ -20,6 +20,12 @@ class ExtentSet {
   /// True when any part of `e` is in the set.
   bool Intersects(const Extent& e) const;
 
+  /// True when any of `sorted` intersects the set. The extents must be
+  /// disjoint and ascending by offset; the whole batch is answered with a
+  /// single merged sweep over the intervals instead of one probe per
+  /// extent (the batched-move validation path of AddressSpace).
+  bool IntersectsAnySorted(const std::vector<Extent>& sorted) const;
+
   /// True when the single address is in the set.
   bool Contains(std::uint64_t address) const;
 

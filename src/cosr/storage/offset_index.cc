@@ -1,0 +1,94 @@
+#include "cosr/storage/offset_index.h"
+
+#include <algorithm>
+
+namespace cosr {
+
+std::size_t OffsetIndex::FindPage(std::uint64_t offset) const {
+  const auto it =
+      std::upper_bound(page_min_.begin(), page_min_.end(), offset);
+  if (it == page_min_.begin()) return 0;
+  return static_cast<std::size_t>(it - page_min_.begin()) - 1;
+}
+
+OffsetIndex::Neighbors OffsetIndex::Insert(std::uint64_t offset, ObjectId id) {
+  Neighbors neighbors;
+  if (pages_.empty()) {
+    pages_.emplace_back();
+    pages_.back().entries.reserve(kPageCapacity);
+    pages_.back().entries.push_back(Entry{offset, id});
+    page_min_.push_back(offset);
+    size_ = 1;
+    return neighbors;
+  }
+  const std::size_t p = FindPage(offset);
+  Page& page = pages_[p];
+  const auto pos = std::upper_bound(
+      page.entries.begin(), page.entries.end(), offset,
+      [](std::uint64_t value, const Entry& e) { return value < e.offset; });
+  const auto i = static_cast<std::size_t>(pos - page.entries.begin());
+  if (i > 0) {
+    neighbors.pred = page.entries[i - 1];
+    neighbors.has_pred = true;
+  } else if (p > 0) {
+    neighbors.pred = pages_[p - 1].entries.back();
+    neighbors.has_pred = true;
+  }
+  if (i < page.entries.size()) {
+    neighbors.succ = page.entries[i];
+    neighbors.has_succ = true;
+  } else if (p + 1 < pages_.size()) {
+    neighbors.succ = pages_[p + 1].entries.front();
+    neighbors.has_succ = true;
+  }
+  page.entries.insert(pos, Entry{offset, id});
+  if (i == 0) page_min_[p] = offset;
+  ++size_;
+  if (page.entries.size() >= kPageCapacity) Split(p);
+  return neighbors;
+}
+
+void OffsetIndex::Split(std::size_t page_index) {
+  Page upper;
+  upper.entries.reserve(kPageCapacity);
+  {
+    Page& page = pages_[page_index];
+    const std::size_t half = page.entries.size() / 2;
+    upper.entries.assign(page.entries.begin() + static_cast<long>(half),
+                         page.entries.end());
+    page.entries.resize(half);
+  }
+  const std::uint64_t upper_min = upper.entries.front().offset;
+  pages_.insert(pages_.begin() + static_cast<long>(page_index) + 1,
+                std::move(upper));
+  page_min_.insert(page_min_.begin() + static_cast<long>(page_index) + 1,
+                   upper_min);
+}
+
+bool OffsetIndex::Erase(std::uint64_t offset) {
+  if (pages_.empty()) return false;
+  const std::size_t p = FindPage(offset);
+  Page& page = pages_[p];
+  const auto pos = std::lower_bound(
+      page.entries.begin(), page.entries.end(), offset,
+      [](const Entry& e, std::uint64_t value) { return e.offset < value; });
+  if (pos == page.entries.end() || pos->offset != offset) return false;
+  const bool was_front = pos == page.entries.begin();
+  page.entries.erase(pos);
+  --size_;
+  if (page.entries.empty()) {
+    pages_.erase(pages_.begin() + static_cast<long>(p));
+    page_min_.erase(page_min_.begin() + static_cast<long>(p));
+  } else if (was_front) {
+    page_min_[p] = page.entries.front().offset;
+  }
+  return true;
+}
+
+void OffsetIndex::Clear() {
+  pages_.clear();
+  page_min_.clear();
+  size_ = 0;
+}
+
+}  // namespace cosr

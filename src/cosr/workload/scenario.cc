@@ -57,6 +57,17 @@ std::vector<Scenario> MakeScenarioBattery(
                        .seed = options.seed + 1})});
 
   battery.push_back(
+      {"zipf-churn",
+       "churn with Zipf-ranked sizes (heavy-tail block-size distribution)",
+       MakeChurnTrace({.operations = options.churn_operations,
+                       .target_live_volume = options.churn_target_volume,
+                       .min_size = 1,
+                       .max_size = options.max_object_size,
+                       .distribution = SizeDistribution::kZipf,
+                       .zipf_s = options.zipf_churn_s,
+                       .seed = options.seed + 2})});
+
+  battery.push_back(
       {"adv-lower-bound",
        "Lemma 3.7 sequence: size-delta object, delta units, big delete",
        MakeLowerBoundTrace(options.lower_bound_delta)});

@@ -23,10 +23,11 @@ struct Scenario {
 /// reallocator cell on a laptop; Smoke() shrinks every scenario to CI-smoke
 /// size (sub-second for the whole battery) without changing its shape.
 struct ScenarioBatteryOptions {
-  // steady-churn / bimodal-churn
+  // steady-churn / bimodal-churn / zipf-churn
   std::uint64_t churn_operations = 12000;
   std::uint64_t churn_target_volume = 1u << 20;
   std::uint64_t max_object_size = 4096;
+  double zipf_churn_s = 1.2;  // zipf-churn size-rank skew
   // ramp-collapse
   std::uint64_t ramp_peak_volume = 1u << 20;
   int ramp_cycles = 2;
@@ -44,10 +45,10 @@ struct ScenarioBatteryOptions {
 };
 
 /// The standing scenario battery: steady-state churn, ramp-then-collapse,
-/// bimodal sizes, and replays of the four adversarial traces from
-/// workload/adversary.h (lower-bound, logging-killer, size-class cascade,
-/// fragmentation). Every trace validates (Trace::Validate) and is
-/// deterministic given `options.seed`.
+/// bimodal sizes, heavy-tail Zipf churn, and replays of the four
+/// adversarial traces from workload/adversary.h (lower-bound,
+/// logging-killer, size-class cascade, fragmentation). Every trace
+/// validates (Trace::Validate) and is deterministic given `options.seed`.
 std::vector<Scenario> MakeScenarioBattery(
     const ScenarioBatteryOptions& options = ScenarioBatteryOptions());
 

@@ -125,7 +125,7 @@ TEST(ScenarioBatteryTest, EveryScenarioValidatesAtBothSizes) {
   for (const bool smoke : {false, true}) {
     const std::vector<Scenario> battery = MakeScenarioBattery(
         smoke ? ScenarioBatteryOptions::Smoke() : ScenarioBatteryOptions());
-    ASSERT_EQ(battery.size(), 7u);
+    ASSERT_EQ(battery.size(), 8u);
     for (const Scenario& scenario : battery) {
       EXPECT_FALSE(scenario.name.empty());
       EXPECT_FALSE(scenario.description.empty());
