@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "cosr/storage/address_space.h"
 #include "cosr/core/cost_oblivious_reallocator.h"
 #include "cosr/core/deamortized_reallocator.h"
 #include "cosr/cost/cost_battery.h"

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "cosr/storage/address_space.h"
 #include "cosr/core/checkpointed_reallocator.h"
 #include "cosr/core/cost_oblivious_reallocator.h"
 #include "cosr/core/deamortized_reallocator.h"

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "cosr/storage/address_space.h"
 #include "cosr/alloc/best_fit_allocator.h"
 #include "cosr/alloc/buddy_allocator.h"
 #include "cosr/alloc/first_fit_allocator.h"

@@ -1,11 +1,13 @@
 // EXP-SCENARIOS — the standing scenario-diversity battery: every
-// reallocator × free-list policy × bin-discipline cell replayed over every
-// scenario in workload/scenario.h (steady churn, ramp-collapse, bimodal
-// sizes, Zipf churn, and the four adversarial traces), recording footprint ratios,
-// moved volume, and throughput via RunHarness/CostMeter. Writes one JSON
-// row per cell to BENCH_scenarios.json (run from the repo root to refresh
-// the committed artifact) and prints a per-scenario table plus the
-// bin-discipline verdict the ROADMAP asks for.
+// reallocator × free-list policy × bin-discipline cell — plus the
+// service-layer sharded cells (cost-oblivious behind ShardedReallocator at
+// K ∈ {1, 4, 16}) — replayed over every scenario in workload/scenario.h
+// (steady churn, ramp-collapse, bimodal sizes, Zipf churn, the
+// database-block replay, and the four adversarial traces), recording
+// footprint ratios, moved volume, and throughput via RunHarness/CostMeter.
+// Writes one JSON row per cell to BENCH_scenarios.json (run from the repo
+// root to refresh the committed artifact) and prints a per-scenario table
+// plus the bin-discipline verdict the ROADMAP asks for.
 //
 // Usage: exp_scenarios [--smoke]   (--smoke: ~20x smaller traces for CI)
 
@@ -14,15 +16,18 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <utility>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "cosr/storage/address_space.h"
 #include "cosr/common/check.h"
 #include "cosr/cost/cost_battery.h"
 #include "cosr/metrics/run_harness.h"
 #include "cosr/realloc/factory.h"
+#include "cosr/service/sharded_reallocator.h"
 #include "cosr/storage/checkpoint_manager.h"
 #include "cosr/workload/scenario.h"
 
@@ -33,15 +38,26 @@ using Clock = std::chrono::steady_clock;
 
 /// One reallocator configuration of the battery. `policy`/`discipline` are
 /// display labels ("-" where the knob does not exist for the algorithm).
+/// Cells with `sharded` set run behind a ShardedReallocator facade of
+/// `spec.shard_count` shards — including K=1, so the wrapper itself is a
+/// measured battery citizen, not a special case.
 struct Cell {
   ReallocatorSpec spec;
   std::string policy;
   std::string discipline;
+  bool sharded = false;
+
+  std::string RoutingLabel() const {
+    return sharded ? ShardRoutingName(spec.routing) : "-";
+  }
 
   std::string Label() const {
     std::string label = spec.algorithm;
     if (policy != "-") label += "/" + policy;
     if (discipline != "-") label += "/" + discipline;
+    if (sharded) {
+      label += "/K" + std::to_string(spec.shard_count) + "-" + RoutingLabel();
+    }
     return label;
   }
 };
@@ -81,6 +97,29 @@ std::vector<Cell> MakeCells() {
     cell.discipline = "-";
     cells.push_back(cell);
   }
+  // The service layer: cost-oblivious behind the sharded facade at
+  // K ∈ {1, 4, 16} (hash routing; K=1 measures the wrapper itself), plus
+  // the size-segregated routing at K=4.
+  for (const std::uint32_t shards : {1u, 4u, 16u}) {
+    Cell cell;
+    cell.spec.algorithm = "cost-oblivious";
+    cell.spec.shard_count = shards;
+    cell.spec.routing = ShardRouting::kHashId;
+    cell.policy = "-";
+    cell.discipline = "-";
+    cell.sharded = true;
+    cells.push_back(cell);
+  }
+  {
+    Cell cell;
+    cell.spec.algorithm = "cost-oblivious";
+    cell.spec.shard_count = 4;
+    cell.spec.routing = ShardRouting::kSizeClass;
+    cell.policy = "-";
+    cell.discipline = "-";
+    cell.sharded = true;
+    cells.push_back(cell);
+  }
   return cells;
 }
 
@@ -95,12 +134,26 @@ struct Row {
 Row RunCell(const Scenario& scenario, const Cell& cell,
             const CostBattery& battery) {
   std::unique_ptr<CheckpointManager> manager;
-  if (AlgorithmNeedsCheckpointManager(cell.spec.algorithm)) {
+  if (!cell.sharded &&
+      AlgorithmNeedsCheckpointManager(cell.spec.algorithm)) {
+    // Sharded cells keep the parent unmanaged: each shard scopes its own.
     manager = std::make_unique<CheckpointManager>();
   }
   AddressSpace space(manager.get());
   std::unique_ptr<Reallocator> realloc;
-  COSR_CHECK_OK(MakeReallocator(cell.spec, &space, &realloc));
+  if (cell.sharded) {
+    // Through ShardedReallocator::Make directly so K=1 still measures the
+    // facade (the factory unwraps shard_count == 1 to the bare algorithm).
+    ShardedReallocator::Options options;
+    options.shard_count = cell.spec.shard_count;
+    options.routing = cell.spec.routing;
+    std::unique_ptr<ShardedReallocator> sharded;
+    COSR_CHECK_OK(
+        ShardedReallocator::Make(cell.spec, options, &space, &sharded));
+    realloc = std::move(sharded);
+  } else {
+    COSR_CHECK_OK(MakeReallocator(cell.spec, &space, &realloc));
+  }
 
   RunOptions options;
   // Scale the ratio floor with the trace so collapse phases (the regime the
@@ -126,7 +179,7 @@ void WriteJson(const std::vector<Row>& rows, bool smoke) {
     std::printf("cannot open BENCH_scenarios.json for writing\n");
     return;
   }
-  std::fprintf(json, "{\n  \"schema_version\": 1,\n  \"smoke\": %s,\n",
+  std::fprintf(json, "{\n  \"schema_version\": 2,\n  \"smoke\": %s,\n",
                smoke ? "true" : "false");
   std::fprintf(json,
                "  \"excluded\": [{\"algorithm\": \"pma\", \"reason\": "
@@ -139,6 +192,7 @@ void WriteJson(const std::vector<Row>& rows, bool smoke) {
         json,
         "    {\"scenario\": \"%s\", \"algorithm\": \"%s\", "
         "\"policy\": \"%s\", \"discipline\": \"%s\", "
+        "\"shards\": %u, \"routing\": \"%s\", "
         "\"operations\": %llu, "
         "\"max_footprint_ratio\": %.4f, \"avg_footprint_ratio\": %.4f, "
         "\"final_footprint_ratio\": %.4f, "
@@ -148,6 +202,8 @@ void WriteJson(const std::vector<Row>& rows, bool smoke) {
         "\"wall_seconds\": %.4f, \"ops_per_sec\": %.0f}%s\n",
         row.scenario.c_str(), row.cell.spec.algorithm.c_str(),
         row.cell.policy.c_str(), row.cell.discipline.c_str(),
+        row.cell.sharded ? row.cell.spec.shard_count : 1,
+        row.cell.RoutingLabel().c_str(),
         static_cast<unsigned long long>(row.report.operations),
         row.report.max_footprint_ratio, row.report.avg_footprint_ratio,
         row.report.final_footprint_ratio,

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "cosr/storage/address_space.h"
 #include "cosr/core/cost_oblivious_reallocator.h"
 #include "cosr/cost/cost_battery.h"
 #include "cosr/metrics/run_harness.h"

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "cosr/storage/address_space.h"
 #include "cosr/common/random.h"
 #include "cosr/core/cost_oblivious_reallocator.h"
 #include "cosr/viz/layout_renderer.h"

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "cosr/storage/address_space.h"
 #include "cosr/common/random.h"
 #include "cosr/core/checkpointed_reallocator.h"
 #include "cosr/db/block_translation_layer.h"

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <string>
 
+#include "cosr/storage/address_space.h"
 #include "cosr/cost/cost_battery.h"
 #include "cosr/metrics/run_harness.h"
 #include "cosr/realloc/factory.h"

@@ -5,7 +5,7 @@
 
 #include "cosr/alloc/free_list.h"
 #include "cosr/realloc/reallocator.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
@@ -21,7 +21,7 @@ namespace cosr {
 class BestFitAllocator : public Reallocator {
  public:
   explicit BestFitAllocator(
-      AddressSpace* space, FreeList::Policy policy = FreeList::Policy::kBinned,
+      Space* space, FreeList::Policy policy = FreeList::Policy::kBinned,
       BinDiscipline discipline = BinDiscipline::kFifo)
       : space_(space), free_list_(policy, discipline) {}
   BestFitAllocator(const BestFitAllocator&) = delete;
@@ -36,7 +36,7 @@ class BestFitAllocator : public Reallocator {
   const char* name() const override { return "best-fit"; }
 
  private:
-  AddressSpace* space_;
+  Space* space_;
   FreeList free_list_;
 };
 

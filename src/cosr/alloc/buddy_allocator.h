@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "cosr/realloc/reallocator.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
@@ -17,7 +17,7 @@ namespace cosr {
 /// address space stays "arbitrarily large".
 class BuddyAllocator : public Reallocator {
  public:
-  explicit BuddyAllocator(AddressSpace* space) : space_(space) {}
+  explicit BuddyAllocator(Space* space) : space_(space) {}
   BuddyAllocator(const BuddyAllocator&) = delete;
   BuddyAllocator& operator=(const BuddyAllocator&) = delete;
 
@@ -41,7 +41,7 @@ class BuddyAllocator : public Reallocator {
   void FreeBlock(std::uint64_t offset, int order);
   void GrowArena(int min_order);
 
-  AddressSpace* space_;
+  Space* space_;
   std::vector<std::set<std::uint64_t>> free_lists_ =
       std::vector<std::set<std::uint64_t>>(kMaxOrder);
   std::unordered_map<ObjectId, int> order_of_;

@@ -5,7 +5,7 @@
 
 #include "cosr/alloc/free_list.h"
 #include "cosr/realloc/reallocator.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
@@ -23,7 +23,7 @@ namespace cosr {
 class FirstFitAllocator : public Reallocator {
  public:
   explicit FirstFitAllocator(
-      AddressSpace* space, FreeList::Policy policy = FreeList::Policy::kBinned,
+      Space* space, FreeList::Policy policy = FreeList::Policy::kBinned,
       BinDiscipline discipline = BinDiscipline::kFifo)
       : space_(space), free_list_(policy, discipline) {}
   FirstFitAllocator(const FirstFitAllocator&) = delete;
@@ -38,7 +38,7 @@ class FirstFitAllocator : public Reallocator {
   const char* name() const override { return "first-fit"; }
 
  private:
-  AddressSpace* space_;
+  Space* space_;
   FreeList free_list_;
 };
 

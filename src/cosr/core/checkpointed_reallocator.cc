@@ -4,11 +4,12 @@
 
 #include "cosr/common/check.h"
 #include "cosr/common/math_util.h"
+#include "cosr/storage/checkpoint_manager.h"
 #include "cosr/core/size_class.h"
 
 namespace cosr {
 
-CheckpointedReallocator::CheckpointedReallocator(AddressSpace* space,
+CheckpointedReallocator::CheckpointedReallocator(Space* space,
                                                  Options options)
     : SizeClassLayout(space, options.epsilon) {
   COSR_CHECK_MSG(space_->checkpoint_manager() != nullptr,

@@ -31,8 +31,8 @@ class CheckpointedReallocator : public SizeClassLayout {
 
   /// `space` must have a CheckpointManager attached and outlive the
   /// reallocator.
-  CheckpointedReallocator(AddressSpace* space, Options options);
-  explicit CheckpointedReallocator(AddressSpace* space)
+  CheckpointedReallocator(Space* space, Options options);
+  explicit CheckpointedReallocator(Space* space)
       : CheckpointedReallocator(space, Options()) {}
   CheckpointedReallocator(const CheckpointedReallocator&) = delete;
   CheckpointedReallocator& operator=(const CheckpointedReallocator&) = delete;

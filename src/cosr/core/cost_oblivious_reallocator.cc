@@ -8,7 +8,7 @@
 
 namespace cosr {
 
-CostObliviousReallocator::CostObliviousReallocator(AddressSpace* space,
+CostObliviousReallocator::CostObliviousReallocator(Space* space,
                                                    Options options)
     : SizeClassLayout(space, options.epsilon) {
   COSR_CHECK_MSG(space_->checkpoint_manager() == nullptr,

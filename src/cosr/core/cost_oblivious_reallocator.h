@@ -23,7 +23,7 @@ namespace cosr {
 /// reallocation of every active object, and self-overlapping slides are
 /// permitted (use CheckpointedReallocator for the database model of
 /// Section 3). The algorithm never consults a cost function — cost is
-/// measured externally by listeners on the AddressSpace.
+/// measured externally by listeners on the Space.
 class CostObliviousReallocator : public SizeClassLayout {
  public:
   struct Options {
@@ -39,8 +39,8 @@ class CostObliviousReallocator : public SizeClassLayout {
 
   /// `space` must not have a CheckpointManager attached (this variant uses
   /// overlapping slides) and must outlive the reallocator.
-  CostObliviousReallocator(AddressSpace* space, Options options);
-  explicit CostObliviousReallocator(AddressSpace* space)
+  CostObliviousReallocator(Space* space, Options options);
+  explicit CostObliviousReallocator(Space* space)
       : CostObliviousReallocator(space, Options()) {}
   CostObliviousReallocator(const CostObliviousReallocator&) = delete;
   CostObliviousReallocator& operator=(const CostObliviousReallocator&) =

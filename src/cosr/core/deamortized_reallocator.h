@@ -37,8 +37,8 @@ class DeamortizedReallocator : public SizeClassLayout {
     double work_factor = 4.0;  // flush work per update: (work_factor/eps)*w
   };
 
-  DeamortizedReallocator(AddressSpace* space, Options options);
-  explicit DeamortizedReallocator(AddressSpace* space)
+  DeamortizedReallocator(Space* space, Options options);
+  explicit DeamortizedReallocator(Space* space)
       : DeamortizedReallocator(space, Options()) {}
   DeamortizedReallocator(const DeamortizedReallocator&) = delete;
   DeamortizedReallocator& operator=(const DeamortizedReallocator&) = delete;

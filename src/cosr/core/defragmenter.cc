@@ -15,7 +15,7 @@ namespace {
 /// of a sort.
 class MoveRecorder : public SpaceListener {
  public:
-  explicit MoveRecorder(AddressSpace* space) : space_(space) {
+  explicit MoveRecorder(Space* space) : space_(space) {
     space_->AddListener(this);
   }
   ~MoveRecorder() override { space_->RemoveListener(this); }
@@ -31,14 +31,14 @@ class MoveRecorder : public SpaceListener {
   std::uint64_t max_footprint() const { return max_footprint_; }
 
  private:
-  AddressSpace* space_;
+  Space* space_;
   std::uint64_t moves_ = 0;
   std::uint64_t moved_volume_ = 0;
   std::uint64_t max_footprint_ = 0;
 };
 
 /// Objects in descending current-offset order.
-std::vector<ObjectId> ByOffsetDescending(const AddressSpace& space,
+std::vector<ObjectId> ByOffsetDescending(const Space& space,
                                          const std::vector<ObjectId>& ids) {
   std::vector<ObjectId> sorted = ids;
   std::sort(sorted.begin(), sorted.end(), [&](ObjectId a, ObjectId b) {
@@ -51,7 +51,7 @@ std::vector<ObjectId> ByOffsetDescending(const AddressSpace& space,
 /// self-overlap, i.e. memmove semantics). The whole crunch is one batched
 /// move plan: targets are computed from the pre-crunch layout, so the
 /// space applies and validates them in a single ApplyMoves.
-void CrunchRight(AddressSpace* space, const std::vector<ObjectId>& ids,
+void CrunchRight(Space* space, const std::vector<ObjectId>& ids,
                  std::uint64_t right_end) {
   std::vector<MovePlan> plan;
   plan.reserve(ids.size());
@@ -66,7 +66,7 @@ void CrunchRight(AddressSpace* space, const std::vector<ObjectId>& ids,
 
 }  // namespace
 
-Status Defragmenter::Sort(AddressSpace* space,
+Status Defragmenter::Sort(Space* space,
                           const std::vector<ObjectId>& ids,
                           const std::function<bool(ObjectId, ObjectId)>& less,
                           const Options& options, Stats* stats) {
@@ -163,7 +163,7 @@ Status Defragmenter::Sort(AddressSpace* space,
   return Status::Ok();
 }
 
-Status NaiveDefragSort(AddressSpace* space, const std::vector<ObjectId>& ids,
+Status NaiveDefragSort(Space* space, const std::vector<ObjectId>& ids,
                        const std::function<bool(ObjectId, ObjectId)>& less,
                        Defragmenter::Stats* stats) {
   std::uint64_t volume = 0;

@@ -7,7 +7,7 @@
 
 #include "cosr/common/status.h"
 #include "cosr/common/types.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
@@ -47,7 +47,7 @@ class Defragmenter {
   /// [0, floor(eps*V) + V)) according to `less`. On return the objects are
   /// packed in ascending `less` order. `space` must not have a
   /// CheckpointManager (the crunch uses overlapping slides).
-  static Status Sort(AddressSpace* space, const std::vector<ObjectId>& ids,
+  static Status Sort(Space* space, const std::vector<ObjectId>& ids,
                      const std::function<bool(ObjectId, ObjectId)>& less,
                      const Options& options, Stats* stats = nullptr);
 };
@@ -56,7 +56,7 @@ class Defragmenter {
 /// defragmentation is trivial with exactly two moves per object (crunch
 /// right into [V, 2V), then place each object at its final sorted position
 /// in [0, V)).
-Status NaiveDefragSort(AddressSpace* space, const std::vector<ObjectId>& ids,
+Status NaiveDefragSort(Space* space, const std::vector<ObjectId>& ids,
                        const std::function<bool(ObjectId, ObjectId)>& less,
                        Defragmenter::Stats* stats = nullptr);
 

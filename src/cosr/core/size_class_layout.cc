@@ -8,7 +8,7 @@
 
 namespace cosr {
 
-SizeClassLayout::SizeClassLayout(AddressSpace* space, double epsilon)
+SizeClassLayout::SizeClassLayout(Space* space, double epsilon)
     : space_(space), epsilon_(epsilon) {
   COSR_CHECK(space_ != nullptr);
   COSR_CHECK(epsilon_ > 0.0 && epsilon_ <= 1.0);

@@ -8,7 +8,7 @@
 #include "cosr/core/flush_listener.h"
 #include "cosr/core/layout.h"
 #include "cosr/realloc/reallocator.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
@@ -58,7 +58,7 @@ class SizeClassLayout : public Reallocator {
     int region = 0;  // region index where the object currently lives
   };
 
-  SizeClassLayout(AddressSpace* space, double epsilon);
+  SizeClassLayout(Space* space, double epsilon);
 
   /// Places (or, for adopted objects, moves) `id` into the earliest buffer
   /// j >= cls with room. Returns false when no buffer has room.
@@ -90,7 +90,7 @@ class SizeClassLayout : public Reallocator {
 
   /// Move-plan staging for the flush paths: PlanMove stages, and
   /// FlushPlannedMoves applies everything staged so far as one
-  /// AddressSpace::ApplyMoves batch (one batch per flush stage, or per
+  /// Space::ApplyMoves batch (one batch per flush stage, or per
   /// checkpoint phase in the durability variants). Staged plans must be
   /// applied before anything reads the movers' extents again.
   void PlanMove(ObjectId id, const Extent& to) {
@@ -116,7 +116,7 @@ class SizeClassLayout : public Reallocator {
   Status CheckRegions(std::vector<std::uint64_t>& class_volume,
                       std::uint64_t& total, std::size_t& count) const;
 
-  AddressSpace* space_;
+  Space* space_;
   double epsilon_;
   /// Whether updates may spill into buffers of larger classes (the paper's
   /// rule). Disabled only by the ablation experiment.

@@ -2,7 +2,7 @@
 
 namespace cosr {
 
-BlockTranslationLayer::BlockTranslationLayer(AddressSpace* space,
+BlockTranslationLayer::BlockTranslationLayer(Space* space,
                                              Reallocator* realloc)
     : space_(space), realloc_(realloc) {
   space_->AddListener(this);

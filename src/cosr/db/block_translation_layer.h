@@ -9,7 +9,7 @@
 #include "cosr/common/status.h"
 #include "cosr/common/types.h"
 #include "cosr/realloc/reallocator.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 #include "cosr/storage/simulated_disk.h"
 
 namespace cosr {
@@ -19,7 +19,7 @@ namespace cosr {
 /// reallocator is free to change. The current (in-memory) table answers
 /// lookups; the *checkpointed* table is what a crash recovers to.
 ///
-/// Attached to the AddressSpace as a listener, the layer snapshots its table
+/// Attached to the Space as a listener, the layer snapshots its table
 /// at every checkpoint. Under the Section 3.1 discipline (locations freed
 /// since the last checkpoint are never overwritten), every block in the
 /// snapshot remains byte-for-byte intact at its snapshotted address — the
@@ -34,7 +34,7 @@ class BlockTranslationLayer : public SpaceListener {
 
   /// Registers as a listener on `space`. Both `space` and `realloc` must
   /// outlive the layer.
-  BlockTranslationLayer(AddressSpace* space, Reallocator* realloc);
+  BlockTranslationLayer(Space* space, Reallocator* realloc);
   ~BlockTranslationLayer() override;
   BlockTranslationLayer(const BlockTranslationLayer&) = delete;
   BlockTranslationLayer& operator=(const BlockTranslationLayer&) = delete;
@@ -70,7 +70,7 @@ class BlockTranslationLayer : public SpaceListener {
   void OnCheckpoint(std::uint64_t checkpoint_seq) override;
 
  private:
-  AddressSpace* space_;
+  Space* space_;
   Reallocator* realloc_;
   std::unordered_map<std::uint64_t, ObjectId> table_;
   ObjectId next_object_id_ = 1;

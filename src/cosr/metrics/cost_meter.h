@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "cosr/cost/cost_battery.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 

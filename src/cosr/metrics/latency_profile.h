@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "cosr/cost/cost_function.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
@@ -14,7 +14,7 @@ namespace cosr {
 /// (Lemma 3.6): the amortized variant has a light body and a heavy tail;
 /// the deamortized variant flattens the tail at the same body.
 ///
-/// Attach to the AddressSpace, call BeginOp() before each request, then
+/// Attach to the Space, call BeginOp() before each request, then
 /// query Percentile()/max() after the run.
 class LatencyProfile : public SpaceListener {
  public:

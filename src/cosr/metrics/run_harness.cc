@@ -6,7 +6,9 @@
 #include "cosr/core/checkpointed_reallocator.h"
 #include "cosr/core/size_class_layout.h"
 #include "cosr/metrics/cost_meter.h"
+#include "cosr/storage/checkpoint_manager.h"
 #include "cosr/realloc/size_class_reallocator.h"
+#include "cosr/service/sharded_reallocator.h"
 
 namespace cosr {
 
@@ -17,7 +19,7 @@ const FunctionReport* RunReport::function(const std::string& name) const {
   return nullptr;
 }
 
-RunReport RunTrace(Reallocator& realloc, AddressSpace& space,
+RunReport RunTrace(Reallocator& realloc, Space& space,
                    const Trace& trace, const CostBattery& battery,
                    const RunOptions& options) {
   RunReport report;
@@ -82,6 +84,12 @@ RunReport RunTrace(Reallocator& realloc, AddressSpace& space,
   if (layout != nullptr) report.flushes = layout->flush_count();
   if (space.checkpoint_manager() != nullptr) {
     report.checkpoints = space.checkpoint_manager()->checkpoint_count();
+  } else if (auto* sharded = dynamic_cast<ShardedReallocator*>(&realloc)) {
+    // Sharded runs keep the parent unmanaged; the checkpoints live in the
+    // shards' private managers.
+    for (const ShardStats::PerShard& shard : sharded->Stats().shards) {
+      report.checkpoints += shard.checkpoints;
+    }
   }
   if (checkpointed != nullptr) {
     report.max_checkpoints_per_flush =

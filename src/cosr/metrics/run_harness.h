@@ -7,7 +7,7 @@
 
 #include "cosr/cost/cost_battery.h"
 #include "cosr/realloc/reallocator.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 #include "cosr/workload/trace.h"
 
 namespace cosr {
@@ -72,7 +72,7 @@ struct RunReport {
 /// Replays `trace` against `realloc` (whose objects live in `space`),
 /// pricing all physical activity under `battery`. CHECK-fails on request
 /// errors (traces are expected to be valid).
-RunReport RunTrace(Reallocator& realloc, AddressSpace& space,
+RunReport RunTrace(Reallocator& realloc, Space& space,
                    const Trace& trace, const CostBattery& battery,
                    const RunOptions& options = RunOptions());
 

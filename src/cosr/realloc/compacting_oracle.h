@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "cosr/realloc/reallocator.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
@@ -15,7 +15,7 @@ namespace cosr {
 /// true optimum and to illustrate the footprint/cost trade-off.
 class CompactingOracle : public Reallocator {
  public:
-  explicit CompactingOracle(AddressSpace* space) : space_(space) {}
+  explicit CompactingOracle(Space* space) : space_(space) {}
   CompactingOracle(const CompactingOracle&) = delete;
   CompactingOracle& operator=(const CompactingOracle&) = delete;
 
@@ -28,7 +28,7 @@ class CompactingOracle : public Reallocator {
   const char* name() const override { return "oracle"; }
 
  private:
-  AddressSpace* space_;
+  Space* space_;
 };
 
 }  // namespace cosr

@@ -10,6 +10,7 @@
 #include "cosr/realloc/logging_compacting_reallocator.h"
 #include "cosr/realloc/packed_memory_array.h"
 #include "cosr/realloc/size_class_reallocator.h"
+#include "cosr/service/sharded_reallocator.h"
 
 namespace cosr {
 
@@ -27,10 +28,20 @@ bool AlgorithmNeedsCheckpointManager(const std::string& algorithm) {
   return algorithm == "checkpointed" || algorithm == "deamortized";
 }
 
-Status MakeReallocator(const ReallocatorSpec& spec, AddressSpace* space,
+Status MakeReallocator(const ReallocatorSpec& spec, Space* space,
                        std::unique_ptr<Reallocator>* out) {
   if (space == nullptr || out == nullptr) {
     return Status::InvalidArgument("space and out must be non-null");
+  }
+  if (spec.shard_count > 1) {
+    ShardedReallocator::Options options;
+    options.shard_count = spec.shard_count;
+    options.routing = spec.routing;
+    std::unique_ptr<ShardedReallocator> sharded;
+    Status status = ShardedReallocator::Make(spec, options, space, &sharded);
+    if (!status.ok()) return status;
+    *out = std::move(sharded);
+    return Status::Ok();
   }
   const bool managed = space->checkpoint_manager() != nullptr;
   if (AlgorithmNeedsCheckpointManager(spec.algorithm) && !managed) {

@@ -8,7 +8,8 @@
 #include "cosr/alloc/free_list.h"
 #include "cosr/common/status.h"
 #include "cosr/realloc/reallocator.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/service/routing.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
@@ -27,18 +28,25 @@ struct ReallocatorSpec {
   FreeList::Policy free_list_policy = FreeList::Policy::kBinned;
   /// Per-bin gap ordering under kBinned; ignored by kMapScan.
   BinDiscipline discipline = BinDiscipline::kFifo;
+  /// Service layer: with shard_count > 1 the factory returns a
+  /// ShardedReallocator routing over that many instances of `algorithm`,
+  /// each on its own sub-range of `space` (which must then carry no
+  /// CheckpointManager — managed shards scope their own). shard_count == 1
+  /// builds the plain single-instance algorithm.
+  std::uint32_t shard_count = 1;
+  ShardRouting routing = ShardRouting::kHashId;
 };
 
 /// Creates the named (re)allocator over `space`. Fails with
 /// InvalidArgument for unknown names and FailedPrecondition when the
 /// algorithm's checkpoint-manager requirement does not match the space.
-Status MakeReallocator(const ReallocatorSpec& spec, AddressSpace* space,
+Status MakeReallocator(const ReallocatorSpec& spec, Space* space,
                        std::unique_ptr<Reallocator>* out);
 
 /// All algorithm names MakeReallocator accepts, in display order.
 const std::vector<std::string>& KnownAlgorithms();
 
-/// Whether the named algorithm requires an AddressSpace with a
+/// Whether the named algorithm requires a Space with a
 /// CheckpointManager attached (the Section 3 variants).
 bool AlgorithmNeedsCheckpointManager(const std::string& algorithm);
 

@@ -7,7 +7,7 @@
 namespace cosr {
 
 LoggingCompactingReallocator::LoggingCompactingReallocator(
-    AddressSpace* space, Options options)
+    Space* space, Options options)
     : space_(space), options_(options) {
   COSR_CHECK(options_.threshold > 1.0);
 }

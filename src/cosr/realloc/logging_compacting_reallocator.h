@@ -5,7 +5,7 @@
 #include <map>
 
 #include "cosr/realloc/reallocator.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
@@ -24,9 +24,9 @@ class LoggingCompactingReallocator : public Reallocator {
     double threshold = 2.0;
   };
 
-  explicit LoggingCompactingReallocator(AddressSpace* space)
+  explicit LoggingCompactingReallocator(Space* space)
       : LoggingCompactingReallocator(space, Options()) {}
-  LoggingCompactingReallocator(AddressSpace* space, Options options);
+  LoggingCompactingReallocator(Space* space, Options options);
   LoggingCompactingReallocator(const LoggingCompactingReallocator&) = delete;
   LoggingCompactingReallocator& operator=(
       const LoggingCompactingReallocator&) = delete;
@@ -42,7 +42,7 @@ class LoggingCompactingReallocator : public Reallocator {
  private:
   void MaybeCompact();
 
-  AddressSpace* space_;
+  Space* space_;
   Options options_;
   std::uint64_t log_end_ = 0;  // append pointer == reserved footprint
   std::uint64_t compaction_count_ = 0;

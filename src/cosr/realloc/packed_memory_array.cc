@@ -7,7 +7,7 @@
 
 namespace cosr {
 
-PackedMemoryArray::PackedMemoryArray(AddressSpace* space, Options options)
+PackedMemoryArray::PackedMemoryArray(Space* space, Options options)
     : space_(space), options_(options) {
   COSR_CHECK(space_ != nullptr);
   COSR_CHECK(options_.slot_size >= 1);

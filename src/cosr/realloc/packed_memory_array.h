@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "cosr/realloc/reallocator.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
@@ -37,8 +37,8 @@ class PackedMemoryArray : public Reallocator {
     double rho_root = 0.25;
   };
 
-  PackedMemoryArray(AddressSpace* space, Options options);
-  explicit PackedMemoryArray(AddressSpace* space)
+  PackedMemoryArray(Space* space, Options options);
+  explicit PackedMemoryArray(Space* space)
       : PackedMemoryArray(space, Options()) {}
   PackedMemoryArray(const PackedMemoryArray&) = delete;
   PackedMemoryArray& operator=(const PackedMemoryArray&) = delete;
@@ -91,7 +91,7 @@ class PackedMemoryArray : public Reallocator {
   /// Rebuilds the whole table at `new_capacity` slots.
   void Resize(std::uint64_t new_capacity);
 
-  AddressSpace* space_;
+  Space* space_;
   Options options_;
   std::uint64_t capacity_ = 0;   // slots; power of two
   std::uint64_t leaf_size_ = 0;  // slots per leaf segment; power of two

@@ -7,7 +7,7 @@
 #include <unordered_map>
 
 #include "cosr/realloc/reallocator.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
@@ -30,7 +30,7 @@ namespace cosr {
 /// strategy is only (2, Θ(log ∆))-competitive for linear cost).
 class SizeClassReallocator : public Reallocator {
  public:
-  explicit SizeClassReallocator(AddressSpace* space) : space_(space) {}
+  explicit SizeClassReallocator(Space* space) : space_(space) {}
   SizeClassReallocator(const SizeClassReallocator&) = delete;
   SizeClassReallocator& operator=(const SizeClassReallocator&) = delete;
 
@@ -73,7 +73,7 @@ class SizeClassReallocator : public Reallocator {
 
   SizeClass& EnsureClass(int order);
 
-  AddressSpace* space_;
+  Space* space_;
   std::map<int, SizeClass> classes_;  // keyed by order
   std::unordered_map<ObjectId, ObjectInfo> objects_;
 };

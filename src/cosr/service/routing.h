@@ -1,0 +1,34 @@
+#ifndef COSR_SERVICE_ROUTING_H_
+#define COSR_SERVICE_ROUTING_H_
+
+#include <cstdint>
+
+#include "cosr/common/types.h"
+
+namespace cosr {
+
+/// How a ShardedReallocator assigns an incoming object to a shard.
+enum class ShardRouting {
+  /// Uniform spray: shard = mix(id) mod K. Balances object count and (for
+  /// size-independent workloads) volume; every shard sees the full size
+  /// distribution.
+  kHashId,
+  /// Size-segregated: shard = size-class(size) mod K, so heavy-tail large
+  /// objects land on different shards than small-object churn. This is the
+  /// composition the follow-up literature scales with (Farach-Colton &
+  /// Sheffield 2024; Jin 2026): per-size-class sub-problems whose costs
+  /// add.
+  kSizeClass,
+};
+
+/// Display name: "hash" / "size-class".
+const char* ShardRoutingName(ShardRouting routing);
+
+/// The routing function itself, shared by the facade and its tests:
+/// which of `shard_count` shards an (id, size) insert goes to.
+std::uint32_t RouteToShard(ShardRouting routing, std::uint32_t shard_count,
+                           ObjectId id, std::uint64_t size);
+
+}  // namespace cosr
+
+#endif  // COSR_SERVICE_ROUTING_H_

@@ -1,0 +1,134 @@
+#include "cosr/service/sharded_reallocator.h"
+
+#include <utility>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+Status ShardedReallocator::Make(const ReallocatorSpec& inner_spec,
+                                const Options& options, Space* parent,
+                                std::unique_ptr<ShardedReallocator>* out) {
+  if (parent == nullptr || out == nullptr) {
+    return Status::InvalidArgument("parent and out must be non-null");
+  }
+  if (options.shard_count == 0) {
+    return Status::InvalidArgument("shard_count must be >= 1");
+  }
+  if (options.subrange_span == 0 ||
+      options.subrange_span >
+          ~std::uint64_t{0} / options.shard_count) {
+    return Status::InvalidArgument("subrange_span degenerate for K shards");
+  }
+  if (parent->checkpoint_manager() != nullptr) {
+    return Status::FailedPrecondition(
+        "sharded parent space must not carry a CheckpointManager; each "
+        "shard scopes its own");
+  }
+
+  ReallocatorSpec spec = inner_spec;
+  spec.shard_count = 1;  // the facade is the only sharding layer
+
+  auto sharded = std::unique_ptr<ShardedReallocator>(
+      new ShardedReallocator(options, parent));
+  sharded->needs_shard_map_ = options.routing == ShardRouting::kSizeClass;
+  sharded->shards_.reserve(options.shard_count);
+  for (std::uint32_t i = 0; i < options.shard_count; ++i) {
+    Shard shard;
+    if (AlgorithmNeedsCheckpointManager(spec.algorithm)) {
+      shard.manager = std::make_unique<CheckpointManager>();
+    }
+    shard.view = std::make_unique<SubSpaceView>(
+        parent, std::uint64_t{i} * options.subrange_span,
+        options.subrange_span, shard.manager.get());
+    Status status = MakeReallocator(spec, shard.view.get(), &shard.inner);
+    if (!status.ok()) return status;
+    sharded->shards_.push_back(std::move(shard));
+  }
+  sharded->name_ = "sharded[" + std::to_string(options.shard_count) + "," +
+                   ShardRoutingName(options.routing) + "]/" + spec.algorithm;
+  *out = std::move(sharded);
+  return Status::Ok();
+}
+
+Status ShardedReallocator::Insert(ObjectId id, std::uint64_t size) {
+  const std::uint32_t target = shard_for(id, size);
+  if (needs_shard_map_) {
+    // A live duplicate may be parked on a *different* shard (same id,
+    // different size class), which that shard's reallocator cannot detect.
+    auto it = shard_of_.find(id);
+    if (it != shard_of_.end()) {
+      return Status::AlreadyExists("object " + std::to_string(id) +
+                                   " is live on shard " +
+                                   std::to_string(it->second));
+    }
+  }
+  Status status = shards_[target].inner->Insert(id, size);
+  if (status.ok() && needs_shard_map_) shard_of_.emplace(id, target);
+  return status;
+}
+
+Status ShardedReallocator::Delete(ObjectId id) {
+  std::uint32_t target;
+  if (needs_shard_map_) {
+    auto it = shard_of_.find(id);
+    if (it == shard_of_.end()) {
+      return Status::NotFound("object " + std::to_string(id) +
+                              " is not live on any shard");
+    }
+    target = it->second;
+  } else {
+    target = shard_for(id, /*size=*/0);
+  }
+  Status status = shards_[target].inner->Delete(id);
+  if (status.ok() && needs_shard_map_) shard_of_.erase(id);
+  return status;
+}
+
+std::uint64_t ShardedReallocator::reserved_footprint() const {
+  std::uint64_t sum = 0;
+  for (const Shard& shard : shards_) sum += shard.inner->reserved_footprint();
+  return sum;
+}
+
+std::uint64_t ShardedReallocator::volume() const {
+  std::uint64_t sum = 0;
+  for (const Shard& shard : shards_) sum += shard.inner->volume();
+  return sum;
+}
+
+void ShardedReallocator::Quiesce() {
+  for (Shard& shard : shards_) shard.inner->Quiesce();
+}
+
+std::uint32_t ShardedReallocator::shard_of(ObjectId id) const {
+  if (needs_shard_map_) {
+    auto it = shard_of_.find(id);
+    return it == shard_of_.end() ? shard_count() : it->second;
+  }
+  const std::uint32_t target = shard_for(id, /*size=*/0);
+  return shards_[target].view->contains(id) ? target : shard_count();
+}
+
+ShardStats ShardedReallocator::Stats() const {
+  ShardStats stats;
+  stats.shards.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    ShardStats::PerShard per;
+    per.base = shard.view->base();
+    per.objects = shard.view->object_count();
+    per.volume = shard.view->live_volume();
+    per.reserved_footprint = shard.inner->reserved_footprint();
+    per.space_footprint = shard.view->footprint();
+    per.checkpoints =
+        shard.manager != nullptr ? shard.manager->checkpoint_count() : 0;
+    stats.volume += per.volume;
+    stats.sum_reserved_footprint += per.reserved_footprint;
+    stats.sum_subrange_footprint += per.space_footprint;
+    stats.shards.push_back(per);
+  }
+  stats.global_max_end = parent_->footprint();
+  return stats;
+}
+
+}  // namespace cosr

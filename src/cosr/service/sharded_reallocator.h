@@ -1,0 +1,136 @@
+#ifndef COSR_SERVICE_SHARDED_REALLOCATOR_H_
+#define COSR_SERVICE_SHARDED_REALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cosr/common/status.h"
+#include "cosr/common/types.h"
+#include "cosr/realloc/factory.h"
+#include "cosr/realloc/reallocator.h"
+#include "cosr/service/routing.h"
+#include "cosr/service/sub_space_view.h"
+#include "cosr/storage/checkpoint_manager.h"
+#include "cosr/storage/space.h"
+
+namespace cosr {
+
+/// Aggregated accounting of a ShardedReallocator: the per-shard breakdown
+/// plus the two global footprint views the service layer reports.
+struct ShardStats {
+  struct PerShard {
+    std::uint64_t base = 0;  // global offset of the shard's sub-range
+    std::size_t objects = 0;
+    std::uint64_t volume = 0;
+    /// The inner reallocator's reserved end (local coordinates).
+    std::uint64_t reserved_footprint = 0;
+    /// Largest placed end within the sub-range (local coordinates).
+    std::uint64_t space_footprint = 0;
+    std::uint64_t checkpoints = 0;  // 0 when the shard has no manager
+  };
+  std::vector<PerShard> shards;
+
+  std::uint64_t volume = 0;
+  /// Sum of the shards' reserved footprints: the additive-composition view
+  /// (what the facade's reserved_footprint() reports, and the quantity the
+  /// footprint-vs-K blowup experiments normalize).
+  std::uint64_t sum_reserved_footprint = 0;
+  /// Sum of the shards' placed footprints (max end per sub-range).
+  std::uint64_t sum_subrange_footprint = 0;
+  /// The parent space's literal footprint — the largest *global* end
+  /// address, bases included. Dominated by the highest populated shard's
+  /// base; meaningful for sizing the one shared array, not for waste.
+  std::uint64_t global_max_end = 0;
+};
+
+/// The service-layer facade: one Reallocator that routes each request to
+/// one of K independent shards. Shard i owns the sub-range
+/// [i * span, (i+1) * span) of the parent Space through a SubSpaceView and
+/// runs its own inner reallocator (any factory algorithm) against that
+/// view; managed algorithms get a private per-shard CheckpointManager, so
+/// each shard's durability discipline is exactly the single-instance one.
+///
+/// The facade adds no placement logic of its own: with K=1 it is a
+/// zero-cost wrapper, producing the identical operation sequence and
+/// footprint as the unwrapped algorithm (pinned by
+/// tests/sharded_reallocator_test.cc). With K>1 the sub-ranges make
+/// cross-shard overlap impossible and costs/footprints compose additively —
+/// the invariant the scale-out literature builds on — at the price of the
+/// per-shard constant overheads measured by bench/exp_sharded.cc.
+class ShardedReallocator final : public Reallocator {
+ public:
+  struct Options {
+    std::uint32_t shard_count = 4;
+    ShardRouting routing = ShardRouting::kHashId;
+    /// Width of each shard's sub-range. The default leaves each shard 16
+    /// TiB-of-units of headroom — far beyond any in-process workload —
+    /// while keeping K=16 facades well inside the 64-bit space.
+    std::uint64_t subrange_span = 1ull << 44;
+  };
+
+  /// Builds K shards over `parent`, each with an inner reallocator made
+  /// from `inner_spec` (whose shard_count/routing fields are ignored).
+  /// `parent` must not carry a CheckpointManager: shards that need one own
+  /// a private manager, scoped by their view. Fails when the inner spec is
+  /// unknown to the factory or `options` are degenerate.
+  static Status Make(const ReallocatorSpec& inner_spec, const Options& options,
+                     Space* parent, std::unique_ptr<ShardedReallocator>* out);
+
+  Status Insert(ObjectId id, std::uint64_t size) override;
+  Status Delete(ObjectId id) override;
+
+  /// Sum of the shards' reserved footprints — the additive sub-range view
+  /// (the global max-end view is in Stats().global_max_end).
+  std::uint64_t reserved_footprint() const override;
+  std::uint64_t volume() const override;
+  void Quiesce() override;
+  const char* name() const override { return name_.c_str(); }
+
+  ShardStats Stats() const;
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  ShardRouting routing() const { return options_.routing; }
+
+  /// The routing decision for an (id, size) insert.
+  std::uint32_t shard_for(ObjectId id, std::uint64_t size) const {
+    return RouteToShard(options_.routing, shard_count(), id, size);
+  }
+  /// The shard currently holding live object `id`, or shard_count() when
+  /// the id is not live.
+  std::uint32_t shard_of(ObjectId id) const;
+
+  const Reallocator& shard(std::uint32_t index) const {
+    return *shards_[index].inner;
+  }
+  const SubSpaceView& shard_view(std::uint32_t index) const {
+    return *shards_[index].view;
+  }
+
+ private:
+  struct Shard {
+    std::unique_ptr<CheckpointManager> manager;  // managed algorithms only
+    std::unique_ptr<SubSpaceView> view;
+    std::unique_ptr<Reallocator> inner;
+  };
+
+  ShardedReallocator(const Options& options, Space* parent)
+      : options_(options), parent_(parent) {}
+
+  Options options_;
+  Space* parent_;
+  std::vector<Shard> shards_;
+  /// id -> shard for routings that cannot re-derive the shard from the id
+  /// alone (kSizeClass: deletes do not carry the size).
+  std::unordered_map<ObjectId, std::uint32_t> shard_of_;
+  bool needs_shard_map_ = false;
+  std::string name_;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_SERVICE_SHARDED_REALLOCATOR_H_

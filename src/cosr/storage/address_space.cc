@@ -21,16 +21,6 @@ std::string FrozenMessage(const Extent& target) {
 
 }  // namespace
 
-void SpaceListener::OnPlace(ObjectId, const Extent&) {}
-void SpaceListener::OnMove(ObjectId, const Extent&, const Extent&) {}
-void SpaceListener::OnMoves(const MoveRecord* records, std::size_t count) {
-  for (std::size_t i = 0; i < count; ++i) {
-    OnMove(records[i].id, records[i].from, records[i].to);
-  }
-}
-void SpaceListener::OnRemove(ObjectId, const Extent&) {}
-void SpaceListener::OnCheckpoint(std::uint64_t) {}
-
 void AddressSpace::AddListener(SpaceListener* listener) {
   COSR_CHECK(listener != nullptr);
   listeners_.push_back(listener);
@@ -42,11 +32,6 @@ void AddressSpace::RemoveListener(SpaceListener* listener) {
 }
 
 // ------------------------------------------------------------- public API
-
-void AddressSpace::Place(ObjectId id, const Extent& extent) {
-  COSR_CHECK_MSG(TryPlace(id, extent),
-                 "object " + std::to_string(id) + " already placed");
-}
 
 bool AddressSpace::TryPlace(ObjectId id, const Extent& extent) {
   COSR_CHECK_MSG(extent.length > 0,
@@ -82,12 +67,6 @@ void AddressSpace::ApplyMoves(const MovePlan* plans, std::size_t count) {
   NotifyMoves();
 }
 
-void AddressSpace::Remove(ObjectId id) {
-  Extent extent;
-  COSR_CHECK_MSG(TryRemove(id, &extent),
-                 "remove of unplaced object " + std::to_string(id));
-}
-
 bool AddressSpace::TryRemove(ObjectId id, Extent* removed) {
   const bool ok = engine_ == Engine::kFlat ? FlatTryRemove(id, removed)
                                            : MapTryRemove(id, removed);
@@ -105,7 +84,7 @@ bool AddressSpace::contains(ObjectId id) const {
                                   : extents_.count(id) > 0;
 }
 
-const Extent& AddressSpace::extent_of(ObjectId id) const {
+Extent AddressSpace::extent_of(ObjectId id) const {
   if (engine_ == Engine::kFlat) {
     const Extent* slot = FlatSlotFor(id);
     COSR_CHECK_MSG(slot != nullptr,
@@ -118,6 +97,19 @@ const Extent& AddressSpace::extent_of(ObjectId id) const {
   return it->second;
 }
 
+bool AddressSpace::TryExtentOf(ObjectId id, Extent* extent) const {
+  if (engine_ == Engine::kFlat) {
+    const Extent* slot = FlatSlotFor(id);
+    if (slot == nullptr) return false;
+    *extent = *slot;
+    return true;
+  }
+  auto it = extents_.find(id);
+  if (it == extents_.end()) return false;
+  *extent = it->second;
+  return true;
+}
+
 std::uint64_t AddressSpace::footprint() const {
   if (engine_ == Engine::kFlat) {
     // Extents are disjoint, so the rightmost-by-offset object also has the
@@ -126,6 +118,24 @@ std::uint64_t AddressSpace::footprint() const {
     return last == nullptr ? 0 : FlatSlotFor(last->id)->end();
   }
   return map_footprint_;
+}
+
+std::uint64_t AddressSpace::footprint_in(std::uint64_t lo,
+                                         std::uint64_t hi) const {
+  // Extents are disjoint, so among objects starting below `hi` the one
+  // with the largest offset also has the largest end: one predecessor
+  // lookup answers the query on either engine. A predecessor starting
+  // below `lo` means the range itself is empty.
+  if (engine_ == Engine::kFlat) {
+    const OffsetIndex::Entry* pred = index_.LastBefore(hi);
+    if (pred == nullptr || pred->offset < lo) return 0;
+    return FlatSlotFor(pred->id)->end();
+  }
+  auto it = by_offset_.lower_bound(hi);
+  if (it == by_offset_.begin()) return 0;
+  --it;
+  if (it->first < lo) return 0;
+  return extents_.at(it->second).end();
 }
 
 void AddressSpace::Checkpoint() {
@@ -164,10 +174,9 @@ void AddressSpace::NotifyMoves() {
   }
 }
 
-/// Batch-level durability validation: every target must avoid every batch
-/// source and everything frozen before the batch (the Lemma 3.2 nonoverlap
-/// property), established with two sorted sweeps instead of per-move
-/// probes. Only called with a checkpoint manager attached.
+/// Batch-level durability validation: the Lemma 3.2 nonoverlap property,
+/// checked by the shared CheckMoveBatchDurability sweep. Only called with
+/// a checkpoint manager attached.
 void AddressSpace::CheckBatchAgainstFrozen() {
   batch_sources_.clear();
   batch_targets_.clear();
@@ -177,29 +186,7 @@ void AddressSpace::CheckBatchAgainstFrozen() {
     batch_sources_.push_back(r.from);
     batch_targets_.push_back(r.to);
   }
-  const auto by_offset = [](const Extent& a, const Extent& b) {
-    return a.offset < b.offset;
-  };
-  std::sort(batch_sources_.begin(), batch_sources_.end(), by_offset);
-  std::sort(batch_targets_.begin(), batch_targets_.end(), by_offset);
-  std::size_t s = 0;
-  for (const Extent& target : batch_targets_) {
-    while (s < batch_sources_.size() &&
-           batch_sources_[s].end() <= target.offset) {
-      ++s;
-    }
-    if (s < batch_sources_.size() && batch_sources_[s].Overlaps(target)) {
-      COSR_CHECK_MSG(false, "overlapping move " +
-                                ToString(batch_sources_[s]) + " -> " +
-                                ToString(target) +
-                                " under checkpoint policy");
-    }
-  }
-  if (checkpoints_->frozen().IntersectsAnySorted(batch_targets_)) {
-    for (const Extent& target : batch_targets_) {
-      COSR_CHECK_MSG(checkpoints_->IsWritable(target), FrozenMessage(target));
-    }
-  }
+  CheckMoveBatchDurability(batch_sources_, batch_targets_, *checkpoints_);
 }
 
 // ----------------------------------------------------------- kFlat engine

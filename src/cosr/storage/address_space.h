@@ -12,37 +12,9 @@
 #include "cosr/storage/checkpoint_manager.h"
 #include "cosr/storage/extent.h"
 #include "cosr/storage/offset_index.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
-
-/// One move of a batch handed to AddressSpace::ApplyMoves. The source is
-/// implicit (the object's current extent); `to.length` must match it.
-struct MovePlan {
-  ObjectId id = kInvalidObjectId;
-  Extent to;
-};
-
-/// An applied move, as reported to listeners.
-struct MoveRecord {
-  ObjectId id = kInvalidObjectId;
-  Extent from;
-  Extent to;
-};
-
-/// Observer of physical storage events. Cost meters, the simulated disk,
-/// and visualization hooks all implement this.
-class SpaceListener {
- public:
-  virtual ~SpaceListener() = default;
-  virtual void OnPlace(ObjectId id, const Extent& extent);
-  virtual void OnMove(ObjectId id, const Extent& from, const Extent& to);
-  /// One ApplyMoves batch in application order. The default implementation
-  /// fans out to OnMove once per record, so per-move listeners keep working
-  /// unchanged; tracers wanting the coherent batch view override this.
-  virtual void OnMoves(const MoveRecord* records, std::size_t count);
-  virtual void OnRemove(ObjectId id, const Extent& extent);
-  virtual void OnCheckpoint(std::uint64_t checkpoint_seq);
-};
 
 /// The paper's "arbitrarily large array": a flat address space holding
 /// disjoint object extents. The space CHECK-enforces the physical-layout
@@ -66,7 +38,7 @@ class SpaceListener {
 ///     placement-sensitive reproductions stay bit-identical. Differential
 ///     fuzzing (tests/address_space_engine_test.cc) drives both engines
 ///     through identical traces.
-class AddressSpace {
+class AddressSpace final : public Space {
  public:
   enum class Engine {
     kFlat,  // slot table + paged offset index, batched validation
@@ -80,24 +52,16 @@ class AddressSpace {
   AddressSpace(const AddressSpace&) = delete;
   AddressSpace& operator=(const AddressSpace&) = delete;
 
-  /// Registers an observer. Listeners are notified in registration order
-  /// and must outlive their registration.
-  void AddListener(SpaceListener* listener);
-
-  /// Unregisters a previously added observer (no-op when absent).
-  void RemoveListener(SpaceListener* listener);
-
-  /// Allocates a brand-new object at `extent`. The id must be fresh and the
-  /// extent length positive.
-  void Place(ObjectId id, const Extent& extent);
+  void AddListener(SpaceListener* listener) override;
+  void RemoveListener(SpaceListener* listener) override;
 
   /// Like Place, but returns false (touching nothing) when `id` is already
   /// placed. Single lookup: lets allocator hot paths skip a separate
   /// contains() check and build error strings only on the failure branch.
-  bool TryPlace(ObjectId id, const Extent& extent);
+  bool TryPlace(ObjectId id, const Extent& extent) override;
 
   /// Moves an existing object to `to` (length must match).
-  void Move(ObjectId id, const Extent& to);
+  void Move(ObjectId id, const Extent& to) override;
 
   /// Applies a batch of moves — the flush-storm fast path. Ids must be
   /// distinct; no-op plans (target == current position) are skipped.
@@ -114,46 +78,49 @@ class AddressSpace {
   /// exactly like a self-overlapping memmove. The kMap engine instead
   /// applies the batch as sequential per-move validations (the strictest
   /// historical semantics), which the differential fuzz leans on.
-  void ApplyMoves(const MovePlan* plans, std::size_t count);
-  void ApplyMoves(const std::vector<MovePlan>& plans) {
-    ApplyMoves(plans.data(), plans.size());
-  }
-
-  /// Frees an object's extent.
-  void Remove(ObjectId id);
+  using Space::ApplyMoves;
+  void ApplyMoves(const MovePlan* plans, std::size_t count) override;
 
   /// Like Remove, but returns false when `id` is absent; on success stores
   /// the freed extent in *removed.
-  bool TryRemove(ObjectId id, Extent* removed);
+  bool TryRemove(ObjectId id, Extent* removed) override;
 
-  bool contains(ObjectId id) const;
-  const Extent& extent_of(ObjectId id) const;
+  bool contains(ObjectId id) const override;
+  Extent extent_of(ObjectId id) const override;
+  bool TryExtentOf(ObjectId id, Extent* extent) const override;
 
   /// Largest end address of any placed object (the literal "footprint" of
   /// the paper). O(1): the flat engine reads the offset index tail, the map
   /// engine maintains the value incrementally (recomputed only when the
   /// rightmost object leaves).
-  std::uint64_t footprint() const;
+  std::uint64_t footprint() const override;
+
+  /// Largest end address among objects starting in [lo, hi) (the
+  /// sub-range-scoped footprint query of Space). O(log n) on both engines.
+  std::uint64_t footprint_in(std::uint64_t lo,
+                             std::uint64_t hi) const override;
 
   /// Sum of the lengths of all placed objects.
-  std::uint64_t live_volume() const { return live_volume_; }
-  std::size_t object_count() const {
+  std::uint64_t live_volume() const override { return live_volume_; }
+  std::size_t object_count() const override {
     return engine_ == Engine::kFlat ? flat_count_ : extents_.size();
   }
 
   /// Runs a checkpoint: releases frozen regions (if a manager is attached)
   /// and notifies listeners.
-  void Checkpoint();
+  void Checkpoint() override;
 
-  CheckpointManager* checkpoint_manager() const { return checkpoints_; }
+  CheckpointManager* checkpoint_manager() const override {
+    return checkpoints_;
+  }
   Engine engine() const { return engine_; }
 
   /// All (id, extent) pairs in ascending offset order.
-  std::vector<std::pair<ObjectId, Extent>> Snapshot() const;
+  std::vector<std::pair<ObjectId, Extent>> Snapshot() const override;
 
   /// Verifies internal consistency (disjointness, index agreement). Returns
   /// true on success; used by tests as a belt-and-suspenders check.
-  bool SelfCheck() const;
+  bool SelfCheck() const override;
 
  private:
   // ---------------------------------------------------------- kFlat engine

@@ -2,11 +2,25 @@
 #define COSR_STORAGE_CHECKPOINT_MANAGER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "cosr/storage/extent.h"
 #include "cosr/storage/extent_set.h"
 
 namespace cosr {
+
+class CheckpointManager;
+
+/// The Lemma 3.2 batch rules, shared by every surface that applies a move
+/// batch under a manager (AddressSpace's managed engines and the shard-
+/// scoped SubSpaceView): every target must be disjoint from every batch
+/// source and from every region frozen before the batch. Sorts both
+/// vectors by offset in place (they are scratch buffers at every call
+/// site) and CHECK-fails on the first violation. One sorted sweep plus
+/// one merged frozen sweep — no per-move probes.
+void CheckMoveBatchDurability(std::vector<Extent>& sources,
+                              std::vector<Extent>& targets,
+                              const CheckpointManager& manager);
 
 /// The durability model of Section 3.1. When an object is moved or deleted,
 /// its old location is *frozen*: the logical-to-physical map naming that

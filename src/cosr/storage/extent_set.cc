@@ -2,55 +2,63 @@
 
 #include <algorithm>
 
-#include "cosr/common/check.h"
-
 namespace cosr {
+
+// Intervals are disjoint, non-abutting, and ascending, so offsets *and*
+// ends are strictly increasing: both binary searches below are valid.
 
 void ExtentSet::Add(const Extent& e) {
   if (e.empty()) return;
   std::uint64_t new_offset = e.offset;
   std::uint64_t new_end = e.end();
 
-  // Find the first interval that could touch the new one: start from the
-  // interval at or before new_offset.
-  auto it = intervals_.upper_bound(new_offset);
-  if (it != intervals_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second >= new_offset) {
-      it = prev;  // overlaps or abuts from the left
-    }
-  }
+  // First interval that could merge: the earliest one ending at or after
+  // new_offset (overlap or abutment from the left).
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), new_offset,
+      [](const Interval& iv, std::uint64_t value) { return iv.end < value; });
   // Absorb every interval that overlaps or abuts [new_offset, new_end).
-  while (it != intervals_.end() && it->first <= new_end) {
-    new_offset = std::min(new_offset, it->first);
-    new_end = std::max(new_end, it->second);
-    total_length_ -= it->second - it->first;
-    it = intervals_.erase(it);
+  auto last = first;
+  while (last != intervals_.end() && last->offset <= new_end) {
+    new_offset = std::min(new_offset, last->offset);
+    new_end = std::max(new_end, last->end);
+    total_length_ -= last->end - last->offset;
+    ++last;
   }
-  intervals_.emplace(new_offset, new_end);
+  if (first == last) {
+    intervals_.insert(first, Interval{new_offset, new_end});
+  } else {
+    // Reuse the first absorbed slot; drop the rest with one memmove.
+    first->offset = new_offset;
+    first->end = new_end;
+    intervals_.erase(first + 1, last);
+  }
   total_length_ += new_end - new_offset;
 }
 
 bool ExtentSet::Intersects(const Extent& e) const {
   if (e.empty() || intervals_.empty()) return false;
-  auto it = intervals_.upper_bound(e.offset);
-  if (it != intervals_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second > e.offset) return true;  // prev covers e.offset
-  }
-  return it != intervals_.end() && it->first < e.end();
+  // First interval ending strictly after e.offset; it is the only candidate
+  // that can reach into [e.offset, e.end()).
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), e.offset,
+      [](std::uint64_t value, const Interval& iv) { return value < iv.end; });
+  return it != intervals_.end() && it->offset < e.end();
 }
 
 bool ExtentSet::IntersectsAnySorted(const std::vector<Extent>& sorted) const {
   if (sorted.empty() || intervals_.empty()) return false;
   // Skip intervals entirely below the batch, then sweep both sequences.
-  auto it = intervals_.upper_bound(sorted.front().offset);
-  if (it != intervals_.begin()) --it;
+  auto it = std::upper_bound(intervals_.begin(), intervals_.end(),
+                             sorted.front().offset,
+                             [](std::uint64_t value, const Interval& iv) {
+                               return value < iv.end;
+                             });
   std::size_t i = 0;
   while (it != intervals_.end() && i < sorted.size()) {
-    if (it->second <= sorted[i].offset) {
+    if (it->end <= sorted[i].offset) {
       ++it;
-    } else if (sorted[i].end() <= it->first) {
+    } else if (sorted[i].end() <= it->offset) {
       ++i;
     } else if (sorted[i].empty()) {
       ++i;  // zero-length extents intersect nothing
@@ -73,8 +81,8 @@ void ExtentSet::Clear() {
 std::vector<Extent> ExtentSet::ToVector() const {
   std::vector<Extent> result;
   result.reserve(intervals_.size());
-  for (const auto& [offset, end] : intervals_) {
-    result.push_back(Extent{offset, end - offset});
+  for (const Interval& iv : intervals_) {
+    result.push_back(Extent{iv.offset, iv.end - iv.offset});
   }
   return result;
 }

@@ -11,6 +11,21 @@ std::size_t OffsetIndex::FindPage(std::uint64_t offset) const {
   return static_cast<std::size_t>(it - page_min_.begin()) - 1;
 }
 
+const OffsetIndex::Entry* OffsetIndex::LastBefore(std::uint64_t limit) const {
+  if (pages_.empty()) return nullptr;
+  // The candidate page is the last one whose minimum is below `limit`.
+  const auto page_it =
+      std::lower_bound(page_min_.begin(), page_min_.end(), limit);
+  if (page_it == page_min_.begin()) return nullptr;
+  const Page& page =
+      pages_[static_cast<std::size_t>(page_it - page_min_.begin()) - 1];
+  const auto pos = std::lower_bound(
+      page.entries.begin(), page.entries.end(), limit,
+      [](const Entry& e, std::uint64_t value) { return e.offset < value; });
+  // page_min < limit guarantees at least one qualifying entry in the page.
+  return &*std::prev(pos);
+}
+
 OffsetIndex::Neighbors OffsetIndex::Insert(std::uint64_t offset, ObjectId id) {
   Neighbors neighbors;
   if (pages_.empty()) {

@@ -49,6 +49,11 @@ class OffsetIndex {
     return pages_.empty() ? nullptr : &pages_.back().entries.back();
   }
 
+  /// The entry with the largest offset strictly below `limit`, or nullptr
+  /// when none exists. Two binary searches, like FindPage + an in-page
+  /// probe; backs Space::footprint_below.
+  const Entry* LastBefore(std::uint64_t limit) const;
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   void Clear();

@@ -5,12 +5,12 @@
 #include <vector>
 
 #include "cosr/common/types.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 #include "cosr/storage/extent.h"
 
 namespace cosr {
 
-/// A byte-addressable medium attached to an AddressSpace as a listener.
+/// A byte-addressable medium attached to a Space as a listener.
 /// Each placed object is filled with a deterministic per-object pattern and
 /// physically copied on every move, so durability experiments can verify
 /// contents byte-for-byte after a simulated crash: if the checkpoint

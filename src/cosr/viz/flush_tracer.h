@@ -6,7 +6,7 @@
 
 #include "cosr/core/flush_listener.h"
 #include "cosr/core/size_class_layout.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
@@ -15,7 +15,7 @@ namespace cosr {
 /// `layout.set_flush_listener(&tracer)`.
 class FlushTracer : public FlushListener {
  public:
-  FlushTracer(const SizeClassLayout* layout, const AddressSpace* space,
+  FlushTracer(const SizeClassLayout* layout, const Space* space,
               std::size_t width = 96)
       : layout_(layout), space_(space), width_(width) {}
 
@@ -28,7 +28,7 @@ class FlushTracer : public FlushListener {
 
  private:
   const SizeClassLayout* layout_;
-  const AddressSpace* space_;
+  const Space* space_;
   std::size_t width_;
   std::vector<std::string> frames_;
 };

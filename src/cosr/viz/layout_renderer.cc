@@ -19,7 +19,7 @@ std::size_t Cell(std::uint64_t address, std::uint64_t end,
 
 }  // namespace
 
-std::string RenderSpace(const AddressSpace& space, std::uint64_t end,
+std::string RenderSpace(const Space& space, std::uint64_t end,
                         std::size_t width) {
   std::string bar(width, '.');
   if (end == 0) return bar;
@@ -33,7 +33,7 @@ std::string RenderSpace(const AddressSpace& space, std::uint64_t end,
 }
 
 std::string RenderLayout(const SizeClassLayout& layout,
-                         const AddressSpace& space, std::size_t width) {
+                         const Space& space, std::size_t width) {
   const std::uint64_t end =
       std::max(layout.reserved_footprint(), space.footprint());
   std::string bar = RenderSpace(space, end, width);

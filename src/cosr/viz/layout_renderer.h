@@ -5,21 +5,21 @@
 #include <string>
 
 #include "cosr/core/size_class_layout.h"
-#include "cosr/storage/address_space.h"
+#include "cosr/storage/space.h"
 
 namespace cosr {
 
 /// Renders the occupancy of [0, end) as one ASCII line: each object shows
 /// as a run of letters (cycling A-Z by object id), free space as '.'.
 /// Used to regenerate Figure 1 (holes and compaction).
-std::string RenderSpace(const AddressSpace& space, std::uint64_t end,
+std::string RenderSpace(const Space& space, std::uint64_t end,
                         std::size_t width = 96);
 
 /// Renders a core structure as two aligned lines: the occupancy bar plus a
 /// segment ruler marking payload ('p') and buffer ('b') segments per size
 /// class. Regenerates Figure 2 (the payload/buffer layout).
 std::string RenderLayout(const SizeClassLayout& layout,
-                         const AddressSpace& space, std::size_t width = 96);
+                         const Space& space, std::size_t width = 96);
 
 }  // namespace cosr
 

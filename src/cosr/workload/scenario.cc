@@ -1,9 +1,26 @@
 #include "cosr/workload/scenario.h"
 
+#include "cosr/common/check.h"
 #include "cosr/workload/adversary.h"
 #include "cosr/workload/workload_generator.h"
 
 namespace cosr {
+
+namespace {
+
+/// The database-block-replay trace is deliberately round-tripped through
+/// the text serialization: written as a trace file, reloaded, and the
+/// reloaded copy replayed — so the standing battery exercises Trace I/O on
+/// every run, not just in trace_test.cc.
+Trace RoundTripThroughText(const Trace& original) {
+  Trace reloaded;
+  COSR_CHECK_OK(Trace::Parse(original.Serialize(), &reloaded));
+  COSR_CHECK_EQ(reloaded.size(), original.size());
+  COSR_CHECK_OK(reloaded.Validate());
+  return reloaded;
+}
+
+}  // namespace
 
 ScenarioBatteryOptions ScenarioBatteryOptions::Smoke() {
   ScenarioBatteryOptions options;
@@ -12,6 +29,9 @@ ScenarioBatteryOptions ScenarioBatteryOptions::Smoke() {
   options.max_object_size = 512;
   options.ramp_peak_volume = 1u << 14;
   options.ramp_cycles = 2;
+  options.db_operations = 600;
+  options.db_blocks = 48;
+  options.db_max_block = 1024;
   options.lower_bound_delta = 256;
   options.logging_killer_delta = 64;
   options.logging_killer_rounds = 4;
@@ -66,6 +86,18 @@ std::vector<Scenario> MakeScenarioBattery(
                        .distribution = SizeDistribution::kZipf,
                        .zipf_s = options.zipf_churn_s,
                        .seed = options.seed + 2})});
+
+  battery.push_back(
+      {"database-block-replay",
+       "TokuDB-style block rewrites (Zipf-popular blocks resized most), "
+       "replayed from a serialized trace file",
+       RoundTripThroughText(
+           MakeDatabaseBlockTrace({.operations = options.db_operations,
+                                   .blocks = options.db_blocks,
+                                   .min_size = 64,
+                                   .max_size = options.db_max_block,
+                                   .zipf_s = 1.1,
+                                   .seed = options.seed + 3}))});
 
   battery.push_back(
       {"adv-lower-bound",

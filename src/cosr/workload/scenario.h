@@ -31,6 +31,10 @@ struct ScenarioBatteryOptions {
   // ramp-collapse
   std::uint64_t ramp_peak_volume = 1u << 20;
   int ramp_cycles = 2;
+  // database-block-replay
+  std::uint64_t db_operations = 12000;
+  std::uint64_t db_blocks = 256;
+  std::uint64_t db_max_block = 8192;
   // adversaries (Bender et al. PODS 2014 traces, workload/adversary.h)
   std::uint64_t lower_bound_delta = 4096;
   std::uint64_t logging_killer_delta = 512;
@@ -45,7 +49,9 @@ struct ScenarioBatteryOptions {
 };
 
 /// The standing scenario battery: steady-state churn, ramp-then-collapse,
-/// bimodal sizes, heavy-tail Zipf churn, and replays of the four
+/// bimodal sizes, heavy-tail Zipf churn, the TokuDB-style database-block
+/// rewrite pattern (round-tripped through the Trace text serialization, so
+/// the battery also exercises trace-file I/O), and replays of the four
 /// adversarial traces from workload/adversary.h (lower-bound,
 /// logging-killer, size-class cascade, fragmentation). Every trace
 /// validates (Trace::Validate) and is deterministic given `options.seed`.

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 
@@ -125,7 +126,7 @@ TEST(ScenarioBatteryTest, EveryScenarioValidatesAtBothSizes) {
   for (const bool smoke : {false, true}) {
     const std::vector<Scenario> battery = MakeScenarioBattery(
         smoke ? ScenarioBatteryOptions::Smoke() : ScenarioBatteryOptions());
-    ASSERT_EQ(battery.size(), 8u);
+    ASSERT_EQ(battery.size(), 9u);
     for (const Scenario& scenario : battery) {
       EXPECT_FALSE(scenario.name.empty());
       EXPECT_FALSE(scenario.description.empty());
@@ -133,6 +134,22 @@ TEST(ScenarioBatteryTest, EveryScenarioValidatesAtBothSizes) {
       EXPECT_TRUE(scenario.trace.Validate().ok()) << scenario.name;
     }
   }
+}
+
+TEST(ScenarioBatteryTest, DatabaseBlockReplaySurvivesTheTextRoundTrip) {
+  const std::vector<Scenario> battery = MakeScenarioBattery();
+  const auto it =
+      std::find_if(battery.begin(), battery.end(), [](const Scenario& s) {
+        return s.name == "database-block-replay";
+      });
+  ASSERT_NE(it, battery.end());
+  // The scenario is built by serializing and reloading the generator's
+  // trace; a second round trip must be a fixed point.
+  Trace reloaded;
+  ASSERT_TRUE(Trace::Parse(it->trace.Serialize(), &reloaded).ok());
+  EXPECT_EQ(reloaded.Serialize(), it->trace.Serialize());
+  EXPECT_EQ(reloaded.size(), it->trace.size());
+  EXPECT_TRUE(reloaded.Validate().ok());
 }
 
 TEST(ScenarioBatteryTest, TracesAreDeterministicGivenTheSeed) {

@@ -1,3 +1,4 @@
+#include "cosr/storage/address_space.h"
 #include "cosr/db/block_translation_layer.h"
 
 #include <gtest/gtest.h>

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "cosr/storage/address_space.h"
 #include "cosr/alloc/best_fit_allocator.h"
 #include "cosr/alloc/buddy_allocator.h"
 #include "cosr/alloc/first_fit_allocator.h"

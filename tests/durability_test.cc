@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "cosr/storage/address_space.h"
 #include "cosr/common/random.h"
 #include "cosr/core/checkpointed_reallocator.h"
 #include "cosr/core/deamortized_reallocator.h"

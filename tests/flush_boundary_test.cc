@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cosr/storage/address_space.h"
 #include "cosr/common/random.h"
 #include "cosr/core/cost_oblivious_reallocator.h"
 #include "cosr/core/size_class.h"

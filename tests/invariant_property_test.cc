@@ -10,6 +10,7 @@
 #include <string>
 #include <tuple>
 
+#include "cosr/storage/address_space.h"
 #include "cosr/core/checkpointed_reallocator.h"
 #include "cosr/core/cost_oblivious_reallocator.h"
 #include "cosr/core/deamortized_reallocator.h"

@@ -1,3 +1,4 @@
+#include "cosr/storage/address_space.h"
 #include "cosr/metrics/latency_profile.h"
 
 #include <gtest/gtest.h>

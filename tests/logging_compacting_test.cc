@@ -1,3 +1,4 @@
+#include "cosr/storage/address_space.h"
 #include "cosr/realloc/logging_compacting_reallocator.h"
 
 #include <gtest/gtest.h>

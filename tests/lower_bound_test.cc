@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "cosr/storage/address_space.h"
 #include "cosr/core/checkpointed_reallocator.h"
 #include "cosr/core/cost_oblivious_reallocator.h"
 #include "cosr/core/deamortized_reallocator.h"

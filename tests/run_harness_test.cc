@@ -1,3 +1,4 @@
+#include "cosr/storage/address_space.h"
 #include "cosr/metrics/run_harness.h"
 
 #include <gtest/gtest.h>

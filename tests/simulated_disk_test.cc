@@ -1,3 +1,4 @@
+#include "cosr/storage/address_space.h"
 #include "cosr/storage/simulated_disk.h"
 
 #include <gtest/gtest.h>

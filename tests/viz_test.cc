@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "cosr/storage/address_space.h"
 #include "cosr/core/cost_oblivious_reallocator.h"
 #include "cosr/viz/flush_tracer.h"
 #include "cosr/viz/layout_renderer.h"
