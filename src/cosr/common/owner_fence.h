@@ -1,0 +1,53 @@
+#ifndef COSR_COMMON_OWNER_FENCE_H_
+#define COSR_COMMON_OWNER_FENCE_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+/// Debug-only owning-thread fence for thread-compatible classes: the first
+/// thread that calls Assert becomes the owner, and any later call from a
+/// different thread CHECK-fails with a message naming the class. Embed one
+/// per instance and call Assert at the top of every mutating entry point.
+///
+/// The enforced property is thread-*affinity* (ownership pins to the first
+/// mutator forever) — deliberately stricter than thread-compatibility,
+/// which would also allow fully-synchronized cross-thread handoff. Inside
+/// this codebase every embedding class is used thread-affine (one caller
+/// thread, or one worker per shard), so the stricter fence catches real
+/// races without false positives; a legal-handoff consumer would need a
+/// release mechanism this fence intentionally does not offer.
+///
+/// The member exists in all build modes so the object layout never differs
+/// between Debug and Release translation units (mixing those must not
+/// corrupt embedding classes); only the checking logic compiles out under
+/// NDEBUG.
+class OwnerThreadFence {
+ public:
+  void Assert(const char* what) const {
+#ifndef NDEBUG
+    std::thread::id expected{};
+    const std::thread::id self = std::this_thread::get_id();
+    if (!owner_.compare_exchange_strong(expected, self,
+                                        std::memory_order_relaxed)) {
+      COSR_CHECK_MSG(expected == self,
+                     std::string(what) +
+                         " is thread-compatible: mutations must stay on the "
+                         "owning thread");
+    }
+#else
+    (void)what;
+#endif
+  }
+
+ private:
+  mutable std::atomic<std::thread::id> owner_{};
+};
+
+}  // namespace cosr
+
+#endif  // COSR_COMMON_OWNER_FENCE_H_

@@ -34,7 +34,9 @@
 #include "cosr/realloc/packed_memory_array.h"  // IWYU pragma: export
 #include "cosr/realloc/reallocator.h"         // IWYU pragma: export
 #include "cosr/realloc/size_class_reallocator.h"  // IWYU pragma: export
+#include "cosr/service/concurrent_sharded_reallocator.h"  // IWYU pragma: export
 #include "cosr/service/routing.h"             // IWYU pragma: export
+#include "cosr/service/shard_stats.h"         // IWYU pragma: export
 #include "cosr/service/sharded_reallocator.h" // IWYU pragma: export
 #include "cosr/service/sub_space_view.h"      // IWYU pragma: export
 #include "cosr/storage/address_space.h"       // IWYU pragma: export

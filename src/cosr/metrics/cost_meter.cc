@@ -21,6 +21,28 @@ void CostMeter::CloseOp() {
 
 void CostMeter::BeginOp() { CloseOp(); }
 
+void CostMeter::MergeFrom(const CostMeter& other) {
+  // Same battery *instance*, not just same size: summing slot i of two
+  // different batteries would silently mix cost functions.
+  COSR_CHECK_MSG(battery_ == other.battery_,
+                 "MergeFrom requires meters over the same CostBattery");
+  for (std::size_t i = 0; i < totals_.size(); ++i) {
+    totals_[i].allocation_cost += other.totals_[i].allocation_cost;
+    totals_[i].total_write_cost += other.totals_[i].total_write_cost;
+    // Treat other's still-open op as closed: callers without a per-op
+    // BeginOp discipline (the concurrent per-shard meters) would
+    // otherwise drop their final op from the worst case.
+    totals_[i].max_op_cost =
+        std::max({totals_[i].max_op_cost, other.totals_[i].max_op_cost,
+                  other.op_cost_[i]});
+  }
+  places_ += other.places_;
+  moves_ += other.moves_;
+  removes_ += other.removes_;
+  bytes_placed_ += other.bytes_placed_;
+  bytes_moved_ += other.bytes_moved_;
+}
+
 void CostMeter::OnPlace(ObjectId, const Extent& extent) {
   ++places_;
   bytes_placed_ += extent.length;

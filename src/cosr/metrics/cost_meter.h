@@ -18,6 +18,11 @@ namespace cosr {
 /// Accounting follows the paper: the competitive denominator is the sum of
 /// allocation costs f(w) over all inserted objects; the numerator is the
 /// total write cost (initial placements plus every reallocation).
+///
+/// Thread-compatible: one meter must only hear one thread's events. Under
+/// the concurrent service facade, attach one meter per shard (events fire
+/// on the shard's worker thread) and MergeFrom the K meters after a drain
+/// — the aggregation-safe pattern; never share one meter across shards.
 class CostMeter : public SpaceListener {
  public:
   struct FunctionTotals {
@@ -31,6 +36,12 @@ class CostMeter : public SpaceListener {
 
   /// Marks a request boundary for the per-op worst-case accounting.
   void BeginOp();
+
+  /// Folds another meter's totals into this one: costs and counters add,
+  /// per-op worst cases take the max (counting `other`'s still-open op as
+  /// closed). Both meters must price the same CostBattery instance
+  /// (CHECK-enforced), and `other` must be hearing no more events.
+  void MergeFrom(const CostMeter& other);
 
   void OnPlace(ObjectId id, const Extent& extent) override;
   void OnMove(ObjectId id, const Extent& from, const Extent& to) override;

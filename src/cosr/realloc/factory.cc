@@ -10,6 +10,7 @@
 #include "cosr/realloc/logging_compacting_reallocator.h"
 #include "cosr/realloc/packed_memory_array.h"
 #include "cosr/realloc/size_class_reallocator.h"
+#include "cosr/service/concurrent_sharded_reallocator.h"
 #include "cosr/service/sharded_reallocator.h"
 
 namespace cosr {
@@ -28,10 +29,19 @@ bool AlgorithmNeedsCheckpointManager(const std::string& algorithm) {
   return algorithm == "checkpointed" || algorithm == "deamortized";
 }
 
+bool AlgorithmInsertCanFailOnFreshId(const std::string& algorithm) {
+  return algorithm == "pma";
+}
+
 Status MakeReallocator(const ReallocatorSpec& spec, Space* space,
                        std::unique_ptr<Reallocator>* out) {
   if (space == nullptr || out == nullptr) {
     return Status::InvalidArgument("space and out must be non-null");
+  }
+  if (spec.worker_threads != 0) {
+    return Status::InvalidArgument(
+        "worker_threads > 0 selects the concurrent facade, which owns its "
+        "per-shard spaces; build it with MakeConcurrentReallocator");
   }
   if (spec.shard_count > 1) {
     ShardedReallocator::Options options;
@@ -92,6 +102,21 @@ Status MakeReallocator(const ReallocatorSpec& spec, Space* space,
     return Status::InvalidArgument("unknown algorithm: " + spec.algorithm);
   }
   return Status::Ok();
+}
+
+Status MakeConcurrentReallocator(
+    const ReallocatorSpec& spec,
+    std::unique_ptr<ConcurrentShardedReallocator>* out) {
+  if (spec.worker_threads == 0) {
+    return Status::InvalidArgument(
+        "spec.worker_threads == 0 means single-threaded; build that with "
+        "MakeReallocator");
+  }
+  ConcurrentShardedReallocator::Options options;
+  options.shard_count = spec.shard_count;
+  options.worker_threads = spec.worker_threads;
+  options.routing = spec.routing;
+  return ConcurrentShardedReallocator::Make(spec, options, out);
 }
 
 }  // namespace cosr

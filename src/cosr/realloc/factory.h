@@ -35,7 +35,15 @@ struct ReallocatorSpec {
   /// builds the plain single-instance algorithm.
   std::uint32_t shard_count = 1;
   ShardRouting routing = ShardRouting::kHashId;
+  /// Service layer, concurrent mode: with worker_threads >= 1 the facade
+  /// runs shard_count shards on that many worker threads. Concurrent
+  /// facades own their per-shard spaces, so they are built through
+  /// MakeConcurrentReallocator (no Space argument); MakeReallocator
+  /// rejects a spec with worker_threads != 0. 0 = single-threaded.
+  std::uint32_t worker_threads = 0;
 };
+
+class ConcurrentShardedReallocator;
 
 /// Creates the named (re)allocator over `space`. Fails with
 /// InvalidArgument for unknown names and FailedPrecondition when the
@@ -43,12 +51,32 @@ struct ReallocatorSpec {
 Status MakeReallocator(const ReallocatorSpec& spec, Space* space,
                        std::unique_ptr<Reallocator>* out);
 
+/// Creates the concurrent sharded facade: spec.shard_count shards of
+/// spec.algorithm driven by spec.worker_threads worker threads. Fails with
+/// InvalidArgument when spec.worker_threads == 0 (that spec value means
+/// "single-threaded" — build it with MakeReallocator instead; callers
+/// wanting one worker per shard say so via
+/// ConcurrentShardedReallocator::Options directly). The facade owns its
+/// per-shard spaces — that is why, unlike MakeReallocator, no Space is
+/// passed.
+Status MakeConcurrentReallocator(
+    const ReallocatorSpec& spec,
+    std::unique_ptr<ConcurrentShardedReallocator>* out);
+
 /// All algorithm names MakeReallocator accepts, in display order.
 const std::vector<std::string>& KnownAlgorithms();
 
 /// Whether the named algorithm requires a Space with a
 /// CheckpointManager attached (the Section 3 variants).
 bool AlgorithmNeedsCheckpointManager(const std::string& algorithm);
+
+/// Whether the named algorithm's Insert can fail on a fresh id with a
+/// positive size (today: only "pma", whose sparse tables hold uniform
+/// slot_size objects). Such algorithms cannot sit behind the concurrent
+/// facade's size-class routing, whose submit-time id map assumes every
+/// enqueued insert succeeds — ConcurrentShardedReallocator::Make rejects
+/// the combination.
+bool AlgorithmInsertCanFailOnFreshId(const std::string& algorithm);
 
 }  // namespace cosr
 

@@ -1,0 +1,342 @@
+#include "cosr/service/concurrent_sharded_reallocator.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "cosr/common/check.h"
+#include "cosr/realloc/factory.h"
+
+namespace cosr {
+
+Status ConcurrentShardedReallocator::Make(
+    const ReallocatorSpec& inner_spec, const Options& options,
+    std::unique_ptr<ConcurrentShardedReallocator>* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("out must be non-null");
+  }
+  if (options.shard_count == 0) {
+    return Status::InvalidArgument("shard_count must be >= 1");
+  }
+  if (options.worker_threads > options.shard_count) {
+    return Status::InvalidArgument(
+        "worker_threads must be <= shard_count (a shard is owned by "
+        "exactly one worker)");
+  }
+  if (options.subrange_span == 0 ||
+      options.subrange_span > ~std::uint64_t{0} / options.shard_count) {
+    return Status::InvalidArgument("subrange_span degenerate for K shards");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (options.routing == ShardRouting::kSizeClass &&
+      AlgorithmInsertCanFailOnFreshId(inner_spec.algorithm)) {
+    // The size-class routing map marks an id live at submit time; an
+    // inner algorithm that can then reject the insert on the shard would
+    // leave the map permanently claiming a ghost object.
+    return Status::FailedPrecondition(
+        inner_spec.algorithm +
+        " inserts can fail on the shard, which size-class routing's "
+        "submit-time id map cannot represent; use hash routing");
+  }
+
+  ReallocatorSpec spec = inner_spec;
+  spec.shard_count = 1;  // the facade is the only sharding layer
+  spec.worker_threads = 0;
+
+  const std::uint32_t workers = options.worker_threads == 0
+                                    ? options.shard_count
+                                    : options.worker_threads;
+
+  auto facade = std::unique_ptr<ConcurrentShardedReallocator>(
+      new ConcurrentShardedReallocator(options));
+  facade->needs_routing_map_ = options.routing == ShardRouting::kSizeClass;
+  facade->shards_.reserve(options.shard_count);
+  facade->counters_ = std::vector<ShardCounters>(options.shard_count);
+  for (std::uint32_t i = 0; i < options.shard_count; ++i) {
+    Shard shard;
+    // A private root per shard: the view is still based at i * span, so
+    // the physical layout matches the single-threaded facade's shared
+    // parent coordinate-for-coordinate, but workers share no mutable
+    // storage state.
+    shard.space = std::make_unique<AddressSpace>();
+    if (AlgorithmNeedsCheckpointManager(spec.algorithm)) {
+      shard.manager = std::make_unique<CheckpointManager>();
+    }
+    shard.view = std::make_unique<SubSpaceView>(
+        shard.space.get(), std::uint64_t{i} * options.subrange_span,
+        options.subrange_span, shard.manager.get());
+    Status status = MakeReallocator(spec, shard.view.get(), &shard.inner);
+    if (!status.ok()) return status;
+    shard.worker = i % workers;
+    facade->shards_.push_back(std::move(shard));
+  }
+  facade->name_ = "concurrent-sharded[" +
+                  std::to_string(options.shard_count) + "x" +
+                  std::to_string(workers) + "," +
+                  ShardRoutingName(options.routing) + "]/" + spec.algorithm;
+
+  facade->workers_.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    facade->workers_.push_back(std::make_unique<Worker>());
+  }
+  // Start the threads only once every shard and queue exists.
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    Worker* worker = facade->workers_[w].get();
+    ConcurrentShardedReallocator* self = facade.get();
+    worker->thread = std::thread([self, worker] { self->WorkerLoop(*worker); });
+  }
+  *out = std::move(facade);
+  return Status::Ok();
+}
+
+ConcurrentShardedReallocator::~ConcurrentShardedReallocator() {
+  for (std::unique_ptr<Worker>& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      worker->stop = true;
+    }
+    worker->cv_ready.notify_all();
+  }
+  // Workers drain their remaining queue before honoring stop.
+  for (std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+Status ConcurrentShardedReallocator::SubmitOp(const Request& op,
+                                              std::shared_ptr<OpToken> token) {
+  Item item;
+  item.kind =
+      op.type == Request::Type::kInsert ? OpKind::kInsert : OpKind::kDelete;
+  item.id = op.id;
+  item.size = op.size;
+  item.token = std::move(token);
+
+  if (!needs_routing_map_) {
+    item.shard = shard_for(op.id, op.size);
+    Enqueue(item.shard, std::move(item));
+    return Status::Ok();
+  }
+
+  // Size-class routing cannot re-derive a delete's shard from the id, so
+  // the facade keeps an id -> shard map, maintained at submit time. The
+  // mutex is held across the Enqueue so that map-update order and queue
+  // arrival order can never diverge between racing producers — that
+  // atomicity (plus FIFO per worker and the validation below) is what
+  // makes the map exact: an op that reaches its shard always succeeds
+  // (Make rejects inner algorithms whose inserts can fail on a fresh id,
+  // see AlgorithmInsertCanFailOnFreshId).
+  // The price is that size-class producers serialize, including through a
+  // backpressure stall (workers never take this mutex, so the stalled
+  // queue still drains — no deadlock).
+  if (op.type == Request::Type::kInsert && op.size == 0) {
+    return Status::InvalidArgument("size must be positive");
+  }
+  std::lock_guard<std::mutex> lock(routing_mu_);
+  if (op.type == Request::Type::kInsert) {
+    const std::uint32_t target = shard_for(op.id, op.size);
+    if (!routing_map_.emplace(op.id, target).second) {
+      return Status::AlreadyExists("object " + std::to_string(op.id) +
+                                   " is live on shard " +
+                                   std::to_string(routing_map_[op.id]));
+    }
+    item.shard = target;
+  } else {
+    auto it = routing_map_.find(op.id);
+    if (it == routing_map_.end()) {
+      return Status::NotFound("object " + std::to_string(op.id) +
+                              " is not live on any shard");
+    }
+    item.shard = it->second;
+    routing_map_.erase(it);
+  }
+  Enqueue(item.shard, std::move(item));
+  return Status::Ok();
+}
+
+void ConcurrentShardedReallocator::Enqueue(std::uint32_t shard, Item item) {
+  Worker& worker = *workers_[shards_[shard].worker];
+  // Only real requests gate AddShardListener; internal markers
+  // (quiesce/snapshot) leave the facade as listener-attachable as before.
+  if (item.kind == OpKind::kInsert || item.kind == OpKind::kDelete) {
+    requests_submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::unique_lock<std::mutex> lock(worker.mu);
+    worker.cv_space.wait(
+        lock, [&] { return worker.queue.size() < options_.queue_capacity; });
+    worker.queue.push_back(std::move(item));
+    ++worker.enqueued;
+  }
+  worker.cv_ready.notify_one();
+}
+
+Status ConcurrentShardedReallocator::Submit(const Request& op) {
+  return SubmitOp(op, nullptr);
+}
+
+std::shared_ptr<OpToken> ConcurrentShardedReallocator::SubmitTracked(
+    const Request& op) {
+  auto token = std::make_shared<OpToken>();
+  Status routed = SubmitOp(op, token);
+  if (!routed.ok()) token->Complete(std::move(routed));
+  return token;
+}
+
+void ConcurrentShardedReallocator::Flush() {
+  for (std::unique_ptr<Worker>& worker : workers_) {
+    std::unique_lock<std::mutex> lock(worker->mu);
+    const std::uint64_t target = worker->enqueued;
+    worker->cv_drained.wait(lock, [&] {
+      return worker->completed.load(std::memory_order_acquire) >= target;
+    });
+  }
+}
+
+Status ConcurrentShardedReallocator::Insert(ObjectId id, std::uint64_t size) {
+  return SubmitTracked(Request::Insert(id, size))->Wait();
+}
+
+Status ConcurrentShardedReallocator::Delete(ObjectId id) {
+  return SubmitTracked(Request::Delete(id))->Wait();
+}
+
+std::uint64_t ConcurrentShardedReallocator::reserved_footprint() const {
+  return MergeShardCounters(counters_).reserved_footprint;
+}
+
+std::uint64_t ConcurrentShardedReallocator::volume() const {
+  return MergeShardCounters(counters_).volume;
+}
+
+void ConcurrentShardedReallocator::Quiesce() {
+  Flush();
+  for (std::uint32_t i = 0; i < shard_count(); ++i) {
+    Item item;
+    item.kind = OpKind::kQuiesce;
+    item.shard = i;
+    Enqueue(i, std::move(item));
+  }
+  Flush();
+}
+
+ShardStats ConcurrentShardedReallocator::Stats() {
+  // Each shard is snapshotted *on its owning worker* by a queued marker
+  // op: FIFO puts the marker behind every op submitted before this call,
+  // and only the owner ever touches the shard's mutable state, so the
+  // read is race-free even while other producers keep submitting (their
+  // later ops simply land behind the marker).
+  std::vector<ShardStats::PerShard> per_shard(shard_count());
+  std::vector<std::shared_ptr<OpToken>> tokens;
+  tokens.reserve(shard_count());
+  std::vector<std::uint64_t> max_end(shard_count(), 0);
+  for (std::uint32_t i = 0; i < shard_count(); ++i) {
+    Item item;
+    item.kind = OpKind::kSnapshot;
+    item.shard = i;
+    item.snapshot_out = &per_shard[i];
+    item.max_end_out = &max_end[i];
+    item.token = std::make_shared<OpToken>();
+    tokens.push_back(item.token);
+    Enqueue(i, std::move(item));
+  }
+  for (const auto& token : tokens) token->Wait();
+
+  ShardStats stats;
+  stats.shards.reserve(shard_count());
+  for (std::uint32_t i = 0; i < shard_count(); ++i) {
+    const ShardStats::PerShard& per = per_shard[i];
+    stats.volume += per.volume;
+    stats.sum_reserved_footprint += per.reserved_footprint;
+    stats.sum_subrange_footprint += per.space_footprint;
+    // Private roots hold based (global) coordinates, so the max of their
+    // footprints is the shared parent's literal footprint.
+    stats.global_max_end = std::max(stats.global_max_end, max_end[i]);
+    stats.shards.push_back(per);
+  }
+  return stats;
+}
+
+void ConcurrentShardedReallocator::AddShardListener(std::uint32_t index,
+                                                    SpaceListener* listener) {
+  COSR_CHECK_MSG(requests_submitted_.load(std::memory_order_relaxed) == 0,
+                 "AddShardListener must run before the first Insert/Delete "
+                 "submission");
+  COSR_CHECK_LT(index, shard_count());
+  shards_[index].space->AddListener(listener);
+}
+
+void ConcurrentShardedReallocator::WorkerLoop(Worker& worker) {
+  std::vector<Item> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(worker.mu);
+      worker.cv_ready.wait(
+          lock, [&] { return !worker.queue.empty() || worker.stop; });
+      if (worker.queue.empty()) break;  // stop requested and fully drained
+      batch.assign(std::make_move_iterator(worker.queue.begin()),
+                   std::make_move_iterator(worker.queue.end()));
+      worker.queue.clear();
+    }
+    worker.cv_space.notify_all();
+    for (const Item& item : batch) {
+      ExecuteItem(item);
+      // Release pairs with Flush's acquire: once a flusher observes the
+      // count, every effect of the op is visible to it.
+      worker.completed.fetch_add(1, std::memory_order_release);
+    }
+    batch.clear();
+    {
+      // Notify under the lock so a flusher can never check its predicate
+      // between our increment and our notify and then sleep forever.
+      std::lock_guard<std::mutex> lock(worker.mu);
+    }
+    worker.cv_drained.notify_all();
+  }
+}
+
+void ConcurrentShardedReallocator::ExecuteItem(const Item& item) {
+  Shard& shard = shards_[item.shard];
+  ShardCounters& counters = counters_[item.shard];
+  Status status;
+  switch (item.kind) {
+    case OpKind::kInsert:
+      status = shard.inner->Insert(item.id, item.size);
+      counters.RecordOp(/*is_insert=*/true, status.ok(),
+                        shard.inner->volume(),
+                        shard.inner->reserved_footprint());
+      break;
+    case OpKind::kDelete:
+      status = shard.inner->Delete(item.id);
+      counters.RecordOp(/*is_insert=*/false, status.ok(),
+                        shard.inner->volume(),
+                        shard.inner->reserved_footprint());
+      break;
+    case OpKind::kQuiesce:
+      shard.inner->Quiesce();
+      counters.RefreshGauges(shard.inner->volume(),
+                             shard.inner->reserved_footprint());
+      break;
+    case OpKind::kSnapshot: {
+      const ShardCountersSnapshot snapshot = ReadShardCounters(counters);
+      ShardStats::PerShard& per = *item.snapshot_out;
+      per.base = shard.view->base();
+      per.objects = shard.view->object_count();
+      per.volume = shard.view->live_volume();
+      per.reserved_footprint = shard.inner->reserved_footprint();
+      per.space_footprint = shard.view->footprint();
+      per.checkpoints =
+          shard.manager != nullptr ? shard.manager->checkpoint_count() : 0;
+      per.ops = snapshot.ops;
+      per.failed_ops = snapshot.failed_ops;
+      per.peak_reserved_footprint = snapshot.peak_reserved_footprint;
+      *item.max_end_out = shard.space->footprint();
+      break;
+    }
+  }
+  if (item.token != nullptr) item.token->Complete(std::move(status));
+}
+
+}  // namespace cosr

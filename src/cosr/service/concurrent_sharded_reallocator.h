@@ -1,0 +1,271 @@
+#ifndef COSR_SERVICE_CONCURRENT_SHARDED_REALLOCATOR_H_
+#define COSR_SERVICE_CONCURRENT_SHARDED_REALLOCATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cosr/common/status.h"
+#include "cosr/common/types.h"
+#include "cosr/realloc/reallocator.h"
+#include "cosr/service/routing.h"
+#include "cosr/service/shard_stats.h"
+#include "cosr/service/sub_space_view.h"
+#include "cosr/storage/address_space.h"
+#include "cosr/storage/checkpoint_manager.h"
+#include "cosr/workload/request.h"
+
+namespace cosr {
+
+struct ReallocatorSpec;
+
+/// Per-op completion handle for ConcurrentShardedReallocator::SubmitTracked.
+///
+/// Thread-safe: any thread may Wait()/done(); the owning facade's worker
+/// completes it exactly once. The Status reference returned by Wait() stays
+/// valid for the token's lifetime.
+class OpToken {
+ public:
+  /// Blocks until the operation retires; returns its Status.
+  const Status& Wait() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return done_; });
+    return status_;
+  }
+  /// Non-blocking poll.
+  bool done() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_;
+  }
+
+ private:
+  friend class ConcurrentShardedReallocator;
+
+  void Complete(Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      status_ = std::move(status);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  Status status_;
+  bool done_ = false;
+};
+
+/// The concurrent execution mode of the service layer: K shards as in
+/// ShardedReallocator, but each shard's inner reallocator is driven by one
+/// of W worker threads over a bounded MPSC request queue, so the K
+/// reallocators genuinely run in parallel.
+///
+/// Why that is sound: the source paper's guarantees are per-allocator, and
+/// the shards' sub-problems are disjoint by construction. In concurrent
+/// mode each shard owns a *private* AddressSpace root; its SubSpaceView is
+/// still based at shard * subrange_span, so every physical coordinate,
+/// placement decision, and per-shard footprint is identical to the
+/// single-threaded facade over one shared parent (pinned op-for-op by
+/// `exp_concurrent --smoke` and tests/concurrent_sharded_test.cc) — but no
+/// two threads ever touch the same mutable storage state, so no cross-shard
+/// locking exists anywhere on the hot path. The memory price is K private
+/// slot tables instead of one shared one.
+///
+/// Thread-safety contract, per surface:
+///   * Submit / SubmitTracked / Insert / Delete — thread-safe (MPSC: any
+///     number of producers). Per-shard request order follows producer
+///     submission order; with multiple producers racing, cross-producer
+///     order per shard is the queue arrival order.
+///   * Flush / Quiesce — thread-safe; they drain everything submitted
+///     before the call (release/acquire on the completion counters).
+///   * Stats — thread-safe even while other producers keep submitting:
+///     each shard is snapshotted *on its owning worker* by a marker op
+///     that rides the queue, so it reflects every op enqueued before the
+///     call (plus possibly some concurrent ones) with no racy reads.
+///   * volume / reserved_footprint / counters — thread-safe at any time:
+///     relaxed reads of per-shard single-writer accumulators
+///     (ShardCounters), merged on read; exact once drained.
+///   * AddShardListener / shard / shard_view / shard_space — the listener
+///     hook must run before the first Insert/Delete (CHECK-enforced); the
+///     accessors must only be read while no producer is submitting and
+///     the facade is drained (external quiescence). Listeners fire on the
+///     owning shard's worker thread only, so a listener shared across
+///     shards must be internally synchronized (per-shard listeners need
+///     no locking at all — the documented fan-out rule).
+///
+/// Statuses are reported through tokens (SubmitTracked) or, for
+/// fire-and-forget Submit, counted per shard in failed_ops — nothing fails
+/// silently.
+class ConcurrentShardedReallocator final : public Reallocator {
+ public:
+  struct Options {
+    std::uint32_t shard_count = 4;
+    /// Worker threads W (<= shard_count; shard i is pinned to worker
+    /// i % W). 0 means one worker per shard.
+    std::uint32_t worker_threads = 0;
+    ShardRouting routing = ShardRouting::kHashId;
+    /// Width of each shard's sub-range (same default as the single-threaded
+    /// facade, so layouts are comparable across modes).
+    std::uint64_t subrange_span = 1ull << 44;
+    /// Bound of each worker's request queue, in ops; producers block when
+    /// the target worker's queue is full (backpressure, not drop).
+    std::size_t queue_capacity = 4096;
+  };
+
+  /// Builds K private shards, each an inner `inner_spec` reallocator (its
+  /// shard_count/worker_threads/routing fields are ignored), and starts the
+  /// W worker threads. Fails when the spec is unknown or options are
+  /// degenerate.
+  static Status Make(const ReallocatorSpec& inner_spec, const Options& options,
+                     std::unique_ptr<ConcurrentShardedReallocator>* out);
+
+  /// Drains all queues, stops and joins the workers.
+  ~ConcurrentShardedReallocator() override;
+
+  /// Fire-and-forget submission. Ok means "accepted and enqueued"; the
+  /// op's own outcome lands in the shard's failed_ops counter if it fails.
+  /// A non-ok return is a submit-time rejection (size-class routing
+  /// validates against its id map before enqueueing).
+  Status Submit(const Request& op);
+
+  /// Like Submit, but returns a completion token carrying the op's final
+  /// Status (already completed for submit-time rejections).
+  std::shared_ptr<OpToken> SubmitTracked(const Request& op);
+
+  /// Blocks until every op submitted before this call has retired.
+  void Flush();
+
+  // Reallocator interface: synchronous semantics via an internal token
+  // round-trip per op — correct from any thread, but the throughput path
+  // is Submit + Flush.
+  Status Insert(ObjectId id, std::uint64_t size) override;
+  Status Delete(ObjectId id) override;
+
+  /// Merged relaxed view of the per-shard accumulators (exact once
+  /// drained; a consistent running sum at any other time).
+  std::uint64_t reserved_footprint() const override;
+  std::uint64_t volume() const override;
+
+  /// Drains, then runs every shard's deferred work on its own worker.
+  void Quiesce() override;
+  const char* name() const override { return name_.c_str(); }
+
+  /// Snapshots per-shard and aggregate accounting via per-shard marker
+  /// ops on the owning workers (see the class contract): consistent per
+  /// shard, safe under concurrent submission, exact when quiesced.
+  ShardStats Stats();
+
+  /// Registers a listener on shard `index`'s private space. Must be called
+  /// before the first Insert/Delete submission (CHECK-enforced; internal
+  /// Stats/Quiesce markers don't count); events are delivered on that
+  /// shard's worker thread.
+  void AddShardListener(std::uint32_t index, SpaceListener* listener);
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  std::uint32_t worker_threads() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+  ShardRouting routing() const { return options_.routing; }
+
+  /// The routing decision for an (id, size) insert.
+  std::uint32_t shard_for(ObjectId id, std::uint64_t size) const {
+    return RouteToShard(options_.routing, shard_count(), id, size);
+  }
+
+  /// Quiesced-read accessors (Flush first; see the class contract).
+  const Reallocator& shard(std::uint32_t index) const {
+    return *shards_[index].inner;
+  }
+  const SubSpaceView& shard_view(std::uint32_t index) const {
+    return *shards_[index].view;
+  }
+  const AddressSpace& shard_space(std::uint32_t index) const {
+    return *shards_[index].space;
+  }
+  /// Any-time read: the shard's accumulator block.
+  const ShardCounters& counters(std::uint32_t index) const {
+    return counters_[index];
+  }
+
+ private:
+  enum class OpKind : std::uint8_t { kInsert, kDelete, kQuiesce, kSnapshot };
+
+  struct Item {
+    OpKind kind = OpKind::kInsert;
+    std::uint32_t shard = 0;
+    ObjectId id = kInvalidObjectId;
+    std::uint64_t size = 0;
+    std::shared_ptr<OpToken> token;  // null for fire-and-forget
+    /// kSnapshot only: where the owning worker writes the shard's stats
+    /// and its private root's global footprint. Must outlive the op
+    /// (Stats() waits on the token before reading).
+    ShardStats::PerShard* snapshot_out = nullptr;
+    std::uint64_t* max_end_out = nullptr;
+  };
+
+  struct Shard {
+    std::unique_ptr<AddressSpace> space;  // private root, based coordinates
+    std::unique_ptr<CheckpointManager> manager;  // managed algorithms only
+    std::unique_ptr<SubSpaceView> view;
+    std::unique_ptr<Reallocator> inner;
+    std::uint32_t worker = 0;
+  };
+
+  /// One worker: a bounded MPSC queue plus its drain accounting.
+  /// `enqueued` is guarded by `mu`; `completed` is atomic so Flush's wait
+  /// predicate and the facade's merged reads never need the worker's lock.
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv_ready;    // worker waits: work available
+    std::condition_variable cv_space;    // producers wait: queue full
+    std::condition_variable cv_drained;  // flushers wait: batch retired
+    std::deque<Item> queue;
+    std::uint64_t enqueued = 0;
+    std::atomic<std::uint64_t> completed{0};
+    bool stop = false;
+    std::thread thread;
+  };
+
+  ConcurrentShardedReallocator(const Options& options) : options_(options) {}
+
+  /// Routing + submit-time validation + enqueue (atomic under routing_mu_
+  /// for size-class routing, so map order matches queue arrival order).
+  /// A non-ok return means nothing was enqueued.
+  Status SubmitOp(const Request& op, std::shared_ptr<OpToken> token);
+  void Enqueue(std::uint32_t shard, Item item);
+  void WorkerLoop(Worker& worker);
+  void ExecuteItem(const Item& item);
+
+  Options options_;
+  std::vector<Shard> shards_;
+  std::vector<ShardCounters> counters_;  // parallel to shards_
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  /// kSizeClass only: id -> shard, maintained at submit time (deletes do
+  /// not carry the size). routing_mu_ — the one producer-side
+  /// serialization point, and only for this routing mode — is held across
+  /// the enqueue so the map can never desync from queue arrival order.
+  std::mutex routing_mu_;
+  std::unordered_map<ObjectId, std::uint32_t> routing_map_;
+  bool needs_routing_map_ = false;
+
+  /// Count of real (insert/delete) submissions — the AddShardListener
+  /// gate; internal quiesce/snapshot markers do not count.
+  std::atomic<std::uint64_t> requests_submitted_{0};
+  std::string name_;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_SERVICE_CONCURRENT_SHARDED_REALLOCATOR_H_

@@ -24,8 +24,9 @@ enum class ShardRouting {
 /// Display name: "hash" / "size-class".
 const char* ShardRoutingName(ShardRouting routing);
 
-/// The routing function itself, shared by the facade and its tests:
+/// The routing function itself, shared by the facades and their tests:
 /// which of `shard_count` shards an (id, size) insert goes to.
+/// Thread-safe: pure function of its arguments.
 std::uint32_t RouteToShard(ShardRouting routing, std::uint32_t shard_count,
                            ObjectId id, std::uint64_t size);
 

@@ -1,0 +1,142 @@
+#ifndef COSR_SERVICE_SHARD_STATS_H_
+#define COSR_SERVICE_SHARD_STATS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cosr {
+
+/// Aggregated accounting of a sharded facade (single-threaded or
+/// concurrent): the per-shard breakdown plus the two global footprint views
+/// the service layer reports.
+///
+/// Thread-compatible: a plain value snapshot. Produce it from a quiesced
+/// facade (ShardedReallocator::Stats(), or
+/// ConcurrentShardedReallocator::Stats() which drains first) and share the
+/// copy freely.
+struct ShardStats {
+  struct PerShard {
+    std::uint64_t base = 0;  // global offset of the shard's sub-range
+    std::size_t objects = 0;
+    std::uint64_t volume = 0;
+    /// The inner reallocator's reserved end (local coordinates).
+    std::uint64_t reserved_footprint = 0;
+    /// Largest placed end within the sub-range (local coordinates).
+    std::uint64_t space_footprint = 0;
+    std::uint64_t checkpoints = 0;  // 0 when the shard has no manager
+    /// Request-level counters (concurrent facade only; zero elsewhere).
+    std::uint64_t ops = 0;
+    std::uint64_t failed_ops = 0;
+    /// Peak of the shard's reserved footprint over its own op stream
+    /// (concurrent facade only; zero elsewhere).
+    std::uint64_t peak_reserved_footprint = 0;
+  };
+  std::vector<PerShard> shards;
+
+  std::uint64_t volume = 0;
+  /// Sum of the shards' reserved footprints: the additive-composition view
+  /// (what the facade's reserved_footprint() reports, and the quantity the
+  /// footprint-vs-K blowup experiments normalize).
+  std::uint64_t sum_reserved_footprint = 0;
+  /// Sum of the shards' placed footprints (max end per sub-range).
+  std::uint64_t sum_subrange_footprint = 0;
+  /// The parent space's literal footprint — the largest *global* end
+  /// address, bases included. Dominated by the highest populated shard's
+  /// base; meaningful for sizing the one shared array, not for waste.
+  std::uint64_t global_max_end = 0;
+};
+
+/// One shard's hot-path accumulator block, sized and aligned to its own
+/// cache line so K shards never false-share.
+///
+/// Thread-safe under the single-writer discipline: exactly one thread (the
+/// shard's owner — its worker thread in the concurrent facade) writes,
+/// with relaxed stores; any thread may read at any time and sees a
+/// consistent monotone history per field. Cross-field consistency (e.g.
+/// `volume` against `reserved_footprint`) is only guaranteed after a drain
+/// barrier (ConcurrentShardedReallocator::Flush) establishes
+/// happens-before; mid-run merges are per-field-exact running totals.
+/// tests/shard_stats_test.cc hammers this from K threads and pins the
+/// merged view to the sequential sum.
+struct alignas(64) ShardCounters {
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> inserts{0};
+  std::atomic<std::uint64_t> deletes{0};
+  std::atomic<std::uint64_t> failed_ops{0};
+  std::atomic<std::uint64_t> volume{0};
+  std::atomic<std::uint64_t> reserved_footprint{0};
+  std::atomic<std::uint64_t> peak_reserved_footprint{0};
+
+  /// Owner-thread helper: refresh the footprint/volume gauges (and the
+  /// running peak) after the shard's state changed.
+  void RefreshGauges(std::uint64_t new_volume, std::uint64_t new_reserved) {
+    volume.store(new_volume, std::memory_order_relaxed);
+    reserved_footprint.store(new_reserved, std::memory_order_relaxed);
+    if (new_reserved >
+        peak_reserved_footprint.load(std::memory_order_relaxed)) {
+      peak_reserved_footprint.store(new_reserved, std::memory_order_relaxed);
+    }
+  }
+
+  /// Owner-thread helper: bump the op counters and refresh the footprint
+  /// gauges after one executed request.
+  void RecordOp(bool is_insert, bool ok, std::uint64_t new_volume,
+                std::uint64_t new_reserved) {
+    ops.fetch_add(1, std::memory_order_relaxed);
+    if (is_insert) {
+      inserts.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      deletes.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!ok) failed_ops.fetch_add(1, std::memory_order_relaxed);
+    RefreshGauges(new_volume, new_reserved);
+  }
+};
+
+/// Plain-value copy of one counter block (relaxed loads, any thread).
+struct ShardCountersSnapshot {
+  std::uint64_t ops = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t failed_ops = 0;
+  std::uint64_t volume = 0;
+  std::uint64_t reserved_footprint = 0;
+  std::uint64_t peak_reserved_footprint = 0;
+};
+
+inline ShardCountersSnapshot ReadShardCounters(const ShardCounters& c) {
+  ShardCountersSnapshot s;
+  s.ops = c.ops.load(std::memory_order_relaxed);
+  s.inserts = c.inserts.load(std::memory_order_relaxed);
+  s.deletes = c.deletes.load(std::memory_order_relaxed);
+  s.failed_ops = c.failed_ops.load(std::memory_order_relaxed);
+  s.volume = c.volume.load(std::memory_order_relaxed);
+  s.reserved_footprint = c.reserved_footprint.load(std::memory_order_relaxed);
+  s.peak_reserved_footprint =
+      c.peak_reserved_footprint.load(std::memory_order_relaxed);
+  return s;
+}
+
+/// Merged (summed) view over all shards' blocks: counters and gauges add,
+/// which is exactly the additive-composition accounting of the facade.
+inline ShardCountersSnapshot MergeShardCounters(
+    const std::vector<ShardCounters>& blocks) {
+  ShardCountersSnapshot merged;
+  for (const ShardCounters& block : blocks) {
+    const ShardCountersSnapshot s = ReadShardCounters(block);
+    merged.ops += s.ops;
+    merged.inserts += s.inserts;
+    merged.deletes += s.deletes;
+    merged.failed_ops += s.failed_ops;
+    merged.volume += s.volume;
+    merged.reserved_footprint += s.reserved_footprint;
+    merged.peak_reserved_footprint += s.peak_reserved_footprint;
+  }
+  return merged;
+}
+
+}  // namespace cosr
+
+#endif  // COSR_SERVICE_SHARD_STATS_H_

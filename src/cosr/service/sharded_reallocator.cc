@@ -52,6 +52,7 @@ Status ShardedReallocator::Make(const ReallocatorSpec& inner_spec,
 }
 
 Status ShardedReallocator::Insert(ObjectId id, std::uint64_t size) {
+  owner_fence_.Assert("ShardedReallocator");
   const std::uint32_t target = shard_for(id, size);
   if (needs_shard_map_) {
     // A live duplicate may be parked on a *different* shard (same id,
@@ -69,6 +70,7 @@ Status ShardedReallocator::Insert(ObjectId id, std::uint64_t size) {
 }
 
 Status ShardedReallocator::Delete(ObjectId id) {
+  owner_fence_.Assert("ShardedReallocator");
   std::uint32_t target;
   if (needs_shard_map_) {
     auto it = shard_of_.find(id);
@@ -98,6 +100,7 @@ std::uint64_t ShardedReallocator::volume() const {
 }
 
 void ShardedReallocator::Quiesce() {
+  owner_fence_.Assert("ShardedReallocator");
   for (Shard& shard : shards_) shard.inner->Quiesce();
 }
 

@@ -7,44 +7,18 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cosr/common/owner_fence.h"
 #include "cosr/common/status.h"
 #include "cosr/common/types.h"
 #include "cosr/realloc/factory.h"
 #include "cosr/realloc/reallocator.h"
 #include "cosr/service/routing.h"
+#include "cosr/service/shard_stats.h"
 #include "cosr/service/sub_space_view.h"
 #include "cosr/storage/checkpoint_manager.h"
 #include "cosr/storage/space.h"
 
 namespace cosr {
-
-/// Aggregated accounting of a ShardedReallocator: the per-shard breakdown
-/// plus the two global footprint views the service layer reports.
-struct ShardStats {
-  struct PerShard {
-    std::uint64_t base = 0;  // global offset of the shard's sub-range
-    std::size_t objects = 0;
-    std::uint64_t volume = 0;
-    /// The inner reallocator's reserved end (local coordinates).
-    std::uint64_t reserved_footprint = 0;
-    /// Largest placed end within the sub-range (local coordinates).
-    std::uint64_t space_footprint = 0;
-    std::uint64_t checkpoints = 0;  // 0 when the shard has no manager
-  };
-  std::vector<PerShard> shards;
-
-  std::uint64_t volume = 0;
-  /// Sum of the shards' reserved footprints: the additive-composition view
-  /// (what the facade's reserved_footprint() reports, and the quantity the
-  /// footprint-vs-K blowup experiments normalize).
-  std::uint64_t sum_reserved_footprint = 0;
-  /// Sum of the shards' placed footprints (max end per sub-range).
-  std::uint64_t sum_subrange_footprint = 0;
-  /// The parent space's literal footprint — the largest *global* end
-  /// address, bases included. Dominated by the highest populated shard's
-  /// base; meaningful for sizing the one shared array, not for waste.
-  std::uint64_t global_max_end = 0;
-};
 
 /// The service-layer facade: one Reallocator that routes each request to
 /// one of K independent shards. Shard i owns the sub-range
@@ -60,6 +34,12 @@ struct ShardStats {
 /// cross-shard overlap impossible and costs/footprints compose additively —
 /// the invariant the scale-out literature builds on — at the price of the
 /// per-shard constant overheads measured by bench/exp_sharded.cc.
+///
+/// Thread-compatible: all requests must come from one thread at a time
+/// (the facade routes into shared per-shard state and a routing map with no
+/// internal locking). Debug builds CHECK-fail fast when a second thread
+/// issues a request — use ConcurrentShardedReallocator for genuinely
+/// parallel submission.
 class ShardedReallocator final : public Reallocator {
  public:
   struct Options {
@@ -120,6 +100,10 @@ class ShardedReallocator final : public Reallocator {
 
   ShardedReallocator(const Options& options, Space* parent)
       : options_(options), parent_(parent) {}
+
+  /// Debug fence: the facade is thread-compatible, so every request must
+  /// come from the thread that issued the first one.
+  OwnerThreadFence owner_fence_;
 
   Options options_;
   Space* parent_;

@@ -58,6 +58,7 @@ Extent SubSpaceView::LocalExtentOf(ObjectId id) const {
 }
 
 bool SubSpaceView::TryPlace(ObjectId id, const Extent& extent) {
+  owner_fence_.Assert("SubSpaceView");
   const Extent global = ToParent(extent);
   if (manager_ != nullptr) {
     // Duplicate probe before the frozen CHECK, matching AddressSpace's
@@ -84,6 +85,7 @@ void SubSpaceView::CheckMoveWritable(const Extent& from,
 }
 
 void SubSpaceView::Move(ObjectId id, const Extent& to) {
+  owner_fence_.Assert("SubSpaceView");
   const Extent from = LocalExtentOf(id);
   if (manager_ != nullptr && from.offset != to.offset) {
     CheckMoveWritable(from, to);
@@ -95,6 +97,7 @@ void SubSpaceView::Move(ObjectId id, const Extent& to) {
 }
 
 void SubSpaceView::ApplyMoves(const MovePlan* plans, std::size_t count) {
+  owner_fence_.Assert("SubSpaceView");
   if (count == 0) return;
   batch_plans_.clear();
   batch_sources_.clear();
@@ -120,6 +123,7 @@ void SubSpaceView::ApplyMoves(const MovePlan* plans, std::size_t count) {
 }
 
 bool SubSpaceView::TryRemove(ObjectId id, Extent* removed) {
+  owner_fence_.Assert("SubSpaceView");
   Extent global;
   if (!parent_->TryExtentOf(id, &global) || !InRange(global)) {
     return false;  // absent, or a sibling shard's object (invisible here)
@@ -162,6 +166,7 @@ std::uint64_t SubSpaceView::footprint_in(std::uint64_t lo,
 }
 
 void SubSpaceView::Checkpoint() {
+  owner_fence_.Assert("SubSpaceView");
   if (manager_ != nullptr) manager_->Checkpoint();
   // The parent holds no manager in sharded use; this fan-outs OnCheckpoint
   // to the global listeners so meters see every shard's checkpoints.

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "cosr/common/owner_fence.h"
 #include "cosr/common/types.h"
 #include "cosr/storage/extent.h"
 #include "cosr/storage/space.h"
@@ -32,6 +33,14 @@ class CheckpointManager;
 ///
 /// Listeners are forwarded to the parent: observers always price physical
 /// activity in root (global) coordinates.
+///
+/// Thread-compatible: one view must only be mutated by one thread (its
+/// shard's owner — the facade caller in single-threaded mode, the shard's
+/// worker in concurrent mode); debug builds CHECK-fail fast on a second
+/// mutating thread. Views over one *shared* parent additionally require
+/// all sibling mutations to be serialized (the parent itself is
+/// thread-compatible) — the concurrent facade avoids this entirely by
+/// giving every shard a private parent.
 class SubSpaceView final : public Space {
  public:
   /// `parent` and `manager` (optional, may be nullptr) must outlive the
@@ -83,6 +92,10 @@ class SubSpaceView final : public Space {
 
   /// The Section 3.1 checks for a single move, in local coordinates.
   void CheckMoveWritable(const Extent& from, const Extent& to) const;
+
+  /// Debug fence for the thread-compatible contract: all mutations must
+  /// come from the thread that issued the first one.
+  OwnerThreadFence owner_fence_;
 
   Space* parent_;
   std::uint64_t base_;

@@ -38,6 +38,11 @@ namespace cosr {
 ///     placement-sensitive reproductions stay bit-identical. Differential
 ///     fuzzing (tests/address_space_engine_test.cc) drives both engines
 ///     through identical traces.
+///
+/// Thread-compatible: no internal locking — all access (including const
+/// reads, which race with a concurrent mutator's index edits) must be
+/// externally serialized. The concurrent service facade runs K spaces on K
+/// threads by giving each shard a private instance, never by sharing one.
 class AddressSpace final : public Space {
  public:
   enum class Engine {

@@ -31,6 +31,10 @@ void CheckMoveBatchDurability(std::vector<Extent>& sources,
 /// Attached to an AddressSpace, this manager turns Lemma 3.2 (phase moves
 /// are nonoverlapping) into an enforced runtime property: any write into a
 /// frozen region aborts the process.
+///
+/// Thread-compatible: scope one manager to one shard and drive it from
+/// that shard's owning thread only (the sharded facades construct exactly
+/// this shape); never share a manager across concurrently-running shards.
 class CheckpointManager {
  public:
   CheckpointManager() = default;

@@ -28,7 +28,10 @@ TEST(FactoryTest, CreatesEveryAlgorithm) {
     ASSERT_EQ(MakeReallocator(spec, &space, &realloc).ToString(), "Ok")
         << name;
     ASSERT_NE(realloc, nullptr) << name;
-    EXPECT_EQ(realloc->name(), name == "oracle" ? "oracle" : realloc->name());
+    // String comparison, not pointer EQ: literal merging made the old
+    // pointer form pass only in optimized builds. Only the oracle pins an
+    // exact name here; the others are covered by ReportedNamesMatchSpec.
+    if (name == "oracle") EXPECT_STREQ(realloc->name(), "oracle");
     const std::uint64_t size = name == "pma" ? 1 : 64;
     ASSERT_TRUE(realloc->Insert(1, size).ok()) << name;
     ASSERT_TRUE(realloc->Delete(1).ok()) << name;

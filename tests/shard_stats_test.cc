@@ -1,0 +1,115 @@
+// ShardCounters under concurrent mutation: K owner threads hammer their
+// own accumulator blocks while readers merge, and the merged view must
+// equal the sequential sum — the aggregation-safe property the concurrent
+// facade's accounting (and its "no shared mutable counters on the hot
+// path" redesign) rests on.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cosr/service/shard_stats.h"
+
+namespace cosr {
+namespace {
+
+/// Deterministic per-thread op mixer (splitmix-style).
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+TEST(ShardCountersTest, MergedViewEqualsSequentialSum) {
+  constexpr std::uint32_t kShards = 8;
+  constexpr std::uint64_t kOpsPerShard = 50000;
+
+  std::vector<ShardCounters> blocks(kShards);
+
+  // What each shard's stream *should* add up to, computed sequentially.
+  ShardCountersSnapshot expected;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    std::uint64_t volume = 0, reserved = 0, peak = 0;
+    for (std::uint64_t i = 0; i < kOpsPerShard; ++i) {
+      const std::uint64_t r = Mix(s * kOpsPerShard + i);
+      const bool is_insert = (r & 1) != 0;
+      const bool ok = (r & 2) != 0;
+      volume += r % 97;
+      reserved = volume + r % 31;
+      peak = reserved > peak ? reserved : peak;
+      expected.ops += 1;
+      expected.inserts += is_insert ? 1 : 0;
+      expected.deletes += is_insert ? 0 : 1;
+      expected.failed_ops += ok ? 0 : 1;
+    }
+    expected.volume += volume;
+    expected.reserved_footprint += reserved;
+    expected.peak_reserved_footprint += peak;
+  }
+
+  // One owner thread per block (the single-writer discipline), all
+  // replaying the same streams concurrently.
+  std::atomic<bool> go{false};
+  std::vector<std::thread> owners;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    owners.emplace_back([&, s] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::uint64_t volume = 0;
+      for (std::uint64_t i = 0; i < kOpsPerShard; ++i) {
+        const std::uint64_t r = Mix(s * kOpsPerShard + i);
+        volume += r % 97;
+        blocks[s].RecordOp((r & 1) != 0, (r & 2) != 0, volume,
+                           volume + r % 31);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  // Mid-run merges from this (non-owner) thread must be well-formed:
+  // every field is a monotone running total bounded by its sequential sum.
+  // No *cross*-field relation is asserted here — relaxed per-field counters
+  // only line up after a drain barrier (the documented contract).
+  std::uint64_t last_ops = 0;
+  for (int poll = 0; poll < 200; ++poll) {
+    const ShardCountersSnapshot running = MergeShardCounters(blocks);
+    EXPECT_GE(running.ops, last_ops);
+    EXPECT_LE(running.ops, expected.ops);
+    EXPECT_LE(running.inserts + running.deletes, expected.ops);
+    last_ops = running.ops;
+    std::this_thread::yield();
+  }
+  for (std::thread& owner : owners) owner.join();
+
+  const ShardCountersSnapshot merged = MergeShardCounters(blocks);
+  EXPECT_EQ(merged.ops, expected.ops);
+  EXPECT_EQ(merged.inserts, expected.inserts);
+  EXPECT_EQ(merged.deletes, expected.deletes);
+  EXPECT_EQ(merged.failed_ops, expected.failed_ops);
+  EXPECT_EQ(merged.volume, expected.volume);
+  EXPECT_EQ(merged.reserved_footprint, expected.reserved_footprint);
+  EXPECT_EQ(merged.peak_reserved_footprint, expected.peak_reserved_footprint);
+
+  // And per shard, the peak dominates the final gauge.
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    const ShardCountersSnapshot one = ReadShardCounters(blocks[s]);
+    EXPECT_GE(one.peak_reserved_footprint, one.reserved_footprint);
+    EXPECT_EQ(one.ops, kOpsPerShard);
+  }
+}
+
+TEST(ShardCountersTest, BlocksAreCacheLineAligned) {
+  // The no-false-sharing layout the hot path depends on.
+  static_assert(alignof(ShardCounters) >= 64, "one cache line per shard");
+  static_assert(sizeof(ShardCounters) % 64 == 0, "no straddling blocks");
+  std::vector<ShardCounters> blocks(4);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&blocks[i]) % 64, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cosr

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validates every committed BENCH_*.json at the repo root.
+
+Each artifact must parse as JSON and carry the schema its consumers (the
+README tables, the ROADMAP perf-trajectory entries, and the CI smoke
+asserts) expect. Files this script does not know get the generic check
+only (valid JSON object) plus a warning, so new artifacts fail soft until
+their schema is registered here.
+
+Usage: python3 tools/check_bench_json.py [repo_root]
+Exit code 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def require(condition, path, message):
+    if not condition:
+        raise AssertionError(f"{path.name}: {message}")
+
+
+def check_rows(data, path, required_keys, min_rows=1):
+    rows = data.get("rows")
+    require(isinstance(rows, list), path, "'rows' must be a list")
+    require(len(rows) >= min_rows, path,
+            f"expected >= {min_rows} rows, found {len(rows)}")
+    for i, row in enumerate(rows):
+        require(isinstance(row, dict), path, f"row {i} is not an object")
+        missing = set(required_keys) - row.keys()
+        require(not missing, path, f"row {i} missing keys {sorted(missing)}")
+
+
+def check_micro(data, path):
+    # google-benchmark's native format.
+    require("context" in data, path, "missing 'context'")
+    benchmarks = data.get("benchmarks")
+    require(isinstance(benchmarks, list) and benchmarks, path,
+            "'benchmarks' must be a non-empty list")
+    names = {b.get("name", "") for b in benchmarks}
+    require(any(n.startswith("churn/") for n in names), path,
+            "no churn/* benchmarks found")
+
+
+def check_free_index(data, path):
+    check_rows(data, path, {
+        "gaps", "binned_queries_per_sec", "map_queries_per_sec",
+        "binned_churn_per_sec", "map_churn_per_sec",
+    })
+
+
+def check_address_space(data, path):
+    require(data.get("schema_version") == 1, path, "schema_version != 1")
+    require("storm_speedup_flat_batched_vs_map_per_move" in data, path,
+            "missing storm speedup summary key")
+    check_rows(data, path,
+               {"section", "engine", "mode", "n", "ops", "ops_per_sec"})
+
+
+def check_scenarios(data, path):
+    require(data.get("schema_version") == 2, path, "schema_version != 2")
+    check_rows(data, path, {
+        "scenario", "algorithm", "policy", "discipline", "shards", "routing",
+        "operations", "max_footprint_ratio", "avg_footprint_ratio",
+        "final_footprint_ratio", "max_reserved_footprint", "max_volume",
+        "moves", "bytes_moved", "bytes_placed", "linear_cost_ratio",
+        "linear_realloc_ratio", "wall_seconds", "ops_per_sec",
+    })
+    scenarios = {r["scenario"] for r in data["rows"]}
+    for expected in ("steady-churn", "zipf-churn", "database-block-replay"):
+        require(expected in scenarios, path, f"scenario '{expected}' missing")
+
+
+def check_sharded(data, path):
+    require(data.get("schema_version") == 1, path, "schema_version != 1")
+    check_rows(data, path, {
+        "scenario", "algorithm", "shards", "routing", "facade", "operations",
+        "ops_per_sec", "max_footprint_ratio", "moves", "bytes_moved",
+        "sum_subrange_footprint", "global_max_end",
+    })
+
+
+def check_concurrent(data, path):
+    require(data.get("schema_version") == 1, path, "schema_version != 1")
+    # The committed artifact must be the full-size run; a --smoke run from
+    # the repo root would silently clobber it otherwise.
+    require(data.get("smoke") is False, path,
+            "committed artifact is a --smoke run; regenerate full-size")
+    require(isinstance(data.get("hardware_threads"), int), path,
+            "missing 'hardware_threads' (scaling context)")
+    require(isinstance(data.get("shard_count"), int), path,
+            "missing 'shard_count'")
+    check_rows(data, path, {
+        "scenario", "algorithm", "mode", "workers", "shards", "operations",
+        "wall_seconds", "ops_per_sec", "speedup_vs_w1", "moves",
+        "bytes_moved", "bytes_placed", "volume_final", "sum_reserved_final",
+        "sum_peak_reserved", "global_max_end", "failed_ops",
+    })
+    modes = {(r["mode"], r["workers"]) for r in data["rows"]}
+    require(("facade", 1) in modes, path, "single-threaded facade row missing")
+    for workers in (1, 2, 4, 8):
+        require(("concurrent", workers) in modes, path,
+                f"concurrent W={workers} row missing")
+    for row in data["rows"]:
+        require(row["failed_ops"] == 0, path,
+                f"row {row['scenario']}/{row['algorithm']}"
+                f"/W={row['workers']} has failed ops")
+
+
+CHECKERS = {
+    "BENCH_micro.json": check_micro,
+    "BENCH_free_index.json": check_free_index,
+    "BENCH_address_space.json": check_address_space,
+    "BENCH_scenarios.json": check_scenarios,
+    "BENCH_sharded.json": check_sharded,
+    "BENCH_concurrent.json": check_concurrent,
+}
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = sorted(root.glob("BENCH_*.json"))
+    if not files:
+        print(f"error: no BENCH_*.json found under {root.resolve()}")
+        return 1
+    failures = 0
+    for path in files:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"FAIL {path.name}: unreadable or invalid JSON: {error}")
+            failures += 1
+            continue
+        try:
+            require(isinstance(data, dict), path, "top level is not an object")
+            checker = CHECKERS.get(path.name)
+            if checker is None:
+                print(f"warn {path.name}: no registered schema, generic "
+                      "check only — register it in tools/check_bench_json.py")
+            else:
+                checker(data, path)
+            print(f"ok   {path.name}")
+        except AssertionError as error:
+            print(f"FAIL {error}")
+            failures += 1
+    if failures:
+        print(f"{failures} of {len(files)} artifacts failed validation")
+        return 1
+    print(f"all {len(files)} bench artifacts validate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
