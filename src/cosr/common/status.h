@@ -15,6 +15,7 @@ enum class StatusCode {
   kAlreadyExists,
   kFailedPrecondition,
   kOutOfRange,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -40,6 +41,9 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,0 +1,74 @@
+#include "cosr/durability/durability_hub.h"
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+MoveLog* DurabilityHub::LogForShard(std::uint32_t shard) {
+  if (shard >= entries_.size()) entries_.resize(shard + 1);
+  Entry& entry = entries_[shard];
+  if (entry.log == nullptr) {
+    if (options_.sink_kind == SinkKind::kMemory) {
+      entry.sink = std::make_unique<MemoryLogSink>();
+    } else {
+      std::unique_ptr<FileLogSink> file;
+      const Status status = FileLogSink::Open(file_path(shard), &file);
+      COSR_CHECK_MSG(status.ok(), status.ToString());
+      entry.sink = std::move(file);
+    }
+    entry.log = std::make_unique<MoveLog>(entry.sink.get());
+  }
+  return entry.log.get();
+}
+
+MoveLog* DurabilityHub::log(std::uint32_t shard) const {
+  return shard < entries_.size() ? entries_[shard].log.get() : nullptr;
+}
+
+LogSink* DurabilityHub::sink(std::uint32_t shard) const {
+  return shard < entries_.size() ? entries_[shard].sink.get() : nullptr;
+}
+
+MemoryLogSink* DurabilityHub::memory_sink(std::uint32_t shard) const {
+  return options_.sink_kind == SinkKind::kMemory
+             ? static_cast<MemoryLogSink*>(sink(shard))
+             : nullptr;
+}
+
+std::string DurabilityHub::file_path(std::uint32_t shard) const {
+  return options_.file_prefix + std::to_string(shard) + ".cosrlog";
+}
+
+std::uint64_t DurabilityHub::total_records() const {
+  std::uint64_t sum = 0;
+  for (const Entry& e : entries_) {
+    if (e.log != nullptr) sum += e.log->records_written();
+  }
+  return sum;
+}
+
+std::uint64_t DurabilityHub::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const Entry& e : entries_) {
+    if (e.sink != nullptr) sum += e.sink->size();
+  }
+  return sum;
+}
+
+std::uint64_t DurabilityHub::total_syncs() const {
+  std::uint64_t sum = 0;
+  for (const Entry& e : entries_) {
+    if (e.sink != nullptr) sum += e.sink->sync_count();
+  }
+  return sum;
+}
+
+std::uint64_t DurabilityHub::total_checkpoints() const {
+  std::uint64_t sum = 0;
+  for (const Entry& e : entries_) {
+    if (e.log != nullptr) sum += e.log->checkpoints_logged();
+  }
+  return sum;
+}
+
+}  // namespace cosr

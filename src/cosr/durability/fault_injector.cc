@@ -1,0 +1,43 @@
+#include "cosr/durability/fault_injector.h"
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+const char* FaultModeName(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kCrashAfterRecord:
+      return "crash-after-record";
+    case FaultMode::kTornFinalRecord:
+      return "torn-final-record";
+    case FaultMode::kCrashMidBatch:
+      return "crash-mid-batch";
+  }
+  return "unknown";
+}
+
+// Crash images are plain prefixes, NOT SurvivingPrefix: the injector
+// simulates a crash at the moment the cut point was written, when the sync
+// frontier was the last checkpoint record at or before the cut (syncs only
+// happen when a checkpoint record is appended). Every checkpoint inside the
+// prefix survives with it, so the Sync() guarantee holds for each image;
+// clamping to the sink's *final* synced size would instead resurrect the
+// whole log once the run's last checkpoint synced it.
+std::vector<std::uint8_t> FaultInjector::CrashAfterRecord(
+    std::size_t index) const {
+  COSR_CHECK(index < record_count());
+  const std::uint64_t cut = sink_.record_ends()[index];
+  return std::vector<std::uint8_t>(sink_.data().begin(),
+                                   sink_.data().begin() + cut);
+}
+
+std::vector<std::uint8_t> FaultInjector::TornRecord(
+    std::size_t index, std::uint64_t bytes_into) const {
+  COSR_CHECK(index < record_count());
+  COSR_CHECK(bytes_into >= 1 && bytes_into < RecordLength(index));
+  const std::uint64_t cut = RecordStart(index) + bytes_into;
+  return std::vector<std::uint8_t>(sink_.data().begin(),
+                                   sink_.data().begin() + cut);
+}
+
+}  // namespace cosr

@@ -1,0 +1,64 @@
+#ifndef COSR_DURABILITY_FAULT_INJECTOR_H_
+#define COSR_DURABILITY_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cosr/durability/log_sink.h"
+
+namespace cosr {
+
+/// The crash shapes the fuzz loop injects.
+enum class FaultMode {
+  kCrashAfterRecord,  // clean cut exactly at a record boundary
+  kTornFinalRecord,   // cut inside the final surviving record
+  kCrashMidBatch,     // torn cut specifically inside a move-batch payload
+};
+
+const char* FaultModeName(FaultMode mode);
+
+/// Deterministically derives crashed log images from a completed
+/// MemoryLogSink. The sink remembers every record boundary; the injector
+/// turns that into "what the medium holds after a crash at point X" byte
+/// streams for RecoveryManager to chew on. Each image is the plain prefix
+/// up to the cut — a realizable crash outcome, because the sync frontier at
+/// the moment the cut point was written (the last checkpoint record at or
+/// before it) always lies inside the prefix. No randomness lives here —
+/// callers enumerate indices/offsets, so a fuzz run is reproducible from
+/// its seed alone.
+class FaultInjector {
+ public:
+  /// `sink` must outlive the injector and receive no further appends.
+  explicit FaultInjector(const MemoryLogSink& sink) : sink_(sink) {}
+
+  std::size_t record_count() const { return sink_.record_ends().size(); }
+  std::uint64_t RecordStart(std::size_t index) const {
+    return index == 0 ? 0 : sink_.record_ends()[index - 1];
+  }
+  std::uint64_t RecordLength(std::size_t index) const {
+    return sink_.record_ends()[index] - RecordStart(index);
+  }
+  /// First byte of record `index` (for peeking at the type tag).
+  std::uint8_t RecordType(std::size_t index) const {
+    return sink_.data()[RecordStart(index)];
+  }
+
+  /// The surviving stream for a clean crash immediately after record
+  /// `index` reached the medium (kCrashAfterRecord).
+  std::vector<std::uint8_t> CrashAfterRecord(std::size_t index) const;
+
+  /// The surviving stream when the crash tears record `index` apart:
+  /// only `bytes_into` of its bytes (1 <= bytes_into < length) reached the
+  /// medium. This is kTornFinalRecord in general and kCrashMidBatch when
+  /// the record is a move batch and the cut lands in its payload.
+  std::vector<std::uint8_t> TornRecord(std::size_t index,
+                                       std::uint64_t bytes_into) const;
+
+ private:
+  const MemoryLogSink& sink_;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_DURABILITY_FAULT_INJECTOR_H_

@@ -1,0 +1,87 @@
+#include "cosr/durability/log_sink.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+void MemoryLogSink::Append(const void* bytes, std::size_t count) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(bytes);
+  data_.insert(data_.end(), p, p + count);
+  record_ends_.push_back(data_.size());
+}
+
+std::vector<std::uint8_t> MemoryLogSink::SurvivingPrefix(
+    std::uint64_t bytes) const {
+  const std::uint64_t cut =
+      std::min<std::uint64_t>(data_.size(), std::max(bytes, synced_size_));
+  return std::vector<std::uint8_t>(data_.begin(), data_.begin() + cut);
+}
+
+Status FileLogSink::Open(const std::string& path,
+                         std::unique_ptr<FileLogSink>* out) {
+  if (out == nullptr) return Status::InvalidArgument("out must be non-null");
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Internal("open(" + path + "): " + std::strerror(errno));
+  }
+  out->reset(new FileLogSink(path, fd));
+  return Status::Ok();
+}
+
+FileLogSink::~FileLogSink() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileLogSink::Append(const void* bytes, std::size_t count) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(bytes);
+  std::size_t written = 0;
+  while (written < count) {
+    const ssize_t n = ::write(fd_, p + written, count - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      COSR_CHECK_MSG(false, "write(" + path_ + "): " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  size_ += count;
+}
+
+void FileLogSink::Sync() {
+  COSR_CHECK_MSG(::fsync(fd_) == 0,
+                 "fsync(" + path_ + "): " + std::strerror(errno));
+  ++sync_count_;
+}
+
+Status FileLogSink::ReadAll(const std::string& path,
+                            std::vector<std::uint8_t>* out) {
+  if (out == nullptr) return Status::InvalidArgument("out must be non-null");
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("open(" + path + "): " + std::strerror(errno));
+  }
+  out->clear();
+  std::uint8_t buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("read(" + path + "): " + error);
+    }
+    if (n == 0) break;
+    out->insert(out->end(), buffer, buffer + n);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace cosr

@@ -1,0 +1,120 @@
+#ifndef COSR_DURABILITY_LOG_SINK_H_
+#define COSR_DURABILITY_LOG_SINK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cosr/common/status.h"
+
+namespace cosr {
+
+/// Where a MoveLog's records land. The contract mirrors a POSIX append-only
+/// file with explicit fsync:
+///   * Append(bytes) — one whole encoded record per call. Appended bytes
+///     are *buffered*, not durable: after a crash an arbitrary prefix of
+///     the unsynced tail may survive, including a torn (partial) record.
+///   * Sync() — barrier: everything appended before the call survives any
+///     later crash. The MoveLog issues it at exactly one place, the
+///     checkpoint boundary (the paper's "persist the map" moment).
+///
+/// Thread-compatible: one log/sink pair is owned by one shard and driven by
+/// that shard's owning thread only.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+
+  /// Appends one encoded record.
+  virtual void Append(const void* bytes, std::size_t count) = 0;
+
+  /// Durability barrier (fsync).
+  virtual void Sync() = 0;
+
+  /// Bytes appended so far (buffered + durable).
+  virtual std::uint64_t size() const = 0;
+
+  /// Sync() calls so far.
+  virtual std::uint64_t sync_count() const = 0;
+
+ protected:
+  LogSink() = default;
+  LogSink(const LogSink&) = delete;
+  LogSink& operator=(const LogSink&) = delete;
+};
+
+/// The in-memory sink used by tests and the fault-injection fuzz. Keeps the
+/// full byte stream plus the metadata crash simulation needs: the durable
+/// (synced) prefix length and the end offset of every appended record, so a
+/// FaultInjector can cut the stream at record boundaries, inside the final
+/// record (torn write), or mid-batch.
+class MemoryLogSink final : public LogSink {
+ public:
+  MemoryLogSink() = default;
+
+  void Append(const void* bytes, std::size_t count) override;
+  void Sync() override {
+    synced_size_ = data_.size();
+    ++sync_count_;
+  }
+  std::uint64_t size() const override { return data_.size(); }
+  std::uint64_t sync_count() const override { return sync_count_; }
+
+  const std::vector<std::uint8_t>& data() const { return data_; }
+
+  /// Length of the durable prefix (everything up to the last Sync).
+  std::uint64_t synced_size() const { return synced_size_; }
+
+  /// End offset of every appended record, in append order.
+  const std::vector<std::uint64_t>& record_ends() const {
+    return record_ends_;
+  }
+
+  /// The bytes surviving a crash when `bytes` of the stream (from offset 0)
+  /// hit the medium: the synced prefix always survives, so the effective
+  /// cut never falls below it.
+  std::vector<std::uint8_t> SurvivingPrefix(std::uint64_t bytes) const;
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::vector<std::uint64_t> record_ends_;
+  std::uint64_t synced_size_ = 0;
+  std::uint64_t sync_count_ = 0;
+};
+
+/// The file-backed sink: Append = write(2) to an append-only fd, Sync =
+/// fsync(2). This is the real-IO half of the durability tier — the fuzz
+/// exercises crash semantics on MemoryLogSink, and this sink carries the
+/// identical byte stream to disk so BENCH_durability can price the fsync
+/// discipline.
+class FileLogSink final : public LogSink {
+ public:
+  /// Creates (truncating) `path` for appending.
+  static Status Open(const std::string& path,
+                     std::unique_ptr<FileLogSink>* out);
+  ~FileLogSink() override;
+
+  void Append(const void* bytes, std::size_t count) override;
+  void Sync() override;
+  std::uint64_t size() const override { return size_; }
+  std::uint64_t sync_count() const override { return sync_count_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Reads a log file back for recovery.
+  static Status ReadAll(const std::string& path,
+                        std::vector<std::uint8_t>* out);
+
+ private:
+  FileLogSink(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  std::uint64_t sync_count_ = 0;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_DURABILITY_LOG_SINK_H_

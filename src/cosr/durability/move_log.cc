@@ -1,0 +1,67 @@
+#include "cosr/durability/move_log.h"
+
+namespace cosr {
+
+void MoveLog::AppendScratch() {
+  sink_->Append(scratch_.data(), scratch_.size());
+  scratch_.clear();
+  ++records_written_;
+}
+
+void MoveLog::OnPlace(ObjectId id, const Extent& extent) {
+  EncodePlaceRecord(id, extent, &scratch_);
+  AppendScratch();
+  ++places_logged_;
+}
+
+void MoveLog::OnMove(ObjectId id, const Extent& from, const Extent& to) {
+  // A singleton move is a batch of one: the unbatched Move() path and the
+  // ApplyMoves path replay through the same record type.
+  MoveRecord record{id, from, to};
+  OnMoves(&record, 1);
+}
+
+void MoveLog::OnMoves(const MoveRecord* records, std::size_t count) {
+  if (count == 0) return;
+  EncodeMoveBatchRecord(records, count, &scratch_);
+  AppendScratch();
+  ++batches_logged_;
+  moves_logged_ += count;
+}
+
+void MoveLog::OnRemove(ObjectId id, const Extent& extent) {
+  EncodeRemoveRecord(id, extent, &scratch_);
+  AppendScratch();
+  ++removes_logged_;
+}
+
+void MoveLog::LogCheckpoint(std::uint64_t seq) {
+  EncodeCheckpointRecord(seq, &scratch_);
+  AppendScratch();
+  sink_->Sync();
+  ++checkpoints_logged_;
+}
+
+void RangeScopedListener::OnPlace(ObjectId id, const Extent& extent) {
+  if (InRange(extent)) target_->OnPlace(id, extent);
+}
+
+void RangeScopedListener::OnMove(ObjectId id, const Extent& from,
+                                 const Extent& to) {
+  if (InRange(from)) target_->OnMove(id, from, to);
+}
+
+void RangeScopedListener::OnMoves(const MoveRecord* records,
+                                  std::size_t count) {
+  scratch_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (InRange(records[i].from)) scratch_.push_back(records[i]);
+  }
+  if (!scratch_.empty()) target_->OnMoves(scratch_.data(), scratch_.size());
+}
+
+void RangeScopedListener::OnRemove(ObjectId id, const Extent& extent) {
+  if (InRange(extent)) target_->OnRemove(id, extent);
+}
+
+}  // namespace cosr

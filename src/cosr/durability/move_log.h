@@ -1,0 +1,109 @@
+#ifndef COSR_DURABILITY_MOVE_LOG_H_
+#define COSR_DURABILITY_MOVE_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cosr/common/types.h"
+#include "cosr/durability/log_record.h"
+#include "cosr/durability/log_sink.h"
+#include "cosr/storage/checkpoint_manager.h"
+#include "cosr/storage/space.h"
+
+namespace cosr {
+
+/// The write-ahead move log of the durability tier: journals every storage
+/// event of one shard — place, remove, and each ApplyMoves batch at its
+/// existing batch boundary — as framed records into a LogSink, plus the
+/// checkpoint records that make a prefix recoverable.
+///
+/// Wiring (what the factory's ReallocatorSpec::durability option sets up):
+///   * registered as a SpaceListener, so every flush path's batch lands as
+///     one kMoveBatch record with zero changes to the algorithms;
+///   * attached to the shard's CheckpointManager
+///     (AttachDurabilityLog), so completing a checkpoint appends a
+///     kCheckpoint record and issues the one Sync() of the discipline —
+///     everything before the record is durable, the tail after it may be
+///     torn away by a crash.
+///
+/// RecoveryManager replays the resulting stream (possibly truncated) and
+/// reconstructs the exact map as of the last durable checkpoint.
+///
+/// Thread-compatible: one log per shard, driven only by the shard's owning
+/// thread (the facades scope exactly this way).
+class MoveLog final : public SpaceListener, public CheckpointDurabilityLog {
+ public:
+  /// `sink` must outlive the log.
+  explicit MoveLog(LogSink* sink) : sink_(sink) {}
+  MoveLog(const MoveLog&) = delete;
+  MoveLog& operator=(const MoveLog&) = delete;
+
+  // SpaceListener — the data plane.
+  void OnPlace(ObjectId id, const Extent& extent) override;
+  void OnMove(ObjectId id, const Extent& from, const Extent& to) override;
+  void OnMoves(const MoveRecord* records, std::size_t count) override;
+  void OnRemove(ObjectId id, const Extent& extent) override;
+
+  // CheckpointDurabilityLog — the checkpoint boundary: append the record,
+  // then Sync. This is the only Sync of the discipline.
+  void LogCheckpoint(std::uint64_t seq) override;
+
+  LogSink* sink() const { return sink_; }
+  std::uint64_t records_written() const { return records_written_; }
+  std::uint64_t bytes_written() const { return sink_->size(); }
+  std::uint64_t places_logged() const { return places_logged_; }
+  std::uint64_t removes_logged() const { return removes_logged_; }
+  std::uint64_t batches_logged() const { return batches_logged_; }
+  std::uint64_t moves_logged() const { return moves_logged_; }
+  std::uint64_t checkpoints_logged() const { return checkpoints_logged_; }
+
+ private:
+  void AppendScratch();
+
+  LogSink* sink_;
+  std::vector<std::uint8_t> scratch_;  // reused per-record encode buffer
+  std::uint64_t records_written_ = 0;
+  std::uint64_t places_logged_ = 0;
+  std::uint64_t removes_logged_ = 0;
+  std::uint64_t batches_logged_ = 0;
+  std::uint64_t moves_logged_ = 0;
+  std::uint64_t checkpoints_logged_ = 0;
+};
+
+/// Scopes a shared parent's event stream down to one shard: forwards the
+/// events whose extents fall inside [lo, hi) to `target` — the per-shard
+/// log adapter for ShardedReallocator, whose K shards share one parent
+/// Space (the concurrent facade needs no filter: each shard's private root
+/// only ever sees its own events).
+///
+/// Checkpoint events are deliberately NOT forwarded: the parent's
+/// OnCheckpoint fan-out fires for every sibling shard's checkpoint, while
+/// per-shard checkpoint records flow through the shard's own
+/// CheckpointManager (AttachDurabilityLog), which knows the authoritative
+/// per-shard sequence number.
+class RangeScopedListener final : public SpaceListener {
+ public:
+  RangeScopedListener(SpaceListener* target, std::uint64_t lo,
+                      std::uint64_t hi)
+      : target_(target), lo_(lo), hi_(hi) {}
+
+  void OnPlace(ObjectId id, const Extent& extent) override;
+  void OnMove(ObjectId id, const Extent& from, const Extent& to) override;
+  void OnMoves(const MoveRecord* records, std::size_t count) override;
+  void OnRemove(ObjectId id, const Extent& extent) override;
+
+ private:
+  bool InRange(const Extent& e) const {
+    return e.offset >= lo_ && e.end() <= hi_;
+  }
+
+  SpaceListener* target_;
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+  std::vector<MoveRecord> scratch_;  // reused batch filter buffer
+};
+
+}  // namespace cosr
+
+#endif  // COSR_DURABILITY_MOVE_LOG_H_

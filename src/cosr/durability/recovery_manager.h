@@ -1,0 +1,60 @@
+#ifndef COSR_DURABILITY_RECOVERY_MANAGER_H_
+#define COSR_DURABILITY_RECOVERY_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cosr/common/status.h"
+#include "cosr/storage/space.h"
+
+namespace cosr {
+
+/// What a recovery pass found and did.
+struct RecoveryResult {
+  /// Sequence number of the last durable checkpoint (0 = none found; the
+  /// space is left empty in that case).
+  std::uint64_t checkpoint_seq = 0;
+  /// Records replayed into the space (the prefix through that checkpoint).
+  std::size_t records_replayed = 0;
+  /// Complete, valid records past the last checkpoint — discarded.
+  std::size_t records_discarded = 0;
+  /// Bytes past the recovered prefix (discarded records + any torn tail).
+  std::uint64_t bytes_discarded = 0;
+  /// The stream ended inside a record (torn final write).
+  bool torn_tail = false;
+};
+
+/// Rebuilds the last-checkpointed logical-to-physical map from a move log
+/// that may have lost an arbitrary unsynced suffix in a crash.
+///
+/// Algorithm: scan the stream record-by-record, remembering the end offset
+/// of the last checksum-valid kCheckpoint record; stop at the first torn or
+/// corrupt record (everything after it is untrustworthy). Then replay the
+/// prefix up to that checkpoint into `space`, which must be a fresh, empty,
+/// *unmanaged* Space (recovery re-executes already-validated history; a
+/// CheckpointManager would re-freeze it). Attach a fresh SimulatedDisk to
+/// the space before calling to also reconstruct byte contents — replayed
+/// events fire the normal listener path.
+///
+/// Every replayed record is validated against the space before it is
+/// applied (object known, source extent matches); a mismatch returns
+/// Status::Internal instead of CHECK-aborting, because a recovery path must
+/// reject a damaged log, not crash on it. Torn/discarded suffixes are NOT
+/// errors — they are the expected shape of a crash — and are reported in
+/// RecoveryResult instead.
+class RecoveryManager {
+ public:
+  /// Recovers from an in-memory byte stream (e.g. a MemoryLogSink's
+  /// surviving prefix).
+  static Status Recover(const std::uint8_t* data, std::size_t size,
+                        Space* space, RecoveryResult* result);
+
+  /// Recovers from a FileLogSink's file.
+  static Status RecoverFile(const std::string& path, Space* space,
+                            RecoveryResult* result);
+};
+
+}  // namespace cosr
+
+#endif  // COSR_DURABILITY_RECOVERY_MANAGER_H_

@@ -1,6 +1,7 @@
 #include "cosr/realloc/factory.h"
 
 #include "cosr/alloc/best_fit_allocator.h"
+#include "cosr/durability/durability_hub.h"
 #include "cosr/alloc/buddy_allocator.h"
 #include "cosr/alloc/first_fit_allocator.h"
 #include "cosr/core/checkpointed_reallocator.h"
@@ -57,6 +58,21 @@ Status MakeReallocator(const ReallocatorSpec& spec, Space* space,
   if (AlgorithmNeedsCheckpointManager(spec.algorithm) && !managed) {
     return Status::FailedPrecondition(
         spec.algorithm + " requires a CheckpointManager on the space");
+  }
+  if (spec.durability != nullptr) {
+    // Single-instance durability wiring: log 0 observes the space and the
+    // manager's checkpoints. (The sharded facades wire per-shard logs
+    // themselves and clear this field before building their inners.)
+    if (!AlgorithmNeedsCheckpointManager(spec.algorithm)) {
+      return Status::FailedPrecondition(
+          "durability requires a checkpoint-managed algorithm "
+          "(checkpointed/deamortized); " +
+          spec.algorithm + " never checkpoints, so its log would have no "
+          "recoverable prefix");
+    }
+    MoveLog* log = spec.durability->LogForShard(0);
+    space->checkpoint_manager()->AttachDurabilityLog(log);
+    space->AddListener(log);
   }
   if (!AlgorithmNeedsCheckpointManager(spec.algorithm) && managed &&
       (spec.algorithm == "cost-oblivious" || spec.algorithm == "log-compact" ||

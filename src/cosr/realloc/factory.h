@@ -13,6 +13,8 @@
 
 namespace cosr {
 
+class DurabilityHub;
+
 /// Construction parameters for MakeReallocator. Fields that an algorithm
 /// does not use are ignored.
 struct ReallocatorSpec {
@@ -41,6 +43,13 @@ struct ReallocatorSpec {
   /// MakeConcurrentReallocator (no Space argument); MakeReallocator
   /// rejects a spec with worker_threads != 0. 0 = single-threaded.
   std::uint32_t worker_threads = 0;
+  /// Durability tier: when non-null, every shard journals its storage
+  /// events and checkpoints into the hub's per-shard MoveLogs (shard i
+  /// writes log i; a single-instance build writes log 0). Requires a
+  /// checkpoint-managed algorithm ("checkpointed"/"deamortized") — without
+  /// checkpoint records a log has no recoverable prefix. The hub must
+  /// outlive the built reallocator and its space. Not owned.
+  DurabilityHub* durability = nullptr;
 };
 
 class ConcurrentShardedReallocator;

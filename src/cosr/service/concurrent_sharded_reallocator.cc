@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "cosr/common/check.h"
+#include "cosr/durability/durability_hub.h"
 #include "cosr/realloc/factory.h"
 
 namespace cosr {
@@ -41,9 +42,20 @@ Status ConcurrentShardedReallocator::Make(
         "submit-time id map cannot represent; use hash routing");
   }
 
+  DurabilityHub* durability = inner_spec.durability;
+  if (durability != nullptr &&
+      !AlgorithmNeedsCheckpointManager(inner_spec.algorithm)) {
+    return Status::FailedPrecondition(
+        "durability requires a checkpoint-managed algorithm "
+        "(checkpointed/deamortized); " +
+        inner_spec.algorithm + " never checkpoints, so its log would have "
+        "no recoverable prefix");
+  }
+
   ReallocatorSpec spec = inner_spec;
   spec.shard_count = 1;  // the facade is the only sharding layer
   spec.worker_threads = 0;
+  spec.durability = nullptr;  // per-shard wiring happens here, not inside
 
   const std::uint32_t workers = options.worker_threads == 0
                                     ? options.shard_count
@@ -54,6 +66,7 @@ Status ConcurrentShardedReallocator::Make(
   facade->needs_routing_map_ = options.routing == ShardRouting::kSizeClass;
   facade->shards_.reserve(options.shard_count);
   facade->counters_ = std::vector<ShardCounters>(options.shard_count);
+  facade->dropped_ops_.assign(options.shard_count, 0);
   for (std::uint32_t i = 0; i < options.shard_count; ++i) {
     Shard shard;
     // A private root per shard: the view is still based at i * span, so
@@ -69,6 +82,14 @@ Status ConcurrentShardedReallocator::Make(
         options.subrange_span, shard.manager.get());
     Status status = MakeReallocator(spec, shard.view.get(), &shard.inner);
     if (!status.ok()) return status;
+    if (durability != nullptr) {
+      // Private roots see only their own shard's events (in based/global
+      // coordinates), so the log attaches directly — no range filter —
+      // and fires exclusively on the shard's owning worker thread.
+      MoveLog* log = durability->LogForShard(i);
+      shard.manager->AttachDurabilityLog(log);
+      shard.space->AddListener(log);
+    }
     shard.worker = i % workers;
     facade->shards_.push_back(std::move(shard));
   }
@@ -116,8 +137,7 @@ Status ConcurrentShardedReallocator::SubmitOp(const Request& op,
 
   if (!needs_routing_map_) {
     item.shard = shard_for(op.id, op.size);
-    Enqueue(item.shard, std::move(item));
-    return Status::Ok();
+    return Enqueue(item.shard, std::move(item));
   }
 
   // Size-class routing cannot re-derive a delete's shard from the id, so
@@ -135,7 +155,8 @@ Status ConcurrentShardedReallocator::SubmitOp(const Request& op,
     return Status::InvalidArgument("size must be positive");
   }
   std::lock_guard<std::mutex> lock(routing_mu_);
-  if (op.type == Request::Type::kInsert) {
+  const bool is_insert = op.type == Request::Type::kInsert;
+  if (is_insert) {
     const std::uint32_t target = shard_for(op.id, op.size);
     if (!routing_map_.emplace(op.id, target).second) {
       return Status::AlreadyExists("object " + std::to_string(op.id) +
@@ -152,25 +173,70 @@ Status ConcurrentShardedReallocator::SubmitOp(const Request& op,
     item.shard = it->second;
     routing_map_.erase(it);
   }
-  Enqueue(item.shard, std::move(item));
-  return Status::Ok();
+  const std::uint32_t shard = item.shard;
+  const ObjectId id = item.id;
+  Status enqueued = Enqueue(shard, std::move(item));
+  if (!enqueued.ok()) {
+    // The op was dropped, so the map update above must be undone — a
+    // dropped insert never made the id live, a dropped delete left it
+    // live. routing_mu_ is still held, so no racing producer observed the
+    // provisional state as final relative to the queue.
+    if (is_insert) {
+      routing_map_.erase(id);
+    } else {
+      routing_map_.emplace(id, shard);
+    }
+  }
+  return enqueued;
 }
 
-void ConcurrentShardedReallocator::Enqueue(std::uint32_t shard, Item item) {
+Status ConcurrentShardedReallocator::Enqueue(std::uint32_t shard, Item item) {
   Worker& worker = *workers_[shards_[shard].worker];
   // Only real requests gate AddShardListener; internal markers
-  // (quiesce/snapshot) leave the facade as listener-attachable as before.
-  if (item.kind == OpKind::kInsert || item.kind == OpKind::kDelete) {
+  // (quiesce/checkpoint/snapshot) leave the facade as listener-attachable
+  // as before.
+  const bool is_request =
+      item.kind == OpKind::kInsert || item.kind == OpKind::kDelete;
+  if (is_request) {
     requests_submitted_.fetch_add(1, std::memory_order_relaxed);
   }
+  const bool droppable = is_request && item.token == nullptr &&
+                         options_.submit_max_retries > 0;
   {
     std::unique_lock<std::mutex> lock(worker.mu);
-    worker.cv_space.wait(
-        lock, [&] { return worker.queue.size() < options_.queue_capacity; });
+    const auto has_space = [&] {
+      return worker.queue.size() < options_.queue_capacity;
+    };
+    if (droppable) {
+      // Bounded backpressure: wait-with-doubling-backoff up to the retry
+      // budget, then drop rather than stall the producer forever.
+      auto backoff = options_.submit_retry_backoff;
+      std::size_t attempts = 0;
+      while (!has_space()) {
+        if (attempts == options_.submit_max_retries) {
+          lock.unlock();
+          Status dropped = Status::ResourceExhausted(
+              "shard " + std::to_string(shard) + " queue full after " +
+              std::to_string(attempts) + " bounded retries");
+          {
+            std::lock_guard<std::mutex> drop_lock(drop_mu_);
+            ++dropped_ops_[shard];
+            last_drop_status_ = dropped;
+          }
+          return dropped;
+        }
+        ++attempts;
+        worker.cv_space.wait_for(lock, backoff, has_space);
+        backoff *= 2;
+      }
+    } else {
+      worker.cv_space.wait(lock, has_space);
+    }
     worker.queue.push_back(std::move(item));
     ++worker.enqueued;
   }
   worker.cv_ready.notify_one();
+  return Status::Ok();
 }
 
 Status ConcurrentShardedReallocator::Submit(const Request& op) {
@@ -222,6 +288,18 @@ void ConcurrentShardedReallocator::Quiesce() {
   Flush();
 }
 
+void ConcurrentShardedReallocator::CheckpointAll() {
+  Flush();
+  for (std::uint32_t i = 0; i < shard_count(); ++i) {
+    if (shards_[i].manager == nullptr) continue;
+    Item item;
+    item.kind = OpKind::kCheckpoint;
+    item.shard = i;
+    Enqueue(i, std::move(item));
+  }
+  Flush();
+}
+
 ShardStats ConcurrentShardedReallocator::Stats() {
   // Each shard is snapshotted *on its owning worker* by a queued marker
   // op: FIFO puts the marker behind every op submitted before this call,
@@ -246,6 +324,14 @@ ShardStats ConcurrentShardedReallocator::Stats() {
 
   ShardStats stats;
   stats.shards.reserve(shard_count());
+  {
+    std::lock_guard<std::mutex> drop_lock(drop_mu_);
+    for (std::uint32_t i = 0; i < shard_count(); ++i) {
+      per_shard[i].dropped_ops = dropped_ops_[i];
+      stats.dropped_ops += dropped_ops_[i];
+    }
+    stats.last_drop_status = last_drop_status_;
+  }
   for (std::uint32_t i = 0; i < shard_count(); ++i) {
     const ShardStats::PerShard& per = per_shard[i];
     stats.volume += per.volume;
@@ -318,6 +404,10 @@ void ConcurrentShardedReallocator::ExecuteItem(const Item& item) {
       shard.inner->Quiesce();
       counters.RefreshGauges(shard.inner->volume(),
                              shard.inner->reserved_footprint());
+      break;
+    case OpKind::kCheckpoint:
+      // On the owning worker, like every other touch of the shard's state.
+      shard.view->Checkpoint();
       break;
     case OpKind::kSnapshot: {
       const ShardCountersSnapshot snapshot = ReadShardCounters(counters);

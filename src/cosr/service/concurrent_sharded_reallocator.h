@@ -2,6 +2,7 @@
 #define COSR_SERVICE_CONCURRENT_SHARDED_REALLOCATOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -119,6 +120,16 @@ class ConcurrentShardedReallocator final : public Reallocator {
     /// Bound of each worker's request queue, in ops; producers block when
     /// the target worker's queue is full (backpressure, not drop).
     std::size_t queue_capacity = 4096;
+    /// Overload policy for fire-and-forget Submit when the target queue is
+    /// full. 0 (default) keeps pure backpressure: block until space frees
+    /// up. With N >= 1 the producer retries up to N bounded waits with
+    /// doubling backoff (starting at submit_retry_backoff); if the queue
+    /// is still full the op is DROPPED: Submit returns ResourceExhausted
+    /// and the drop is recorded in Stats() (per-shard dropped_ops plus the
+    /// facade-wide last_drop_status). Tracked/synchronous submissions and
+    /// internal markers always block — a token must retire.
+    std::size_t submit_max_retries = 0;
+    std::chrono::microseconds submit_retry_backoff{50};
   };
 
   /// Builds K private shards, each an inner `inner_spec` reallocator (its
@@ -134,7 +145,9 @@ class ConcurrentShardedReallocator final : public Reallocator {
   /// Fire-and-forget submission. Ok means "accepted and enqueued"; the
   /// op's own outcome lands in the shard's failed_ops counter if it fails.
   /// A non-ok return is a submit-time rejection (size-class routing
-  /// validates against its id map before enqueueing).
+  /// validates against its id map before enqueueing) or — only with
+  /// Options::submit_max_retries > 0 — a ResourceExhausted drop after the
+  /// bounded backpressure retries ran out.
   Status Submit(const Request& op);
 
   /// Like Submit, but returns a completion token carrying the op's final
@@ -157,6 +170,10 @@ class ConcurrentShardedReallocator final : public Reallocator {
 
   /// Drains, then runs every shard's deferred work on its own worker.
   void Quiesce() override;
+  /// Drains, then checkpoints every managed shard on its own worker —
+  /// forcing a durable point on every per-shard move log when the facade
+  /// was built with a DurabilityHub. No-op for unmanaged shards.
+  void CheckpointAll();
   const char* name() const override { return name_.c_str(); }
 
   /// Snapshots per-shard and aggregate accounting via per-shard marker
@@ -193,13 +210,26 @@ class ConcurrentShardedReallocator final : public Reallocator {
   const AddressSpace& shard_space(std::uint32_t index) const {
     return *shards_[index].space;
   }
+  /// Shard `index`'s CheckpointManager (nullptr for unmanaged algorithms).
+  /// Mutating it (e.g. SetCheckpointHook) must happen before the first
+  /// Insert/Delete submission, like AddShardListener; hooks then fire on
+  /// the shard's owning worker thread.
+  CheckpointManager* shard_manager(std::uint32_t index) const {
+    return shards_[index].manager.get();
+  }
   /// Any-time read: the shard's accumulator block.
   const ShardCounters& counters(std::uint32_t index) const {
     return counters_[index];
   }
 
  private:
-  enum class OpKind : std::uint8_t { kInsert, kDelete, kQuiesce, kSnapshot };
+  enum class OpKind : std::uint8_t {
+    kInsert,
+    kDelete,
+    kQuiesce,
+    kCheckpoint,
+    kSnapshot,
+  };
 
   struct Item {
     OpKind kind = OpKind::kInsert;
@@ -243,7 +273,10 @@ class ConcurrentShardedReallocator final : public Reallocator {
   /// for size-class routing, so map order matches queue arrival order).
   /// A non-ok return means nothing was enqueued.
   Status SubmitOp(const Request& op, std::shared_ptr<OpToken> token);
-  void Enqueue(std::uint32_t shard, Item item);
+  /// Non-ok only for a droppable item (fire-and-forget insert/delete with
+  /// submit_max_retries > 0) whose target queue stayed full through the
+  /// bounded retries; everything else blocks until enqueued.
+  Status Enqueue(std::uint32_t shard, Item item);
   void WorkerLoop(Worker& worker);
   void ExecuteItem(const Item& item);
 
@@ -263,6 +296,14 @@ class ConcurrentShardedReallocator final : public Reallocator {
   /// Count of real (insert/delete) submissions — the AddShardListener
   /// gate; internal quiesce/snapshot markers do not count.
   std::atomic<std::uint64_t> requests_submitted_{0};
+
+  /// Drop accounting for the bounded-retry Submit policy. Cold path only
+  /// (a drop means the retries already burned their backoff budget), so a
+  /// plain mutex keeps ShardCounters' single-writer discipline intact.
+  mutable std::mutex drop_mu_;
+  std::vector<std::uint64_t> dropped_ops_;  // per shard
+  Status last_drop_status_;
+
   std::string name_;
 };
 

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "cosr/common/status.h"
+
 namespace cosr {
 
 /// Aggregated accounting of a sharded facade (single-threaded or
@@ -29,6 +31,9 @@ struct ShardStats {
     /// Request-level counters (concurrent facade only; zero elsewhere).
     std::uint64_t ops = 0;
     std::uint64_t failed_ops = 0;
+    /// Fire-and-forget submissions dropped by the bounded-retry overflow
+    /// policy (concurrent facade with submit_max_retries > 0 only).
+    std::uint64_t dropped_ops = 0;
     /// Peak of the shard's reserved footprint over its own op stream
     /// (concurrent facade only; zero elsewhere).
     std::uint64_t peak_reserved_footprint = 0;
@@ -36,6 +41,10 @@ struct ShardStats {
   std::vector<PerShard> shards;
 
   std::uint64_t volume = 0;
+  /// Sum of the shards' dropped_ops, with the Status of the most recent
+  /// drop (Ok when nothing was ever dropped).
+  std::uint64_t dropped_ops = 0;
+  Status last_drop_status;
   /// Sum of the shards' reserved footprints: the additive-composition view
   /// (what the facade's reserved_footprint() reports, and the quantity the
   /// footprint-vs-K blowup experiments normalize).

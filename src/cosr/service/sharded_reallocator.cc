@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "cosr/common/check.h"
+#include "cosr/durability/durability_hub.h"
 
 namespace cosr {
 
@@ -26,8 +27,19 @@ Status ShardedReallocator::Make(const ReallocatorSpec& inner_spec,
         "shard scopes its own");
   }
 
+  DurabilityHub* durability = inner_spec.durability;
+  if (durability != nullptr &&
+      !AlgorithmNeedsCheckpointManager(inner_spec.algorithm)) {
+    return Status::FailedPrecondition(
+        "durability requires a checkpoint-managed algorithm "
+        "(checkpointed/deamortized); " +
+        inner_spec.algorithm + " never checkpoints, so its log would have "
+        "no recoverable prefix");
+  }
+
   ReallocatorSpec spec = inner_spec;
   spec.shard_count = 1;  // the facade is the only sharding layer
+  spec.durability = nullptr;  // per-shard wiring happens here, not inside
 
   auto sharded = std::unique_ptr<ShardedReallocator>(
       new ShardedReallocator(options, parent));
@@ -43,12 +55,30 @@ Status ShardedReallocator::Make(const ReallocatorSpec& inner_spec,
         options.subrange_span, shard.manager.get());
     Status status = MakeReallocator(spec, shard.view.get(), &shard.inner);
     if (!status.ok()) return status;
+    if (durability != nullptr) {
+      // The parent's listener stream interleaves every shard's events;
+      // scope log i to sub-range i. Checkpoint records flow through the
+      // shard's own manager instead (the parent's OnCheckpoint fan-out
+      // cannot attribute a checkpoint to a shard).
+      MoveLog* log = durability->LogForShard(i);
+      shard.manager->AttachDurabilityLog(log);
+      const std::uint64_t base = std::uint64_t{i} * options.subrange_span;
+      sharded->log_scopes_.push_back(std::make_unique<RangeScopedListener>(
+          log, base, base + options.subrange_span));
+      parent->AddListener(sharded->log_scopes_.back().get());
+    }
     sharded->shards_.push_back(std::move(shard));
   }
   sharded->name_ = "sharded[" + std::to_string(options.shard_count) + "," +
                    ShardRoutingName(options.routing) + "]/" + spec.algorithm;
   *out = std::move(sharded);
   return Status::Ok();
+}
+
+ShardedReallocator::~ShardedReallocator() {
+  for (const std::unique_ptr<RangeScopedListener>& scope : log_scopes_) {
+    parent_->RemoveListener(scope.get());
+  }
 }
 
 Status ShardedReallocator::Insert(ObjectId id, std::uint64_t size) {
@@ -102,6 +132,13 @@ std::uint64_t ShardedReallocator::volume() const {
 void ShardedReallocator::Quiesce() {
   owner_fence_.Assert("ShardedReallocator");
   for (Shard& shard : shards_) shard.inner->Quiesce();
+}
+
+void ShardedReallocator::CheckpointAll() {
+  owner_fence_.Assert("ShardedReallocator");
+  for (Shard& shard : shards_) {
+    if (shard.manager != nullptr) shard.view->Checkpoint();
+  }
 }
 
 std::uint32_t ShardedReallocator::shard_of(ObjectId id) const {

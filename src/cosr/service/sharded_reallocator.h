@@ -10,6 +10,7 @@
 #include "cosr/common/owner_fence.h"
 #include "cosr/common/status.h"
 #include "cosr/common/types.h"
+#include "cosr/durability/move_log.h"
 #include "cosr/realloc/factory.h"
 #include "cosr/realloc/reallocator.h"
 #include "cosr/service/routing.h"
@@ -59,6 +60,9 @@ class ShardedReallocator final : public Reallocator {
   static Status Make(const ReallocatorSpec& inner_spec, const Options& options,
                      Space* parent, std::unique_ptr<ShardedReallocator>* out);
 
+  /// Detaches any durability log adapters from the parent space.
+  ~ShardedReallocator() override;
+
   Status Insert(ObjectId id, std::uint64_t size) override;
   Status Delete(ObjectId id) override;
 
@@ -67,6 +71,10 @@ class ShardedReallocator final : public Reallocator {
   std::uint64_t reserved_footprint() const override;
   std::uint64_t volume() const override;
   void Quiesce() override;
+  /// Checkpoints every managed shard — forcing a durable point on every
+  /// per-shard move log when the facade was built with a DurabilityHub.
+  /// No-op for shards without a CheckpointManager.
+  void CheckpointAll();
   const char* name() const override { return name_.c_str(); }
 
   ShardStats Stats() const;
@@ -90,6 +98,12 @@ class ShardedReallocator final : public Reallocator {
   const SubSpaceView& shard_view(std::uint32_t index) const {
     return *shards_[index].view;
   }
+  /// Shard `index`'s CheckpointManager (nullptr for unmanaged algorithms).
+  /// Mutating it (e.g. SetCheckpointHook) must happen from the facade's
+  /// owning thread before requests are in flight.
+  CheckpointManager* shard_manager(std::uint32_t index) const {
+    return shards_[index].manager.get();
+  }
 
  private:
   struct Shard {
@@ -108,6 +122,11 @@ class ShardedReallocator final : public Reallocator {
   Options options_;
   Space* parent_;
   std::vector<Shard> shards_;
+  /// Durability adapters on the caller-owned parent: the parent's listener
+  /// stream carries every shard's events, so each shard's MoveLog hangs
+  /// behind a RangeScopedListener that keeps only its own sub-range.
+  /// Removed from the parent in the destructor.
+  std::vector<std::unique_ptr<RangeScopedListener>> log_scopes_;
   /// id -> shard for routings that cannot re-derive the shard from the id
   /// alone (kSizeClass: deletes do not carry the size).
   std::unordered_map<ObjectId, std::uint32_t> shard_of_;

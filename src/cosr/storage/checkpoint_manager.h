@@ -2,6 +2,7 @@
 #define COSR_STORAGE_CHECKPOINT_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cosr/storage/extent.h"
@@ -10,6 +11,17 @@
 namespace cosr {
 
 class CheckpointManager;
+
+/// How the storage layer hands checkpoint completions to the durability
+/// tier without depending on it: the MoveLog implements this, appending a
+/// checkpoint record and issuing the log's one Sync(). `seq` is the
+/// manager's checkpoint count *after* the completing checkpoint, so the
+/// first checkpoint logs seq 1.
+class CheckpointDurabilityLog {
+ public:
+  virtual ~CheckpointDurabilityLog() = default;
+  virtual void LogCheckpoint(std::uint64_t seq) = 0;
+};
 
 /// The Lemma 3.2 batch rules, shared by every surface that applies a move
 /// batch under a manager (AddressSpace's managed engines and the shard-
@@ -48,9 +60,29 @@ class CheckpointManager {
   bool IsWritable(const Extent& e) const { return !frozen_.Intersects(e); }
 
   /// Completes a checkpoint: all previously frozen regions become writable.
+  /// If a durability log is attached, the checkpoint record (and its Sync)
+  /// lands before the hook observes the new sequence number, so a hook that
+  /// snapshots state always snapshots a durable point.
   void Checkpoint() {
     frozen_.Clear();
     ++checkpoint_count_;
+    if (durability_log_ != nullptr) {
+      durability_log_->LogCheckpoint(checkpoint_count_);
+    }
+    if (checkpoint_hook_) checkpoint_hook_(checkpoint_count_);
+  }
+
+  /// Attaches the durability tier's log (nullptr detaches). Not owned.
+  void AttachDurabilityLog(CheckpointDurabilityLog* log) {
+    durability_log_ = log;
+  }
+
+  /// Synchronous observer fired inside Checkpoint() after the durability
+  /// record is down. Checkpoints happen MID-request (mid-flush), so a
+  /// poll-after-request can never capture checkpoint-time state — the fuzz
+  /// harness snapshots its expected recovery image from this hook.
+  void SetCheckpointHook(std::function<void(std::uint64_t)> hook) {
+    checkpoint_hook_ = std::move(hook);
   }
 
   std::uint64_t checkpoint_count() const { return checkpoint_count_; }
@@ -60,6 +92,8 @@ class CheckpointManager {
  private:
   ExtentSet frozen_;
   std::uint64_t checkpoint_count_ = 0;
+  CheckpointDurabilityLog* durability_log_ = nullptr;
+  std::function<void(std::uint64_t)> checkpoint_hook_;
 };
 
 }  // namespace cosr

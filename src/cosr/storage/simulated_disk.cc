@@ -25,7 +25,14 @@ std::uint8_t SimulatedDisk::PatternByte(ObjectId id, std::uint64_t index) {
 }
 
 void SimulatedDisk::EnsureSize(std::uint64_t end) {
-  if (end > data_.size()) data_.resize(end, 0);
+  if (end <= data_.size()) return;
+  // Grow capacity geometrically before the exact-size resize: footprints
+  // creep up one object at a time under churn, and a capacity-chasing
+  // resize would re-copy the whole disk each step — O(n^2) bytes overall.
+  if (end > data_.capacity()) {
+    data_.reserve(std::max<std::uint64_t>(end, 2 * data_.capacity()));
+  }
+  data_.resize(end, 0);
 }
 
 void SimulatedDisk::OnPlace(ObjectId id, const Extent& extent) {

@@ -27,11 +27,14 @@
 
 #include "cosr/common/random.h"
 #include "cosr/cost/cost_battery.h"
+#include "cosr/durability/durability_hub.h"
+#include "cosr/durability/recovery_manager.h"
 #include "cosr/metrics/cost_meter.h"
 #include "cosr/realloc/factory.h"
 #include "cosr/service/concurrent_sharded_reallocator.h"
 #include "cosr/service/sharded_reallocator.h"
 #include "cosr/storage/address_space.h"
+#include "cosr/storage/simulated_disk.h"
 #include "cosr/workload/trace.h"
 #include "cosr/workload/workload_generator.h"
 
@@ -509,6 +512,156 @@ TEST(ConcurrentStatus, SizeClassRoutingValidatesAtSubmit) {
   EXPECT_TRUE(concurrent->Submit(Request::Delete(1)).ok());
   concurrent->Flush();
   EXPECT_EQ(concurrent->volume(), 0u);
+}
+
+// ------------------------------------------------- bounded-retry drop policy
+
+/// Stalls its shard's worker inside the first OnPlace until released, so a
+/// test can wedge the pipeline deterministically.
+class StallingListener : public SpaceListener {
+ public:
+  void OnPlace(ObjectId, const Extent&) override {
+    entered.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+};
+
+TEST(ConcurrentDropPolicy, FullQueueDropsAfterBoundedRetriesAndIsCounted) {
+  ReallocatorSpec spec;
+  spec.algorithm = "first-fit";
+  ConcurrentShardedReallocator::Options options;
+  options.shard_count = 1;
+  options.worker_threads = 1;
+  options.queue_capacity = 1;
+  options.submit_max_retries = 2;
+  options.submit_retry_backoff = std::chrono::microseconds(100);
+  std::unique_ptr<ConcurrentShardedReallocator> concurrent;
+  ASSERT_TRUE(
+      ConcurrentShardedReallocator::Make(spec, options, &concurrent).ok());
+
+  StallingListener stall;
+  concurrent->AddShardListener(0, &stall);
+
+  // Op 1 is picked up by the worker and wedges inside the listener; op 2
+  // then fills the (capacity-1) queue.
+  ASSERT_TRUE(concurrent->Submit(Request::Insert(1, 8)).ok());
+  while (!stall.entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(concurrent->Submit(Request::Insert(2, 8)).ok());
+
+  // Op 3 finds the queue full, burns its bounded retries, and is dropped.
+  const Status dropped = concurrent->Submit(Request::Insert(3, 8));
+  EXPECT_EQ(dropped.code(), StatusCode::kResourceExhausted);
+
+  // Tracked submission never drops: it blocks until space frees up, so
+  // release the worker from another thread and watch it retire.
+  std::thread releaser([&stall] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stall.release.store(true, std::memory_order_release);
+  });
+  const auto token = concurrent->SubmitTracked(Request::Insert(4, 8));
+  EXPECT_TRUE(token->Wait().ok());
+  releaser.join();
+  concurrent->Flush();
+
+  const ShardStats stats = concurrent->Stats();
+  EXPECT_EQ(stats.dropped_ops, 1u);
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].dropped_ops, 1u);
+  EXPECT_EQ(stats.last_drop_status.code(), StatusCode::kResourceExhausted);
+  // The dropped op never executed: ids 1, 2, 4 are live, id 3 is not.
+  EXPECT_EQ(stats.volume, 3u * 8);
+  EXPECT_EQ(stats.shards[0].failed_ops, 0u);
+}
+
+TEST(ConcurrentDropPolicy, DefaultPolicyIsPureBackpressure) {
+  // With submit_max_retries at its default 0, a full queue blocks the
+  // producer instead of dropping — the pre-existing contract.
+  ReallocatorSpec spec;
+  spec.algorithm = "first-fit";
+  ConcurrentShardedReallocator::Options options;
+  options.shard_count = 1;
+  options.worker_threads = 1;
+  options.queue_capacity = 1;
+  std::unique_ptr<ConcurrentShardedReallocator> concurrent;
+  ASSERT_TRUE(
+      ConcurrentShardedReallocator::Make(spec, options, &concurrent).ok());
+
+  StallingListener stall;
+  concurrent->AddShardListener(0, &stall);
+  ASSERT_TRUE(concurrent->Submit(Request::Insert(1, 8)).ok());
+  while (!stall.entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(concurrent->Submit(Request::Insert(2, 8)).ok());
+
+  std::atomic<bool> third_accepted{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(concurrent->Submit(Request::Insert(3, 8)).ok());
+    third_accepted.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_accepted.load(std::memory_order_acquire));
+  stall.release.store(true, std::memory_order_release);
+  producer.join();
+  EXPECT_TRUE(third_accepted.load(std::memory_order_acquire));
+  concurrent->Flush();
+  const ShardStats stats = concurrent->Stats();
+  EXPECT_EQ(stats.dropped_ops, 0u);
+  EXPECT_EQ(stats.volume, 3u * 8);
+}
+
+// --------------------------------------------------- durability integration
+
+TEST(ConcurrentDurability, PerShardLogsRecoverTheCheckpointedState) {
+  DurabilityHub hub;
+  ReallocatorSpec spec;
+  spec.algorithm = "checkpointed";
+  spec.durability = &hub;
+  ConcurrentShardedReallocator::Options options;
+  options.shard_count = 2;
+  options.worker_threads = 2;
+  options.subrange_span = 1ull << 22;  // keep recovered disks small
+  std::unique_ptr<ConcurrentShardedReallocator> concurrent;
+  ASSERT_TRUE(
+      ConcurrentShardedReallocator::Make(spec, options, &concurrent).ok());
+
+  const Trace trace = TestTrace(31, 1500);
+  for (const Request& request : trace.requests()) {
+    ASSERT_TRUE(concurrent->Submit(request).ok());
+  }
+  concurrent->Quiesce();
+  concurrent->CheckpointAll();
+
+  // Every shard's log ends on a checkpoint record, so a full-log recovery
+  // must reproduce the shard's live map and bytes exactly.
+  ASSERT_EQ(hub.log_count(), 2u);
+  EXPECT_GT(hub.total_checkpoints(), 0u);
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const MemoryLogSink* sink = hub.memory_sink(i);
+    ASSERT_NE(sink, nullptr);
+    AddressSpace recovered;
+    SimulatedDisk disk;
+    recovered.AddListener(&disk);
+    RecoveryResult result;
+    ASSERT_TRUE(RecoveryManager::Recover(sink->data().data(),
+                                         sink->data().size(), &recovered,
+                                         &result)
+                    .ok());
+    EXPECT_FALSE(result.torn_tail) << "shard " << i;
+    EXPECT_EQ(result.records_discarded, 0u) << "shard " << i;
+    EXPECT_TRUE(recovered.Snapshot() == concurrent->shard_space(i).Snapshot())
+        << "shard " << i;
+    for (const auto& entry : recovered.Snapshot()) {
+      EXPECT_TRUE(disk.VerifyObject(entry.first, entry.second))
+          << "shard " << i << " object " << entry.first;
+    }
+  }
 }
 
 // ----------------------------------------------------- factory / validation

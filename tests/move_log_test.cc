@@ -1,0 +1,222 @@
+// Unit tests of the durability tier's logging half: record framing
+// (encode/parse roundtrips, torn-tail and corruption detection), the
+// LogSink crash-surface contract, the MoveLog listener, and the
+// RangeScopedListener shard filter.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cosr/durability/log_record.h"
+#include "cosr/durability/log_sink.h"
+#include "cosr/durability/move_log.h"
+
+namespace cosr {
+namespace {
+
+std::vector<LogRecord> ParseAll(const std::vector<std::uint8_t>& data,
+                                LogParseResult* final_result) {
+  std::vector<LogRecord> records;
+  std::size_t offset = 0;
+  LogRecord record;
+  for (;;) {
+    const LogParseResult result =
+        ParseLogRecord(data.data(), data.size(), &offset, &record);
+    if (result != LogParseResult::kOk) {
+      *final_result = result;
+      return records;
+    }
+    records.push_back(record);
+  }
+}
+
+TEST(LogRecordTest, EncodeParseRoundtrip) {
+  std::vector<std::uint8_t> log;
+  EncodePlaceRecord(7, Extent{100, 40}, &log);
+  EncodeRemoveRecord(9, Extent{512, 8}, &log);
+  std::vector<MoveRecord> moves = {
+      MoveRecord{1, Extent{0, 16}, Extent{64, 16}},
+      MoveRecord{2, Extent{16, 32}, Extent{128, 32}},
+  };
+  EncodeMoveBatchRecord(moves.data(), moves.size(), &log);
+  EncodeCheckpointRecord(42, &log);
+
+  LogParseResult final_result;
+  const std::vector<LogRecord> records = ParseAll(log, &final_result);
+  EXPECT_EQ(final_result, LogParseResult::kEnd);
+  ASSERT_EQ(records.size(), 4u);
+
+  EXPECT_EQ(records[0].type, LogRecordType::kPlace);
+  EXPECT_EQ(records[0].id, 7u);
+  EXPECT_EQ(records[0].extent, (Extent{100, 40}));
+
+  EXPECT_EQ(records[1].type, LogRecordType::kRemove);
+  EXPECT_EQ(records[1].id, 9u);
+  EXPECT_EQ(records[1].extent, (Extent{512, 8}));
+
+  EXPECT_EQ(records[2].type, LogRecordType::kMoveBatch);
+  ASSERT_EQ(records[2].moves.size(), 2u);
+  EXPECT_EQ(records[2].moves[0].id, 1u);
+  EXPECT_EQ(records[2].moves[0].from, (Extent{0, 16}));
+  EXPECT_EQ(records[2].moves[0].to, (Extent{64, 16}));
+  EXPECT_EQ(records[2].moves[1].to, (Extent{128, 32}));
+
+  EXPECT_EQ(records[3].type, LogRecordType::kCheckpoint);
+  EXPECT_EQ(records[3].checkpoint_seq, 42u);
+}
+
+TEST(LogRecordTest, EveryTruncationOfTheTailIsDetected) {
+  std::vector<std::uint8_t> log;
+  EncodePlaceRecord(7, Extent{100, 40}, &log);
+  const std::size_t first_end = log.size();
+  EncodeCheckpointRecord(1, &log);
+
+  // Any cut strictly inside the second record: the first record parses,
+  // the tail reports truncated, and the offset stays at the cut's record.
+  for (std::size_t cut = first_end + 1; cut < log.size(); ++cut) {
+    std::vector<std::uint8_t> torn(log.begin(), log.begin() + cut);
+    LogParseResult final_result;
+    const std::vector<LogRecord> records = ParseAll(torn, &final_result);
+    EXPECT_EQ(records.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(final_result, LogParseResult::kTruncated) << "cut at " << cut;
+  }
+}
+
+TEST(LogRecordTest, BitFlipFailsTheChecksum) {
+  std::vector<std::uint8_t> log;
+  EncodePlaceRecord(7, Extent{100, 40}, &log);
+  // Flip one payload bit: framing still reads a complete record, but the
+  // checksum must reject it.
+  log[kLogRecordHeaderBytes] ^= 0x10;
+  std::size_t offset = 0;
+  LogRecord record;
+  EXPECT_EQ(ParseLogRecord(log.data(), log.size(), &offset, &record),
+            LogParseResult::kCorrupt);
+  EXPECT_EQ(offset, 0u);  // offset untouched on failure
+}
+
+TEST(LogRecordTest, UnknownTypeByteIsCorrupt) {
+  std::vector<std::uint8_t> log;
+  EncodeCheckpointRecord(1, &log);
+  log[0] = 0x7f;
+  std::size_t offset = 0;
+  LogRecord record;
+  EXPECT_EQ(ParseLogRecord(log.data(), log.size(), &offset, &record),
+            LogParseResult::kCorrupt);
+}
+
+TEST(MemoryLogSinkTest, SurvivingPrefixNeverFallsBelowSyncedSize) {
+  MemoryLogSink sink;
+  const std::uint8_t a[4] = {1, 2, 3, 4};
+  const std::uint8_t b[3] = {5, 6, 7};
+  sink.Append(a, sizeof(a));
+  sink.Sync();
+  sink.Append(b, sizeof(b));
+
+  EXPECT_EQ(sink.size(), 7u);
+  EXPECT_EQ(sink.synced_size(), 4u);
+  ASSERT_EQ(sink.record_ends().size(), 2u);
+  EXPECT_EQ(sink.record_ends()[0], 4u);
+  EXPECT_EQ(sink.record_ends()[1], 7u);
+
+  // A crash that would keep fewer bytes than the synced prefix still keeps
+  // the synced prefix — that is what Sync() means.
+  EXPECT_EQ(sink.SurvivingPrefix(0).size(), 4u);
+  EXPECT_EQ(sink.SurvivingPrefix(2).size(), 4u);
+  EXPECT_EQ(sink.SurvivingPrefix(5).size(), 5u);
+  EXPECT_EQ(sink.SurvivingPrefix(100).size(), 7u);
+}
+
+TEST(FileLogSinkTest, AppendSyncReadAllRoundtrip) {
+  const std::string path = ::testing::TempDir() + "/cosr_file_sink_test.log";
+  std::unique_ptr<FileLogSink> sink;
+  ASSERT_TRUE(FileLogSink::Open(path, &sink).ok());
+
+  std::vector<std::uint8_t> expected;
+  EncodePlaceRecord(3, Extent{0, 10}, &expected);
+  EncodeCheckpointRecord(1, &expected);
+  sink->Append(expected.data(), expected.size());
+  sink->Sync();
+  EXPECT_EQ(sink->size(), expected.size());
+  EXPECT_EQ(sink->sync_count(), 1u);
+
+  std::vector<std::uint8_t> read_back;
+  ASSERT_TRUE(FileLogSink::ReadAll(path, &read_back).ok());
+  EXPECT_EQ(read_back, expected);
+}
+
+TEST(MoveLogTest, JournalsEveryListenerEventAndSyncsAtCheckpoints) {
+  MemoryLogSink sink;
+  MoveLog log(&sink);
+
+  log.OnPlace(1, Extent{0, 8});
+  log.OnPlace(2, Extent{8, 8});
+  std::vector<MoveRecord> batch = {
+      MoveRecord{1, Extent{0, 8}, Extent{16, 8}},
+      MoveRecord{2, Extent{8, 8}, Extent{24, 8}},
+  };
+  log.OnMoves(batch.data(), batch.size());
+  log.OnMove(1, Extent{16, 8}, Extent{32, 8});  // a batch of one
+  log.OnRemove(2, Extent{24, 8});
+  EXPECT_EQ(sink.sync_count(), 0u);  // data records never sync
+  log.LogCheckpoint(1);
+  EXPECT_EQ(sink.sync_count(), 1u);
+  EXPECT_EQ(sink.synced_size(), sink.size());
+
+  EXPECT_EQ(log.records_written(), 6u);
+  EXPECT_EQ(log.places_logged(), 2u);
+  EXPECT_EQ(log.batches_logged(), 2u);
+  EXPECT_EQ(log.moves_logged(), 3u);
+  EXPECT_EQ(log.removes_logged(), 1u);
+  EXPECT_EQ(log.checkpoints_logged(), 1u);
+
+  LogParseResult final_result;
+  const std::vector<LogRecord> records =
+      ParseAll(sink.data(), &final_result);
+  EXPECT_EQ(final_result, LogParseResult::kEnd);
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_EQ(records[2].moves.size(), 2u);
+  EXPECT_EQ(records[3].moves.size(), 1u);
+  EXPECT_EQ(records[5].type, LogRecordType::kCheckpoint);
+
+  // Empty batches produce no record.
+  log.OnMoves(nullptr, 0);
+  EXPECT_EQ(log.records_written(), 6u);
+}
+
+TEST(RangeScopedListenerTest, ForwardsOnlyItsSubRange) {
+  MemoryLogSink sink;
+  MoveLog log(&sink);
+  RangeScopedListener scope(&log, /*lo=*/100, /*hi=*/200);
+
+  scope.OnPlace(1, Extent{100, 10});  // in range
+  scope.OnPlace(2, Extent{50, 10});   // below
+  scope.OnPlace(3, Extent{195, 10});  // straddles hi -> out
+  std::vector<MoveRecord> batch = {
+      MoveRecord{1, Extent{100, 10}, Extent{120, 10}},  // in
+      MoveRecord{4, Extent{300, 10}, Extent{320, 10}},  // out
+  };
+  scope.OnMoves(batch.data(), batch.size());
+  scope.OnRemove(1, Extent{120, 10});  // in
+  scope.OnRemove(4, Extent{320, 10});  // out
+
+  EXPECT_EQ(log.places_logged(), 1u);
+  EXPECT_EQ(log.moves_logged(), 1u);
+  EXPECT_EQ(log.removes_logged(), 1u);
+
+  // A batch whose every move is foreign produces no record at all.
+  std::vector<MoveRecord> foreign = {
+      MoveRecord{4, Extent{320, 10}, Extent{340, 10}},
+  };
+  scope.OnMoves(foreign.data(), foreign.size());
+  EXPECT_EQ(log.batches_logged(), 1u);
+
+  // Checkpoint fan-out from a shared parent is deliberately dropped (the
+  // shard's own manager logs checkpoints with the right sequence number).
+  scope.OnCheckpoint(17);
+  EXPECT_EQ(log.checkpoints_logged(), 0u);
+}
+
+}  // namespace
+}  // namespace cosr

@@ -59,5 +59,24 @@ TEST(SimulatedDiskTest, VerifyBeyondDiskFails) {
   EXPECT_FALSE(disk.VerifyObject(1, Extent{1000, 10}));
 }
 
+TEST(SimulatedDiskTest, IncrementalAppendsStayCorrectUnderGeometricGrowth) {
+  // Many small end-extending placements: the disk grows geometrically
+  // underneath (instead of reallocating on every placement), and every
+  // object's pattern survives each growth step.
+  AddressSpace space;
+  SimulatedDisk disk;
+  space.AddListener(&disk);
+  constexpr std::uint64_t kObjects = 2000;
+  constexpr std::uint64_t kSize = 7;
+  for (ObjectId id = 0; id < kObjects; ++id) {
+    space.Place(id + 1, Extent{id * kSize, kSize});
+  }
+  EXPECT_EQ(disk.size(), kObjects * kSize);
+  for (ObjectId id = 0; id < kObjects; ++id) {
+    ASSERT_TRUE(disk.VerifyObject(id + 1, Extent{id * kSize, kSize}))
+        << "object " << id + 1;
+  }
+}
+
 }  // namespace
 }  // namespace cosr

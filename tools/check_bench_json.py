@@ -108,8 +108,54 @@ def check_concurrent(data, path):
                 f"/W={row['workers']} has failed ops")
 
 
+def check_durability(data, path):
+    require(data.get("schema_version") == 1, path, "schema_version != 1")
+    require(data.get("smoke") is False, path,
+            "committed artifact is a --smoke run; regenerate full-size")
+    # The PR's acceptance bar, re-asserted on the committed artifact: at
+    # least 1000 injected crash/torn-write points, all recovered (the
+    # binary exits non-zero on any divergence, so an artifact from a failed
+    # run never lands).
+    require(isinstance(data.get("total_crash_points"), int) and
+            data["total_crash_points"] >= 1000, path,
+            "total_crash_points must be an int >= 1000")
+    check_rows(data, path, {"section"})
+    sections = {}
+    for row in data["rows"]:
+        sections.setdefault(row["section"], []).append(row)
+    overhead_keys = {"algorithm", "sink", "operations", "wall_seconds",
+                     "ops_per_sec", "log_records", "log_bytes", "log_syncs"}
+    recovery_keys = {"operations", "log_records", "log_bytes",
+                     "recover_wall_seconds", "records_per_sec",
+                     "checkpoint_seq"}
+    fuzz_keys = {"scenario", "algorithm", "facade", "shards", "crash_points",
+                 "boundary_points", "torn_points", "mid_batch_points",
+                 "checkpoints", "log_records", "recovered_records",
+                 "objects_verified"}
+    for section, keys in (("overhead", overhead_keys),
+                          ("recovery", recovery_keys), ("fuzz", fuzz_keys)):
+        rows = sections.get(section, [])
+        require(rows, path, f"no '{section}' rows")
+        for i, row in enumerate(rows):
+            missing = keys - row.keys()
+            require(not missing, path,
+                    f"{section} row {i} missing keys {sorted(missing)}")
+    sinks = {r["sink"] for r in sections["overhead"]}
+    for sink in ("none", "memory", "file"):
+        require(sink in sinks, path, f"overhead sink '{sink}' missing")
+    facades = {(r["facade"], r["shards"]) for r in sections["fuzz"]}
+    require(("sharded", 1) in facades, path, "fuzz sharded K=1 row missing")
+    require(("sharded", 4) in facades, path, "fuzz sharded K=4 row missing")
+    require(("concurrent", 4) in facades, path,
+            "fuzz concurrent K=4 row missing")
+    points = sum(r["crash_points"] for r in sections["fuzz"])
+    require(points == data["total_crash_points"], path,
+            "total_crash_points disagrees with the fuzz rows")
+
+
 CHECKERS = {
     "BENCH_micro.json": check_micro,
+    "BENCH_durability.json": check_durability,
     "BENCH_free_index.json": check_free_index,
     "BENCH_address_space.json": check_address_space,
     "BENCH_scenarios.json": check_scenarios,
