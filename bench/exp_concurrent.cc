@@ -36,6 +36,7 @@
 #include "cosr/metrics/cost_meter.h"
 #include "cosr/realloc/factory.h"
 #include "cosr/service/concurrent_sharded_reallocator.h"
+#include "cosr/service/op_buffer.h"
 #include "cosr/service/sharded_reallocator.h"
 #include "cosr/storage/address_space.h"
 #include "cosr/workload/scenario.h"
@@ -52,6 +53,9 @@ struct Row {
   std::string scenario;
   std::string algorithm;
   std::uint32_t workers = 0;  // 0 = single-threaded facade
+  /// Concurrent rows only: per-op Submit (the mutex queue hop per op) vs
+  /// OpBuffer/SubmitMany over the lock-free remote queues.
+  bool batched = false;
   std::uint64_t operations = 0;
   double wall_seconds = 0;
   double ops_per_sec = 0;
@@ -63,11 +67,13 @@ struct Row {
   std::uint64_t sum_peak_reserved = 0;
   std::uint64_t global_max_end = 0;
   std::uint64_t failed_ops = 0;
+  std::uint64_t batched_ops = 0;  // ops that arrived via remote queues
   std::vector<std::uint64_t> per_shard_reserved;
   std::vector<std::uint64_t> per_shard_peak;
 
   std::string Label() const {
-    return workers == 0 ? "facade/1-thread" : "W=" + std::to_string(workers);
+    if (workers == 0) return "facade/1-thread";
+    return "W=" + std::to_string(workers) + (batched ? " batched" : "");
   }
 };
 
@@ -129,7 +135,8 @@ Row RunFacade(const Scenario& scenario, const std::string& algorithm,
 }
 
 Row RunConcurrent(const Scenario& scenario, const std::string& algorithm,
-                  std::uint32_t workers, const CostBattery& battery) {
+                  std::uint32_t workers, bool batched,
+                  const CostBattery& battery) {
   ReallocatorSpec spec;
   spec.algorithm = algorithm;
   ConcurrentShardedReallocator::Options options;
@@ -147,8 +154,20 @@ Row RunConcurrent(const Scenario& scenario, const std::string& algorithm,
   }
 
   const auto start = Clock::now();
-  for (const Request& request : scenario.trace.requests()) {
-    COSR_CHECK_OK(facade->Submit(request));
+  if (batched) {
+    // The batched producer path: ops accumulate in a producer-local
+    // OpBuffer and go out as SubmitMany batches over the lock-free
+    // remote queues — one queue hop per batch per shard.
+    OpBuffer buffer(facade.get(), OpBuffer::kMaxCapacity);
+    for (const Request& request : scenario.trace.requests()) {
+      COSR_CHECK_OK(buffer.Add(request));
+    }
+    COSR_CHECK_OK(buffer.Flush());
+    COSR_CHECK_EQ(buffer.stats().ops_not_enqueued, 0u);
+  } else {
+    for (const Request& request : scenario.trace.requests()) {
+      COSR_CHECK_OK(facade->Submit(request));
+    }
   }
   facade->Quiesce();  // drains, then retires deferred work on the workers
   const double wall =
@@ -158,6 +177,7 @@ Row RunConcurrent(const Scenario& scenario, const std::string& algorithm,
   row.scenario = scenario.name;
   row.algorithm = algorithm;
   row.workers = workers;
+  row.batched = batched;
   row.operations = scenario.trace.size();
   row.wall_seconds = wall;
   row.ops_per_sec = static_cast<double>(row.operations) / wall;
@@ -175,15 +195,17 @@ Row RunConcurrent(const Scenario& scenario, const std::string& algorithm,
     row.per_shard_peak.push_back(stats.shards[s].peak_reserved_footprint);
     row.sum_peak_reserved += stats.shards[s].peak_reserved_footprint;
     row.failed_ops += stats.shards[s].failed_ops;
+    row.batched_ops += stats.shards[s].batched_ops;
   }
   return row;
 }
 
 const Row* Find(const std::vector<Row>& rows, const std::string& scenario,
-                const std::string& algorithm, std::uint32_t workers) {
+                const std::string& algorithm, std::uint32_t workers,
+                bool batched = false) {
   for (const Row& row : rows) {
     if (row.scenario == scenario && row.algorithm == algorithm &&
-        row.workers == workers) {
+        row.workers == workers && row.batched == batched) {
       return &row;
     }
   }
@@ -197,7 +219,7 @@ void WriteJson(const std::vector<Row>& rows, bool smoke) {
     return;
   }
   std::fprintf(json,
-               "{\n  \"schema_version\": 1,\n  \"smoke\": %s,\n"
+               "{\n  \"schema_version\": 2,\n  \"smoke\": %s,\n"
                "  \"shard_count\": %u,\n  \"hardware_threads\": %u,\n",
                smoke ? "true" : "false", kShards,
                std::thread::hardware_concurrency());
@@ -210,7 +232,10 @@ void WriteJson(const std::vector<Row>& rows, bool smoke) {
   const bool scaling_meaningful = std::thread::hardware_concurrency() > 1;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
-    const Row* w1 = Find(rows, row.scenario, row.algorithm, 1);
+    // Speedup compares against the same submit path's W=1 row, so the
+    // batched column measures thread scaling, not batching itself (the
+    // batched-vs-per-op ratio is the two paths' ops_per_sec at equal W).
+    const Row* w1 = Find(rows, row.scenario, row.algorithm, 1, row.batched);
     const double speedup_vs_w1 =
         (scaling_meaningful && row.workers != 0 && w1 != nullptr &&
          w1->ops_per_sec > 0)
@@ -219,15 +244,18 @@ void WriteJson(const std::vector<Row>& rows, bool smoke) {
     std::fprintf(
         json,
         "    {\"scenario\": \"%s\", \"algorithm\": \"%s\", "
-        "\"mode\": \"%s\", \"workers\": %u, \"shards\": %u, "
+        "\"mode\": \"%s\", \"submit\": \"%s\", \"workers\": %u, "
+        "\"shards\": %u, "
         "\"operations\": %llu, \"wall_seconds\": %.6f, "
         "\"ops_per_sec\": %.0f, \"speedup_vs_w1\": %.3f, "
         "\"moves\": %llu, \"bytes_moved\": %llu, \"bytes_placed\": %llu, "
         "\"volume_final\": %llu, \"sum_reserved_final\": %llu, "
         "\"sum_peak_reserved\": %llu, \"global_max_end\": %llu, "
-        "\"failed_ops\": %llu}%s\n",
+        "\"failed_ops\": %llu, \"batched_ops\": %llu}%s\n",
         row.scenario.c_str(), row.algorithm.c_str(),
-        row.workers == 0 ? "facade" : "concurrent",
+        row.workers == 0 ? "facade"
+                         : (row.batched ? "concurrent-batched" : "concurrent"),
+        row.workers == 0 ? "sync" : (row.batched ? "batched" : "per-op"),
         row.workers == 0 ? 1 : row.workers, kShards,
         static_cast<unsigned long long>(row.operations), row.wall_seconds,
         row.ops_per_sec, speedup_vs_w1,
@@ -239,6 +267,7 @@ void WriteJson(const std::vector<Row>& rows, bool smoke) {
         static_cast<unsigned long long>(row.sum_peak_reserved),
         static_cast<unsigned long long>(row.global_max_end),
         static_cast<unsigned long long>(row.failed_ops),
+        static_cast<unsigned long long>(row.batched_ops),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
@@ -310,16 +339,18 @@ int main(int argc, char** argv) {
                               "moves/op", "sum-peak-reserved", "failed"});
     for (const std::string& algorithm : algorithms) {
       rows.push_back(cosr::RunFacade(scenario, algorithm, battery));
-      for (const std::uint32_t workers : cosr::kWorkerCounts) {
-        rows.push_back(
-            cosr::RunConcurrent(scenario, algorithm, workers, battery));
+      for (const bool batched : {false, true}) {
+        for (const std::uint32_t workers : cosr::kWorkerCounts) {
+          rows.push_back(cosr::RunConcurrent(scenario, algorithm, workers,
+                                             batched, battery));
+        }
       }
-      const std::size_t cell_rows = 1 + std::size(cosr::kWorkerCounts);
+      const std::size_t cell_rows = 1 + 2 * std::size(cosr::kWorkerCounts);
       for (const cosr::Row* row = &rows[rows.size() - cell_rows];
            row <= &rows.back();
            ++row) {
         const cosr::Row* w1 =
-            cosr::Find(rows, scenario.name, algorithm, 1);
+            cosr::Find(rows, scenario.name, algorithm, 1, row->batched);
         const double vs_w1 = (row->workers != 0 && w1 != nullptr)
                                  ? row->ops_per_sec / w1->ops_per_sec
                                  : 0.0;
@@ -338,31 +369,49 @@ int main(int argc, char** argv) {
     table.Print();
   }
 
-  // The CI guard: W=1 concurrent mode is op-for-op identical to the
-  // single-threaded facade, per scenario and algorithm.
-  std::printf("\nW=1 identity and W=4 scaling:\n");
+  // The CI guard: W=1 concurrent mode — on BOTH submit paths — is
+  // op-for-op identical to the single-threaded facade, per scenario and
+  // algorithm. A single producer's per-shard op streams are order-
+  // preserved through the remote queues, so batching may change nothing.
+  std::printf("\nW=1 identity (per-op and batched) and W=4 scaling:\n");
   for (const cosr::Scenario& scenario : scenarios) {
     for (const std::string& algorithm : algorithms) {
       const cosr::Row* facade = cosr::Find(rows, scenario.name, algorithm, 0);
       const cosr::Row* w1 = cosr::Find(rows, scenario.name, algorithm, 1);
+      const cosr::Row* w1_batched =
+          cosr::Find(rows, scenario.name, algorithm, 1, /*batched=*/true);
       const cosr::Row* w4 = cosr::Find(rows, scenario.name, algorithm, 4);
-      if (facade == nullptr || w1 == nullptr || w4 == nullptr) {
+      if (facade == nullptr || w1 == nullptr || w1_batched == nullptr ||
+          w4 == nullptr) {
         ok = false;
         continue;
       }
       const bool identity = cosr::CheckW1Identity(*facade, *w1);
-      ok &= identity;
-      std::printf("  %-22s %-15s identity %s, W4/W1 x%.2f\n",
-                  scenario.name.c_str(), algorithm.c_str(),
-                  identity ? "ok" : "BROKEN",
-                  w4->ops_per_sec / w1->ops_per_sec);
+      const bool batched_identity = cosr::CheckW1Identity(*facade, *w1_batched);
+      // The batched W=1 row must also have routed every op remotely.
+      const bool all_remote = w1_batched->batched_ops == w1_batched->operations;
+      if (!all_remote) {
+        std::printf("  BATCHED PATH UNUSED: %s/%s (%llu of %llu ops remote)\n",
+                    scenario.name.c_str(), algorithm.c_str(),
+                    static_cast<unsigned long long>(w1_batched->batched_ops),
+                    static_cast<unsigned long long>(w1_batched->operations));
+      }
+      ok &= identity && batched_identity && all_remote;
+      std::printf(
+          "  %-22s %-15s identity %s, batched identity %s, "
+          "batched/per-op x%.2f, W4/W1 x%.2f\n",
+          scenario.name.c_str(), algorithm.c_str(),
+          identity ? "ok" : "BROKEN", batched_identity ? "ok" : "BROKEN",
+          w1_batched->ops_per_sec / w1->ops_per_sec,
+          w4->ops_per_sec / w1->ops_per_sec);
     }
   }
 
   cosr::WriteJson(rows, smoke);
   cosr::bench::Verdict(
       ok,
-      "all cells ran with zero failed ops; W=1 concurrent mode matches the "
-      "single-threaded facade's footprint/move/byte counts exactly");
+      "all cells ran with zero failed ops; W=1 concurrent mode — per-op "
+      "and batched — matches the single-threaded facade's "
+      "footprint/move/byte counts exactly");
   return ok ? 0 : 1;
 }

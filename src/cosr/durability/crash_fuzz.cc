@@ -234,16 +234,50 @@ Status RunCrashFuzz(const CrashFuzzOptions& options, CrashFuzzReport* report) {
     facade = concurrent.get();
   }
 
-  for (std::size_t r = 0; r < operations; ++r) {
-    const Request& request = trace.requests()[r];
-    const Status status =
-        request.type == Request::Type::kInsert
-            ? facade->Insert(request.id, request.size)
-            : facade->Delete(request.id);
-    if (!status.ok()) {
-      return Status::Internal("request " + std::to_string(r) +
-                              " failed during the drive phase: " +
-                              status.ToString());
+  if (options.batched_submission) {
+    if (concurrent == nullptr) {
+      return Status::InvalidArgument(
+          "batched_submission requires concurrent mode");
+    }
+    // Batched drive: the same trace prefix through SubmitMany over the
+    // lock-free remote queues. Fire-and-forget, so per-op statuses land
+    // in failed_ops — checked after the drain (a valid trace from one
+    // producer must execute cleanly on both paths).
+    constexpr std::size_t kChunk = 32;
+    const std::vector<Request>& requests = trace.requests();
+    for (std::size_t r = 0; r < operations; r += kChunk) {
+      const std::size_t n = std::min(kChunk, operations - r);
+      std::size_t accepted = 0;
+      const Status status =
+          concurrent->SubmitMany(requests.data() + r, n, &accepted);
+      if (!status.ok() || accepted != n) {
+        return Status::Internal(
+            "batch at request " + std::to_string(r) +
+            " failed during the drive phase: " + status.ToString());
+      }
+    }
+    concurrent->Flush();
+    const ShardStats stats = concurrent->Stats();
+    for (std::uint32_t i = 0; i < options.shard_count; ++i) {
+      if (stats.shards[i].failed_ops != 0) {
+        return Status::Internal(
+            "shard " + std::to_string(i) + " reported " +
+            std::to_string(stats.shards[i].failed_ops) +
+            " failed ops during the batched drive phase");
+      }
+    }
+  } else {
+    for (std::size_t r = 0; r < operations; ++r) {
+      const Request& request = trace.requests()[r];
+      const Status status =
+          request.type == Request::Type::kInsert
+              ? facade->Insert(request.id, request.size)
+              : facade->Delete(request.id);
+      if (!status.ok()) {
+        return Status::Internal("request " + std::to_string(r) +
+                                " failed during the drive phase: " +
+                                status.ToString());
+      }
     }
   }
   facade->Quiesce();

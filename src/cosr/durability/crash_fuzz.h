@@ -29,6 +29,11 @@ struct CrashFuzzOptions {
   /// (per-shard logs on private roots, driven by worker threads).
   bool concurrent = false;
   std::uint32_t worker_threads = 0;  // concurrent only; 0 = one per shard
+  /// Concurrent only: drive the trace through SubmitMany batches over the
+  /// lock-free remote queues instead of synchronous per-op calls, so the
+  /// durability wiring is fuzzed under the batched submission path too
+  /// (statuses are then checked via failed_ops after the drain).
+  bool batched_submission = false;
   /// Trace prefix length to drive (a prefix of a valid trace is valid).
   std::size_t operations = 300;
   /// Keep spans small: every crash point rebuilds a SimulatedDisk sized by

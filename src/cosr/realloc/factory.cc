@@ -132,6 +132,7 @@ Status MakeConcurrentReallocator(
   options.shard_count = spec.shard_count;
   options.worker_threads = spec.worker_threads;
   options.routing = spec.routing;
+  options.submit_path = spec.submit_path;
   return ConcurrentShardedReallocator::Make(spec, options, out);
 }
 

@@ -74,6 +74,7 @@ Status ConcurrentShardedReallocator::Make(
     // parent coordinate-for-coordinate, but workers share no mutable
     // storage state.
     shard.space = std::make_unique<AddressSpace>();
+    shard.remote = std::make_unique<RemoteQueue<std::vector<Item>>>();
     if (AlgorithmNeedsCheckpointManager(spec.algorithm)) {
       shard.manager = std::make_unique<CheckpointManager>();
     }
@@ -93,14 +94,18 @@ Status ConcurrentShardedReallocator::Make(
     shard.worker = i % workers;
     facade->shards_.push_back(std::move(shard));
   }
-  facade->name_ = "concurrent-sharded[" +
-                  std::to_string(options.shard_count) + "x" +
-                  std::to_string(workers) + "," +
-                  ShardRoutingName(options.routing) + "]/" + spec.algorithm;
+  facade->name_ =
+      "concurrent-sharded[" + std::to_string(options.shard_count) + "x" +
+      std::to_string(workers) + "," + ShardRoutingName(options.routing) +
+      (options.submit_path == SubmitPath::kMutexQueue ? ",mutex-queue" : "") +
+      "]/" + spec.algorithm;
 
   facade->workers_.reserve(workers);
   for (std::uint32_t w = 0; w < workers; ++w) {
     facade->workers_.push_back(std::make_unique<Worker>());
+  }
+  for (std::uint32_t i = 0; i < options.shard_count; ++i) {
+    facade->workers_[facade->shards_[i].worker]->owned_shards.push_back(i);
   }
   // Start the threads only once every shard and queue exists.
   for (std::uint32_t w = 0; w < workers; ++w) {
@@ -137,60 +142,58 @@ Status ConcurrentShardedReallocator::SubmitOp(const Request& op,
 
   if (!needs_routing_map_) {
     item.shard = shard_for(op.id, op.size);
-    return Enqueue(item.shard, std::move(item));
+    return Enqueue(item.shard, std::move(item), /*ticketed=*/false, 0);
   }
 
   // Size-class routing cannot re-derive a delete's shard from the id, so
   // the facade keeps an id -> shard map, maintained at submit time. The
-  // mutex is held across the Enqueue so that map-update order and queue
-  // arrival order can never diverge between racing producers — that
-  // atomicity (plus FIFO per worker and the validation below) is what
-  // makes the map exact: an op that reaches its shard always succeeds
-  // (Make rejects inner algorithms whose inserts can fail on a fresh id,
-  // see AlgorithmInsertCanFailOnFreshId).
-  // The price is that size-class producers serialize, including through a
-  // backpressure stall (workers never take this mutex, so the stalled
-  // queue still drains — no deadlock).
+  // map update no longer holds routing_mu_ across the enqueue: it stamps
+  // the op with the target shard's next admission ticket instead, and
+  // Enqueue admits ticketed items in ticket order (see the routing_mu_
+  // field comment for the order proof). Ticketed items never drop, so the
+  // map is still a faithful prediction of execution: an op that reaches
+  // its shard always succeeds (Make rejects inner algorithms whose
+  // inserts can fail on a fresh id, see AlgorithmInsertCanFailOnFreshId).
   if (op.type == Request::Type::kInsert && op.size == 0) {
     return Status::InvalidArgument("size must be positive");
   }
-  std::lock_guard<std::mutex> lock(routing_mu_);
-  const bool is_insert = op.type == Request::Type::kInsert;
-  if (is_insert) {
-    const std::uint32_t target = shard_for(op.id, op.size);
-    if (!routing_map_.emplace(op.id, target).second) {
-      return Status::AlreadyExists("object " + std::to_string(op.id) +
-                                   " is live on shard " +
-                                   std::to_string(routing_map_[op.id]));
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(routing_mu_);
+    if (op.type == Request::Type::kInsert) {
+      const std::uint32_t target = shard_for(op.id, op.size);
+      if (!routing_map_.emplace(op.id, target).second) {
+        return Status::AlreadyExists("object " + std::to_string(op.id) +
+                                     " is live on shard " +
+                                     std::to_string(routing_map_[op.id]));
+      }
+      item.shard = target;
+    } else {
+      auto it = routing_map_.find(op.id);
+      if (it == routing_map_.end()) {
+        return Status::NotFound("object " + std::to_string(op.id) +
+                                " is not live on any shard");
+      }
+      item.shard = it->second;
+      routing_map_.erase(it);
     }
-    item.shard = target;
-  } else {
-    auto it = routing_map_.find(op.id);
-    if (it == routing_map_.end()) {
-      return Status::NotFound("object " + std::to_string(op.id) +
-                              " is not live on any shard");
-    }
-    item.shard = it->second;
-    routing_map_.erase(it);
+    ticket = shards_[item.shard].tickets_issued++;
   }
   const std::uint32_t shard = item.shard;
-  const ObjectId id = item.id;
-  Status enqueued = Enqueue(shard, std::move(item));
-  if (!enqueued.ok()) {
-    // The op was dropped, so the map update above must be undone — a
-    // dropped insert never made the id live, a dropped delete left it
-    // live. routing_mu_ is still held, so no racing producer observed the
-    // provisional state as final relative to the queue.
-    if (is_insert) {
-      routing_map_.erase(id);
-    } else {
-      routing_map_.emplace(id, shard);
-    }
-  }
-  return enqueued;
+  return Enqueue(shard, std::move(item), /*ticketed=*/true, ticket);
 }
 
-Status ConcurrentShardedReallocator::Enqueue(std::uint32_t shard, Item item) {
+void ConcurrentShardedReallocator::RecordDrop(std::uint32_t shard,
+                                              std::uint64_t count,
+                                              const Status& status) {
+  std::lock_guard<std::mutex> drop_lock(drop_mu_);
+  dropped_ops_[shard] += count;
+  last_drop_status_ = status;
+}
+
+Status ConcurrentShardedReallocator::Enqueue(std::uint32_t shard, Item item,
+                                             bool ticketed,
+                                             std::uint64_t ticket) {
   Worker& worker = *workers_[shards_[shard].worker];
   // Only real requests gate AddShardListener; internal markers
   // (quiesce/checkpoint/snapshot) leave the facade as listener-attachable
@@ -200,42 +203,50 @@ Status ConcurrentShardedReallocator::Enqueue(std::uint32_t shard, Item item) {
   if (is_request) {
     requests_submitted_.fetch_add(1, std::memory_order_relaxed);
   }
-  const bool droppable = is_request && item.token == nullptr &&
+  // Ticketed (size-class) items are never droppable: a drop would leave
+  // the routing map claiming a ghost (dropped insert) or a leak (dropped
+  // delete), and the admission counter would wedge behind the missing
+  // ticket. Size-class keeps pure backpressure by contract.
+  const bool droppable = is_request && !ticketed && item.token == nullptr &&
                          options_.submit_max_retries > 0;
   {
     std::unique_lock<std::mutex> lock(worker.mu);
-    const auto has_space = [&] {
-      return worker.queue.size() < options_.queue_capacity;
+    // Ticketed items wait for their turn as well as for space, so a
+    // shard's queue arrival order is exactly its ticket-issue order even
+    // though routing_mu_ was released before this point.
+    const auto can_admit = [&] {
+      return worker.queue.size() < options_.queue_capacity &&
+             (!ticketed || shards_[shard].tickets_admitted == ticket);
     };
     if (droppable) {
       // Bounded backpressure: wait-with-doubling-backoff up to the retry
       // budget, then drop rather than stall the producer forever.
       auto backoff = options_.submit_retry_backoff;
       std::size_t attempts = 0;
-      while (!has_space()) {
+      while (!can_admit()) {
         if (attempts == options_.submit_max_retries) {
           lock.unlock();
           Status dropped = Status::ResourceExhausted(
               "shard " + std::to_string(shard) + " queue full after " +
               std::to_string(attempts) + " bounded retries");
-          {
-            std::lock_guard<std::mutex> drop_lock(drop_mu_);
-            ++dropped_ops_[shard];
-            last_drop_status_ = dropped;
-          }
+          RecordDrop(shard, 1, dropped);
           return dropped;
         }
         ++attempts;
-        worker.cv_space.wait_for(lock, backoff, has_space);
+        worker.cv_space.wait_for(lock, backoff, can_admit);
         backoff *= 2;
       }
     } else {
-      worker.cv_space.wait(lock, has_space);
+      worker.cv_space.wait(lock, can_admit);
     }
     worker.queue.push_back(std::move(item));
-    ++worker.enqueued;
+    if (ticketed) ++shards_[shard].tickets_admitted;
+    worker.enqueued.fetch_add(1, std::memory_order_relaxed);
   }
   worker.cv_ready.notify_one();
+  // The next ticket holder may already be parked on cv_space waiting for
+  // its turn (not for capacity), so admission itself must wake waiters.
+  if (ticketed) worker.cv_space.notify_all();
   return Status::Ok();
 }
 
@@ -251,10 +262,243 @@ std::shared_ptr<OpToken> ConcurrentShardedReallocator::SubmitTracked(
   return token;
 }
 
+Status ConcurrentShardedReallocator::PushRemote(std::uint32_t shard,
+                                                std::vector<Item> items,
+                                                std::size_t* delivered) {
+  *delivered = 0;
+  if (items.empty()) return Status::Ok();
+  Worker& worker = *workers_[shards_[shard].worker];
+  requests_submitted_.fetch_add(items.size(), std::memory_order_relaxed);
+  // Soft in-flight bound: the remote path has no queue to measure, so it
+  // gates on enqueued + remote_enqueued - completed. `completed` is read
+  // first — it only counts ops the other two already counted, so the
+  // subtraction can never underflow even with racy reads; reading it
+  // early at worst overestimates in-flight, which is the safe direction.
+  const std::size_t capacity = options_.queue_capacity;
+  const auto room = [&]() -> std::size_t {
+    const std::uint64_t completed =
+        worker.completed.load(std::memory_order_acquire);
+    const std::uint64_t in_flight =
+        worker.enqueued.load(std::memory_order_relaxed) +
+        worker.remote_enqueued.load(std::memory_order_relaxed) - completed;
+    return in_flight >= capacity ? 0 : capacity - in_flight;
+  };
+  // Unlike the per-op path, batches follow the bounded-retry drop policy
+  // even when tracked: the suffix tokens complete with the drop status,
+  // so nothing fails silently.
+  const bool droppable = options_.submit_max_retries > 0;
+  auto backoff = options_.submit_retry_backoff;
+  std::size_t attempts = 0;
+  while (*delivered < items.size()) {
+    const std::size_t space = room();
+    if (space == 0) {
+      if (droppable) {
+        if (attempts == options_.submit_max_retries) break;  // drop suffix
+        ++attempts;
+        std::unique_lock<std::mutex> lock(worker.mu);
+        worker.cv_space.wait_for(lock, backoff, [&] { return room() > 0; });
+        backoff *= 2;
+      } else {
+        std::unique_lock<std::mutex> lock(worker.mu);
+        worker.cv_space.wait(lock, [&] { return room() > 0; });
+      }
+      continue;
+    }
+    // Chunked delivery: never push more than the room observed, so a
+    // retry exhaustion drops exactly the undelivered suffix.
+    const std::size_t chunk = std::min(space, items.size() - *delivered);
+    const auto first = items.begin() + static_cast<std::ptrdiff_t>(*delivered);
+    auto* node = new RemoteQueue<std::vector<Item>>::Node(std::vector<Item>(
+        std::make_move_iterator(first),
+        std::make_move_iterator(first + static_cast<std::ptrdiff_t>(chunk))));
+    // Counted before the push so a Flush that captures its target after
+    // observing the push always waits for these ops; nothing blocks
+    // between the increment and the push, so the target stays reachable.
+    worker.remote_enqueued.fetch_add(chunk, std::memory_order_relaxed);
+    const bool was_empty = shards_[shard].remote->Push(node);
+    *delivered += chunk;
+    attempts = 0;
+    backoff = options_.submit_retry_backoff;
+    if (was_empty) {
+      // Empty -> non-empty is the only transition that can race a worker
+      // going to sleep. The empty critical section pairs our release-push
+      // with the worker's under-lock predicate check: either the worker
+      // sees the push, or it is already waiting and the notify lands.
+      { std::lock_guard<std::mutex> lock(worker.mu); }
+      worker.cv_ready.notify_one();
+    }
+  }
+  if (*delivered == items.size()) return Status::Ok();
+  const std::size_t dropped = items.size() - *delivered;
+  Status status = Status::ResourceExhausted(
+      "shard " + std::to_string(shard) + " queue full after " +
+      std::to_string(options_.submit_max_retries) +
+      " bounded retries; dropped batch suffix of " + std::to_string(dropped) +
+      " ops");
+  RecordDrop(shard, dropped, status);
+  for (std::size_t i = *delivered; i < items.size(); ++i) {
+    if (items[i].token != nullptr) items[i].token->Complete(status);
+  }
+  return status;
+}
+
+Status ConcurrentShardedReallocator::SubmitBatch(
+    const Request* ops, std::size_t count,
+    std::vector<std::shared_ptr<OpToken>>* tokens, std::size_t* accepted) {
+  if (tokens != nullptr) {
+    tokens->clear();
+    tokens->reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      tokens->push_back(std::make_shared<OpToken>());
+    }
+  }
+  std::size_t delivered_total = 0;
+  Status first_error;
+
+  const auto make_item = [&](std::size_t i) {
+    Item item;
+    item.kind = ops[i].type == Request::Type::kInsert ? OpKind::kInsert
+                                                      : OpKind::kDelete;
+    item.id = ops[i].id;
+    item.size = ops[i].size;
+    if (tokens != nullptr) item.token = (*tokens)[i];
+    return item;
+  };
+
+  if (options_.submit_path == SubmitPath::kMutexQueue) {
+    // The differential oracle: each op rides the mutex queue exactly as a
+    // per-op Submit would (tracked items never drop — a token must
+    // retire — matching SubmitTracked).
+    for (std::size_t i = 0; i < count; ++i) {
+      std::shared_ptr<OpToken> token =
+          tokens != nullptr ? (*tokens)[i] : nullptr;
+      Status status = SubmitOp(ops[i], token);
+      if (status.ok()) {
+        ++delivered_total;
+      } else {
+        if (token != nullptr) token->Complete(status);
+        if (first_error.ok()) first_error = status;
+      }
+    }
+    if (accepted != nullptr) *accepted = delivered_total;
+    return first_error;
+  }
+
+  if (!needs_routing_map_) {
+    // Hash routing: bucket the batch per shard (preserving op order within
+    // each shard) and deliver each bucket with one capacity-gated
+    // lock-free push per chunk — no producer-side lock anywhere.
+    std::vector<std::vector<Item>> buckets(shard_count());
+    std::vector<std::vector<std::size_t>> bucket_index(shard_count());
+    for (std::size_t i = 0; i < count; ++i) {
+      Item item = make_item(i);
+      item.shard = shard_for(item.id, item.size);
+      bucket_index[item.shard].push_back(i);
+      buckets[item.shard].push_back(std::move(item));
+    }
+    // A drop statuses the batch with the failure of the *earliest* op (in
+    // batch order) that failed to deliver, across all shard buckets.
+    std::size_t first_error_index = count;
+    for (std::uint32_t s = 0; s < shard_count(); ++s) {
+      if (buckets[s].empty()) continue;
+      std::size_t delivered = 0;
+      Status status = PushRemote(s, std::move(buckets[s]), &delivered);
+      delivered_total += delivered;
+      if (!status.ok() && bucket_index[s][delivered] < first_error_index) {
+        first_error_index = bucket_index[s][delivered];
+        first_error = status;
+      }
+    }
+    if (accepted != nullptr) *accepted = delivered_total;
+    return first_error;
+  }
+
+  // Size-class routing: the batch amortizes routing_mu_ to ONE critical
+  // section for all its map updates and ticket grabs, then enqueues
+  // outside the lock on the ticketed mutex path (ticket order == map
+  // order, and ticketed items never drop, so the map stays exact).
+  struct Staged {
+    Item item;
+    std::uint64_t ticket;
+  };
+  std::vector<Staged> staged;
+  staged.reserve(count);
+  {
+    std::lock_guard<std::mutex> lock(routing_mu_);
+    for (std::size_t i = 0; i < count; ++i) {
+      Status rejected;
+      Item item = make_item(i);
+      if (ops[i].type == Request::Type::kInsert) {
+        if (ops[i].size == 0) {
+          rejected = Status::InvalidArgument("size must be positive");
+        } else {
+          const std::uint32_t target = shard_for(ops[i].id, ops[i].size);
+          if (!routing_map_.emplace(ops[i].id, target).second) {
+            rejected = Status::AlreadyExists(
+                "object " + std::to_string(ops[i].id) + " is live on shard " +
+                std::to_string(routing_map_[ops[i].id]));
+          } else {
+            item.shard = target;
+          }
+        }
+      } else {
+        auto it = routing_map_.find(ops[i].id);
+        if (it == routing_map_.end()) {
+          rejected = Status::NotFound("object " + std::to_string(ops[i].id) +
+                                      " is not live on any shard");
+        } else {
+          item.shard = it->second;
+          routing_map_.erase(it);
+        }
+      }
+      if (!rejected.ok()) {
+        // Submit-time rejection skips just this op; the batch continues.
+        if (item.token != nullptr) item.token->Complete(rejected);
+        if (first_error.ok()) first_error = std::move(rejected);
+        continue;
+      }
+      const std::uint64_t ticket = shards_[item.shard].tickets_issued++;
+      staged.push_back(Staged{std::move(item), ticket});
+    }
+  }
+  for (Staged& s : staged) {
+    const std::uint32_t shard = s.item.shard;
+    // Ticketed enqueues always succeed (pure backpressure).
+    Enqueue(shard, std::move(s.item), /*ticketed=*/true, s.ticket);
+    ++delivered_total;
+  }
+  if (accepted != nullptr) *accepted = delivered_total;
+  return first_error;
+}
+
+Status ConcurrentShardedReallocator::SubmitMany(const Request* ops,
+                                                std::size_t count,
+                                                std::size_t* accepted) {
+  return SubmitBatch(ops, count, /*tokens=*/nullptr, accepted);
+}
+
+Status ConcurrentShardedReallocator::SubmitMany(const std::vector<Request>& ops,
+                                                std::size_t* accepted) {
+  return SubmitBatch(ops.data(), ops.size(), /*tokens=*/nullptr, accepted);
+}
+
+std::vector<std::shared_ptr<OpToken>>
+ConcurrentShardedReallocator::SubmitManyTracked(const Request* ops,
+                                                std::size_t count) {
+  std::vector<std::shared_ptr<OpToken>> tokens;
+  SubmitBatch(ops, count, &tokens, /*accepted=*/nullptr);
+  return tokens;
+}
+
 void ConcurrentShardedReallocator::Flush() {
   for (std::unique_ptr<Worker>& worker : workers_) {
     std::unique_lock<std::mutex> lock(worker->mu);
-    const std::uint64_t target = worker->enqueued;
+    // Both paths count toward the drain target. remote_enqueued is bumped
+    // just before each lock-free push with nothing blocking in between,
+    // so a captured target is always eventually completed.
+    const std::uint64_t target =
+        worker->enqueued.load(std::memory_order_relaxed) +
+        worker->remote_enqueued.load(std::memory_order_relaxed);
     worker->cv_drained.wait(lock, [&] {
       return worker->completed.load(std::memory_order_acquire) >= target;
     });
@@ -283,7 +527,7 @@ void ConcurrentShardedReallocator::Quiesce() {
     Item item;
     item.kind = OpKind::kQuiesce;
     item.shard = i;
-    Enqueue(i, std::move(item));
+    Enqueue(i, std::move(item), /*ticketed=*/false, 0);
   }
   Flush();
 }
@@ -295,7 +539,7 @@ void ConcurrentShardedReallocator::CheckpointAll() {
     Item item;
     item.kind = OpKind::kCheckpoint;
     item.shard = i;
-    Enqueue(i, std::move(item));
+    Enqueue(i, std::move(item), /*ticketed=*/false, 0);
   }
   Flush();
 }
@@ -318,7 +562,7 @@ ShardStats ConcurrentShardedReallocator::Stats() {
     item.max_end_out = &max_end[i];
     item.token = std::make_shared<OpToken>();
     tokens.push_back(item.token);
-    Enqueue(i, std::move(item));
+    Enqueue(i, std::move(item), /*ticketed=*/false, 0);
   }
   for (const auto& token : tokens) token->Wait();
 
@@ -356,17 +600,30 @@ void ConcurrentShardedReallocator::AddShardListener(std::uint32_t index,
 
 void ConcurrentShardedReallocator::WorkerLoop(Worker& worker) {
   std::vector<Item> batch;
+  const auto remote_pending = [&] {
+    for (std::uint32_t s : worker.owned_shards) {
+      if (!shards_[s].remote->empty()) return true;
+    }
+    return false;
+  };
   for (;;) {
+    bool took_mutex_batch = false;
     {
       std::unique_lock<std::mutex> lock(worker.mu);
-      worker.cv_ready.wait(
-          lock, [&] { return !worker.queue.empty() || worker.stop; });
-      if (worker.queue.empty()) break;  // stop requested and fully drained
-      batch.assign(std::make_move_iterator(worker.queue.begin()),
-                   std::make_move_iterator(worker.queue.end()));
-      worker.queue.clear();
+      worker.cv_ready.wait(lock, [&] {
+        return !worker.queue.empty() || remote_pending() || worker.stop;
+      });
+      // Stop only once BOTH paths are drained: the mutex queue and every
+      // owned shard's remote queue.
+      if (worker.queue.empty() && !remote_pending()) break;
+      if (!worker.queue.empty()) {
+        batch.assign(std::make_move_iterator(worker.queue.begin()),
+                     std::make_move_iterator(worker.queue.end()));
+        worker.queue.clear();
+        took_mutex_batch = true;
+      }
     }
-    worker.cv_space.notify_all();
+    if (took_mutex_batch) worker.cv_space.notify_all();
     for (const Item& item : batch) {
       ExecuteItem(item);
       // Release pairs with Flush's acquire: once a flusher observes the
@@ -374,12 +631,31 @@ void ConcurrentShardedReallocator::WorkerLoop(Worker& worker) {
       worker.completed.fetch_add(1, std::memory_order_release);
     }
     batch.clear();
+    // Alternate with the remote path: take each owned shard's whole list
+    // in one acquire-exchange, then execute node-by-node in arrival
+    // order. Only this thread ever takes, so no other synchronization.
+    for (std::uint32_t s : worker.owned_shards) {
+      auto* node = shards_[s].remote->TakeAll();
+      while (node != nullptr) {
+        counters_[s].RecordRemoteBatch(node->value.size());
+        for (const Item& item : node->value) {
+          ExecuteItem(item);
+          worker.completed.fetch_add(1, std::memory_order_release);
+        }
+        auto* next = node->next;
+        delete node;
+        node = next;
+      }
+    }
     {
       // Notify under the lock so a flusher can never check its predicate
       // between our increment and our notify and then sleep forever.
       std::lock_guard<std::mutex> lock(worker.mu);
     }
     worker.cv_drained.notify_all();
+    // Completions also free in-flight room for the batched producers'
+    // soft capacity gate, not just mutex-queue slots.
+    worker.cv_space.notify_all();
   }
 }
 
@@ -422,6 +698,8 @@ void ConcurrentShardedReallocator::ExecuteItem(const Item& item) {
       per.ops = snapshot.ops;
       per.failed_ops = snapshot.failed_ops;
       per.peak_reserved_footprint = snapshot.peak_reserved_footprint;
+      per.remote_batches = snapshot.remote_batches;
+      per.batched_ops = snapshot.batched_ops;
       *item.max_end_out = shard.space->footprint();
       break;
     }

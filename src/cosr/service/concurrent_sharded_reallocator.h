@@ -17,6 +17,7 @@
 #include "cosr/common/status.h"
 #include "cosr/common/types.h"
 #include "cosr/realloc/reallocator.h"
+#include "cosr/service/remote_queue.h"
 #include "cosr/service/routing.h"
 #include "cosr/service/shard_stats.h"
 #include "cosr/service/sub_space_view.h"
@@ -86,6 +87,13 @@ class OpToken {
 ///     number of producers). Per-shard request order follows producer
 ///     submission order; with multiple producers racing, cross-producer
 ///     order per shard is the queue arrival order.
+///   * SubmitMany / SubmitManyTracked — thread-safe. One batch's ops for
+///     one shard execute in batch order; batches from one producer to one
+///     shard execute in submission order. Ordering ACROSS the two paths
+///     (a producer mixing SubmitMany with per-op Submit) is only defined
+///     through a Flush barrier between them — the batched path rides
+///     per-shard lock-free RemoteQueues, the per-op path rides the mutex
+///     queue, and the worker drains them alternately.
 ///   * Flush / Quiesce — thread-safe; they drain everything submitted
 ///     before the call (release/acquire on the completion counters).
 ///   * Stats — thread-safe even while other producers keep submitting:
@@ -126,10 +134,21 @@ class ConcurrentShardedReallocator final : public Reallocator {
     /// doubling backoff (starting at submit_retry_backoff); if the queue
     /// is still full the op is DROPPED: Submit returns ResourceExhausted
     /// and the drop is recorded in Stats() (per-shard dropped_ops plus the
-    /// facade-wide last_drop_status). Tracked/synchronous submissions and
-    /// internal markers always block — a token must retire.
+    /// facade-wide last_drop_status). Per-op tracked/synchronous
+    /// submissions and internal markers always block — a token must
+    /// retire. SubmitMany batches (tracked or not) follow the policy too:
+    /// a batch that exhausts its retries drops exactly its undelivered
+    /// suffix, counted per shard, with any suffix tokens completed as
+    /// ResourceExhausted. Size-class routing never drops: its id map is a
+    /// submit-time prediction of execution that a drop would falsify
+    /// (ghost/leaked map entries), so that routing mode always keeps pure
+    /// backpressure regardless of this knob.
     std::size_t submit_max_retries = 0;
     std::chrono::microseconds submit_retry_backoff{50};
+    /// Which delivery mechanism SubmitMany uses (per-op Submit always
+    /// rides the mutex queue). kRemoteBatched is the production default;
+    /// kMutexQueue is the PR 5 differential oracle.
+    SubmitPath submit_path = SubmitPath::kRemoteBatched;
   };
 
   /// Builds K private shards, each an inner `inner_spec` reallocator (its
@@ -153,6 +172,32 @@ class ConcurrentShardedReallocator final : public Reallocator {
   /// Like Submit, but returns a completion token carrying the op's final
   /// Status (already completed for submit-time rejections).
   std::shared_ptr<OpToken> SubmitTracked(const Request& op);
+
+  /// Batched fire-and-forget submission: semantically `Submit(op)` for
+  /// each op in order, delivered over the path Options::submit_path
+  /// selects. On the default kRemoteBatched path a batch costs its
+  /// producer one routing pass plus one lock-free push per target shard
+  /// (size-class routing: one id-map lock per batch instead of per op) —
+  /// the ~100 ns mutex hop amortizes to noise against the ~0.6-1.5 us of
+  /// per-op reallocation work.
+  ///
+  /// Returns Ok when every op was enqueued. Submit-time rejections
+  /// (size-class map validation) skip just that op and the batch
+  /// continues; a bounded-retry drop (hash routing only, see Options)
+  /// stops that shard's delivery and drops the undelivered suffix,
+  /// counted in dropped_ops. Either way the first non-ok status in op
+  /// order is returned and `*accepted` (when non-null) reports how many
+  /// ops were actually enqueued.
+  Status SubmitMany(const Request* ops, std::size_t count,
+                    std::size_t* accepted = nullptr);
+  Status SubmitMany(const std::vector<Request>& ops,
+                    std::size_t* accepted = nullptr);
+
+  /// Like SubmitMany, but returns one completion token per op (position-
+  /// matched). Rejected ops' tokens are already completed; dropped-suffix
+  /// tokens complete with ResourceExhausted — statuses never vanish.
+  std::vector<std::shared_ptr<OpToken>> SubmitManyTracked(const Request* ops,
+                                                          std::size_t count);
 
   /// Blocks until every op submitted before this call has retired.
   void Flush();
@@ -194,6 +239,7 @@ class ConcurrentShardedReallocator final : public Reallocator {
     return static_cast<std::uint32_t>(workers_.size());
   }
   ShardRouting routing() const { return options_.routing; }
+  SubmitPath submit_path() const { return options_.submit_path; }
 
   /// The routing decision for an (id, size) insert.
   std::uint32_t shard_for(ObjectId id, std::uint64_t size) const {
@@ -250,33 +296,69 @@ class ConcurrentShardedReallocator final : public Reallocator {
     std::unique_ptr<SubSpaceView> view;
     std::unique_ptr<Reallocator> inner;
     std::uint32_t worker = 0;
+    /// The shard's lock-free remote queue: producers push op batches
+    /// (SubmitMany, hash routing), only the owning worker takes. Behind a
+    /// pointer only because the atomic head would otherwise pin Shard as
+    /// immovable; allocated once in Make, never null afterwards.
+    std::unique_ptr<RemoteQueue<std::vector<Item>>> remote;
+    /// Size-class admission tickets. `tickets_issued` is the per-shard
+    /// order stamped under routing_mu_ at the same instant as the id-map
+    /// update; `tickets_admitted` (guarded by the owning worker's mu)
+    /// gates queue insertion so arrival order can never diverge from map
+    /// order even though the map lock no longer spans the enqueue.
+    std::uint64_t tickets_issued = 0;
+    std::uint64_t tickets_admitted = 0;
   };
 
   /// One worker: a bounded MPSC queue plus its drain accounting.
-  /// `enqueued` is guarded by `mu`; `completed` is atomic so Flush's wait
-  /// predicate and the facade's merged reads never need the worker's lock.
+  /// `queue`/`stop` are guarded by `mu`. `enqueued` is written under `mu`
+  /// but atomic so the batched path's in-flight gate reads it lock-free;
+  /// `remote_enqueued` is bumped by producers right before a lock-free
+  /// push; `completed` counts every executed op (both paths), so Flush's
+  /// wait predicate and the in-flight gate never need the worker's lock.
   struct Worker {
     std::mutex mu;
     std::condition_variable cv_ready;    // worker waits: work available
-    std::condition_variable cv_space;    // producers wait: queue full
+    std::condition_variable cv_space;    // producers wait: queue full /
+                                         // not their ticket's turn yet
     std::condition_variable cv_drained;  // flushers wait: batch retired
     std::deque<Item> queue;
-    std::uint64_t enqueued = 0;
+    std::atomic<std::uint64_t> enqueued{0};
+    std::atomic<std::uint64_t> remote_enqueued{0};
     std::atomic<std::uint64_t> completed{0};
     bool stop = false;
+    std::vector<std::uint32_t> owned_shards;
     std::thread thread;
   };
 
   ConcurrentShardedReallocator(const Options& options) : options_(options) {}
 
-  /// Routing + submit-time validation + enqueue (atomic under routing_mu_
-  /// for size-class routing, so map order matches queue arrival order).
-  /// A non-ok return means nothing was enqueued.
+  /// Routing + submit-time validation + enqueue. For size-class routing
+  /// the id-map critical section covers only the map update plus a
+  /// per-shard ticket grab; the enqueue happens outside the lock, with
+  /// the ticket enforcing map-order == arrival-order (see Enqueue). A
+  /// non-ok return means nothing was enqueued.
   Status SubmitOp(const Request& op, std::shared_ptr<OpToken> token);
-  /// Non-ok only for a droppable item (fire-and-forget insert/delete with
-  /// submit_max_retries > 0) whose target queue stayed full through the
-  /// bounded retries; everything else blocks until enqueued.
-  Status Enqueue(std::uint32_t shard, Item item);
+  /// Shared implementation of SubmitMany / SubmitManyTracked.
+  Status SubmitBatch(const Request* ops, std::size_t count,
+                     std::vector<std::shared_ptr<OpToken>>* tokens,
+                     std::size_t* accepted);
+  /// Mutex-queue insertion. Ticketed items (size-class) are admitted in
+  /// per-shard ticket order and never drop; non-ticketed fire-and-forget
+  /// items with submit_max_retries > 0 may drop after bounded retries
+  /// (the only non-ok return); everything else blocks until enqueued.
+  Status Enqueue(std::uint32_t shard, Item item, bool ticketed,
+                 std::uint64_t ticket);
+  /// Batched path: capacity-gated lock-free delivery of `items` (in
+  /// order) to `shard`'s RemoteQueue, chunked to the soft in-flight
+  /// bound. On a bounded-retry drop the undelivered suffix is counted per
+  /// shard and any suffix tokens (carried inside the items) complete with
+  /// the drop status, which is also returned. `*delivered` reports how
+  /// many leading items actually reached the queue.
+  Status PushRemote(std::uint32_t shard, std::vector<Item> items,
+                    std::size_t* delivered);
+  void RecordDrop(std::uint32_t shard, std::uint64_t count,
+                  const Status& status);
   void WorkerLoop(Worker& worker);
   void ExecuteItem(const Item& item);
 
@@ -287,8 +369,16 @@ class ConcurrentShardedReallocator final : public Reallocator {
 
   /// kSizeClass only: id -> shard, maintained at submit time (deletes do
   /// not carry the size). routing_mu_ — the one producer-side
-  /// serialization point, and only for this routing mode — is held across
-  /// the enqueue so the map can never desync from queue arrival order.
+  /// serialization point, and only for this routing mode — covers just
+  /// the map update plus the per-shard ticket grab (tens of ns), NOT the
+  /// enqueue: the ticket carries the map order to the queue, so a
+  /// backpressure stall on one shard no longer serializes every other
+  /// shard's size-class routing behind it. Order proof: routing_mu_
+  /// totally orders map updates and stamps each with the target shard's
+  /// next ticket; Enqueue admits a shard's ticketed items into the
+  /// worker's FIFO queue strictly in ticket order; the worker executes
+  /// FIFO. Hence per-shard execution order == ticket order == map-update
+  /// order, which is the invariant that makes the map exact.
   std::mutex routing_mu_;
   std::unordered_map<ObjectId, std::uint32_t> routing_map_;
   bool needs_routing_map_ = false;

@@ -1,0 +1,38 @@
+#include "cosr/service/op_buffer.h"
+
+#include <algorithm>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+OpBuffer::OpBuffer(ConcurrentShardedReallocator* facade, std::size_t capacity)
+    : facade_(facade),
+      capacity_(std::min(kMaxCapacity, std::max(kMinCapacity, capacity))) {
+  COSR_CHECK(facade != nullptr);
+  buffer_.reserve(capacity_);
+}
+
+OpBuffer::~OpBuffer() { FlushInternal(/*auto_flush=*/false); }
+
+Status OpBuffer::Add(const Request& op) {
+  buffer_.push_back(op);
+  ++stats_.ops_buffered;
+  if (buffer_.size() < capacity_) return Status::Ok();
+  return FlushInternal(/*auto_flush=*/true);
+}
+
+Status OpBuffer::Flush() { return FlushInternal(/*auto_flush=*/false); }
+
+Status OpBuffer::FlushInternal(bool auto_flush) {
+  if (buffer_.empty()) return Status::Ok();
+  ++stats_.flushes;
+  if (auto_flush) ++stats_.auto_flushes;
+  std::size_t accepted = 0;
+  Status status = facade_->SubmitMany(buffer_, &accepted);
+  stats_.ops_not_enqueued += buffer_.size() - accepted;
+  buffer_.clear();
+  return status;
+}
+
+}  // namespace cosr

@@ -29,6 +29,16 @@ const char* ShardRoutingName(ShardRouting routing) {
   return "?";
 }
 
+const char* SubmitPathName(SubmitPath path) {
+  switch (path) {
+    case SubmitPath::kRemoteBatched:
+      return "batched";
+    case SubmitPath::kMutexQueue:
+      return "mutex-queue";
+  }
+  return "?";
+}
+
 std::uint32_t RouteToShard(ShardRouting routing, std::uint32_t shard_count,
                            ObjectId id, std::uint64_t size) {
   COSR_CHECK(shard_count > 0);

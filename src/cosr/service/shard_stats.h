@@ -37,6 +37,12 @@ struct ShardStats {
     /// Peak of the shard's reserved footprint over its own op stream
     /// (concurrent facade only; zero elsewhere).
     std::uint64_t peak_reserved_footprint = 0;
+    /// Batched-submission accounting (concurrent facade only): remote
+    /// batches the owning worker drained from this shard's RemoteQueue,
+    /// and how many of the shard's ops arrived inside them (the rest came
+    /// one-by-one through the mutex queue).
+    std::uint64_t remote_batches = 0;
+    std::uint64_t batched_ops = 0;
   };
   std::vector<PerShard> shards;
 
@@ -77,6 +83,16 @@ struct alignas(64) ShardCounters {
   std::atomic<std::uint64_t> volume{0};
   std::atomic<std::uint64_t> reserved_footprint{0};
   std::atomic<std::uint64_t> peak_reserved_footprint{0};
+  /// Remote batches drained from the shard's lock-free queue, and the ops
+  /// they carried. Owner-written like every other field.
+  std::atomic<std::uint64_t> remote_batches{0};
+  std::atomic<std::uint64_t> batched_ops{0};
+
+  /// Owner-thread helper: account one drained remote batch of `ops` ops.
+  void RecordRemoteBatch(std::uint64_t batch_ops) {
+    remote_batches.fetch_add(1, std::memory_order_relaxed);
+    batched_ops.fetch_add(batch_ops, std::memory_order_relaxed);
+  }
 
   /// Owner-thread helper: refresh the footprint/volume gauges (and the
   /// running peak) after the shard's state changed.
@@ -113,6 +129,8 @@ struct ShardCountersSnapshot {
   std::uint64_t volume = 0;
   std::uint64_t reserved_footprint = 0;
   std::uint64_t peak_reserved_footprint = 0;
+  std::uint64_t remote_batches = 0;
+  std::uint64_t batched_ops = 0;
 };
 
 inline ShardCountersSnapshot ReadShardCounters(const ShardCounters& c) {
@@ -125,6 +143,8 @@ inline ShardCountersSnapshot ReadShardCounters(const ShardCounters& c) {
   s.reserved_footprint = c.reserved_footprint.load(std::memory_order_relaxed);
   s.peak_reserved_footprint =
       c.peak_reserved_footprint.load(std::memory_order_relaxed);
+  s.remote_batches = c.remote_batches.load(std::memory_order_relaxed);
+  s.batched_ops = c.batched_ops.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -142,6 +162,8 @@ inline ShardCountersSnapshot MergeShardCounters(
     merged.volume += s.volume;
     merged.reserved_footprint += s.reserved_footprint;
     merged.peak_reserved_footprint += s.peak_reserved_footprint;
+    merged.remote_batches += s.remote_batches;
+    merged.batched_ops += s.batched_ops;
   }
   return merged;
 }

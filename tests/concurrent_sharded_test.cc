@@ -394,6 +394,90 @@ TEST(ConcurrentMpsc, SizeClassRoutingSurvivesProducerRaces) {
   EXPECT_EQ(concurrent->volume(), 0u);
 }
 
+TEST(ConcurrentMpsc, SizeClassTicketedAdmissionKeepsMapOrderUnderRaces) {
+  // Regression for the routing lock-scope fix: routing_mu_ no longer
+  // spans the enqueue, so map-order == arrival-order now rests on the
+  // per-shard admission tickets. 4 producers churn ids through
+  // alternating size classes — the delete and the next insert usually
+  // target different shards/workers — through a MIX of per-op Submit and
+  // SubmitMany batches, with a tiny queue capacity so admission stalls
+  // mid-route constantly. Any divergence of a shard's arrival order from
+  // the map's update order executes some delete before its insert (or an
+  // insert before the prior delete) and surfaces as failed_ops.
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint64_t kIdsPerProducer = 300;
+
+  ReallocatorSpec spec;
+  spec.algorithm = "first-fit";
+  ConcurrentShardedReallocator::Options options;
+  options.shard_count = 8;
+  options.worker_threads = 4;
+  options.routing = ShardRouting::kSizeClass;
+  options.queue_capacity = 8;  // constant backpressure during admission
+  std::unique_ptr<ConcurrentShardedReallocator> concurrent;
+  ASSERT_TRUE(
+      ConcurrentShardedReallocator::Make(spec, options, &concurrent).ok());
+
+  std::atomic<std::uint64_t> expected_volume{0};
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const ObjectId base = ObjectId{p} * 1000000;
+      std::uint64_t kept = 0;
+      std::vector<Request> batch;
+      for (std::uint64_t j = 0; j < kIdsPerProducer; ++j) {
+        const ObjectId id = base + j;
+        const std::uint64_t final_size = 1 + j % 64;
+        if (j % 2 == 0) {
+          // Batched incarnations: one SubmitMany (one routing_mu_ hold)
+          // stages tickets on several shards at once.
+          batch.clear();
+          for (const std::uint64_t size : {3ull, 700ull, 65000ull}) {
+            batch.push_back(Request::Insert(id, size));
+            batch.push_back(Request::Delete(id));
+          }
+          batch.push_back(Request::Insert(id, final_size));
+          std::size_t accepted = 0;
+          ASSERT_TRUE(concurrent->SubmitMany(batch, &accepted).ok());
+          ASSERT_EQ(accepted, batch.size());  // size-class never drops
+        } else {
+          for (const std::uint64_t size : {3ull, 700ull, 65000ull}) {
+            ASSERT_TRUE(concurrent->Submit(Request::Insert(id, size)).ok());
+            ASSERT_TRUE(concurrent->Submit(Request::Delete(id)).ok());
+          }
+          ASSERT_TRUE(
+              concurrent->Submit(Request::Insert(id, final_size)).ok());
+        }
+        kept += final_size;
+      }
+      expected_volume.fetch_add(kept, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  concurrent->Flush();
+
+  const ShardStats stats = concurrent->Stats();
+  std::uint64_t failed = 0, objects = 0;
+  for (const ShardStats::PerShard& shard : stats.shards) {
+    failed += shard.failed_ops;
+    objects += shard.objects;
+  }
+  EXPECT_EQ(failed, 0u);
+  EXPECT_EQ(objects, kProducers * kIdsPerProducer);
+  EXPECT_EQ(stats.volume, expected_volume.load());
+  EXPECT_EQ(stats.dropped_ops, 0u);
+
+  // The map still deletes everything — no leaked entries, no ghosts.
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    for (std::uint64_t j = 0; j < kIdsPerProducer; ++j) {
+      ASSERT_TRUE(
+          concurrent->Submit(Request::Delete(ObjectId{p} * 1000000 + j)).ok());
+    }
+  }
+  concurrent->Flush();
+  EXPECT_EQ(concurrent->volume(), 0u);
+}
+
 // ------------------------------------------------ drain / shutdown ordering
 
 TEST(ConcurrentDrain, FlushRetiresEverythingSubmittedBefore) {
@@ -577,6 +661,65 @@ TEST(ConcurrentDropPolicy, FullQueueDropsAfterBoundedRetriesAndIsCounted) {
   // The dropped op never executed: ids 1, 2, 4 are live, id 3 is not.
   EXPECT_EQ(stats.volume, 3u * 8);
   EXPECT_EQ(stats.shards[0].failed_ops, 0u);
+}
+
+TEST(ConcurrentDropPolicy, BatchDropsExactlyTheUndeliveredSuffix) {
+  // The batched path's drop policy: when the bounded retries trip
+  // mid-batch, the already-delivered prefix executes normally and
+  // EXACTLY the undelivered suffix is dropped — counted per shard, with
+  // every suffix token completed as ResourceExhausted (batches drop even
+  // when tracked; per-op tracked submissions still never drop).
+  ReallocatorSpec spec;
+  spec.algorithm = "first-fit";
+  ConcurrentShardedReallocator::Options options;
+  options.shard_count = 1;
+  options.worker_threads = 1;
+  options.queue_capacity = 2;
+  options.submit_max_retries = 2;
+  options.submit_retry_backoff = std::chrono::microseconds(100);
+  std::unique_ptr<ConcurrentShardedReallocator> concurrent;
+  ASSERT_TRUE(
+      ConcurrentShardedReallocator::Make(spec, options, &concurrent).ok());
+
+  StallingListener stall;
+  concurrent->AddShardListener(0, &stall);
+
+  // Op 1 wedges the worker inside the listener, leaving 1 unit of
+  // in-flight room out of capacity 2.
+  ASSERT_TRUE(concurrent->Submit(Request::Insert(1, 8)).ok());
+  while (!stall.entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  // A 4-op batch: chunked delivery pushes exactly the 1 op of room, then
+  // burns the retries and drops the 3-op suffix.
+  const std::vector<Request> batch = {
+      Request::Insert(2, 8), Request::Insert(3, 8), Request::Insert(4, 8),
+      Request::Insert(5, 8)};
+  std::vector<std::shared_ptr<OpToken>> tokens =
+      concurrent->SubmitManyTracked(batch.data(), batch.size());
+  ASSERT_EQ(tokens.size(), 4u);
+  // The suffix tokens are already complete — the drop happened at submit.
+  for (std::size_t i = 1; i < 4; ++i) {
+    ASSERT_TRUE(tokens[i]->done()) << "token " << i;
+    EXPECT_EQ(tokens[i]->Wait().code(), StatusCode::kResourceExhausted)
+        << "token " << i;
+  }
+  EXPECT_FALSE(tokens[0]->done());  // delivered, pending behind the stall
+
+  stall.release.store(true, std::memory_order_release);
+  EXPECT_TRUE(tokens[0]->Wait().ok());
+  concurrent->Flush();
+
+  const ShardStats stats = concurrent->Stats();
+  EXPECT_EQ(stats.dropped_ops, 3u);
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].dropped_ops, 3u);
+  EXPECT_EQ(stats.last_drop_status.code(), StatusCode::kResourceExhausted);
+  // Ids 1 and 2 executed; the dropped suffix (3, 4, 5) never did.
+  EXPECT_EQ(stats.volume, 2u * 8);
+  EXPECT_EQ(stats.shards[0].failed_ops, 0u);
+  EXPECT_EQ(stats.shards[0].batched_ops, 1u);  // the delivered prefix
 }
 
 TEST(ConcurrentDropPolicy, DefaultPolicyIsPureBackpressure) {

@@ -21,6 +21,7 @@ struct FuzzConfig {
   std::string algorithm;
   std::uint32_t shard_count;
   bool concurrent;
+  bool batched = false;
   std::string label;
 };
 
@@ -52,6 +53,17 @@ std::vector<FuzzConfig> Configs() {
     config.label = scenario + "/checkpointed/concurrent-k4";
     configs.push_back(config);
   }
+  // One batched-submission cell: the same durability wiring fuzzed with
+  // the trace delivered through SubmitMany over the lock-free remote
+  // queues instead of per-op synchronous calls.
+  FuzzConfig batched;
+  batched.scenario = "steady-churn";
+  batched.algorithm = "checkpointed";
+  batched.shard_count = 4;
+  batched.concurrent = true;
+  batched.batched = true;
+  batched.label = "steady-churn/checkpointed/concurrent-k4-batched";
+  configs.push_back(batched);
   return configs;
 }
 
@@ -65,6 +77,7 @@ TEST(DurabilityFuzzTest, ThousandsOfCrashPointsAllRecoverByteForByte) {
     options.algorithm = config.algorithm;
     options.shard_count = config.shard_count;
     options.concurrent = config.concurrent;
+    options.batched_submission = config.batched;
     options.seed = 7;
     CrashFuzzReport report;
     const Status status = RunCrashFuzz(options, &report);

@@ -82,7 +82,10 @@ def check_sharded(data, path):
 
 
 def check_concurrent(data, path):
-    require(data.get("schema_version") == 1, path, "schema_version != 1")
+    # v2 adds the submit-path axis: every worker count is measured twice
+    # (per-op mutex queue vs batched lock-free remote queues), with the
+    # "submit" and "batched_ops" columns distinguishing the rows.
+    require(data.get("schema_version") == 2, path, "schema_version != 2")
     # The committed artifact must be the full-size run; a --smoke run from
     # the repo root would silently clobber it otherwise.
     require(data.get("smoke") is False, path,
@@ -92,20 +95,33 @@ def check_concurrent(data, path):
     require(isinstance(data.get("shard_count"), int), path,
             "missing 'shard_count'")
     check_rows(data, path, {
-        "scenario", "algorithm", "mode", "workers", "shards", "operations",
-        "wall_seconds", "ops_per_sec", "speedup_vs_w1", "moves",
-        "bytes_moved", "bytes_placed", "volume_final", "sum_reserved_final",
-        "sum_peak_reserved", "global_max_end", "failed_ops",
+        "scenario", "algorithm", "mode", "submit", "workers", "shards",
+        "operations", "wall_seconds", "ops_per_sec", "speedup_vs_w1",
+        "moves", "bytes_moved", "bytes_placed", "volume_final",
+        "sum_reserved_final", "sum_peak_reserved", "global_max_end",
+        "failed_ops", "batched_ops",
     })
-    modes = {(r["mode"], r["workers"]) for r in data["rows"]}
-    require(("facade", 1) in modes, path, "single-threaded facade row missing")
+    cells = {(r["mode"], r["submit"], r["workers"]) for r in data["rows"]}
+    require(("facade", "sync", 1) in cells, path,
+            "single-threaded facade row missing")
     for workers in (1, 2, 4, 8):
-        require(("concurrent", workers) in modes, path,
-                f"concurrent W={workers} row missing")
+        require(("concurrent", "per-op", workers) in cells, path,
+                f"concurrent per-op W={workers} row missing")
+        require(("concurrent-batched", "batched", workers) in cells, path,
+                f"concurrent batched W={workers} row missing")
     for row in data["rows"]:
-        require(row["failed_ops"] == 0, path,
-                f"row {row['scenario']}/{row['algorithm']}"
-                f"/W={row['workers']} has failed ops")
+        label = (f"row {row['scenario']}/{row['algorithm']}"
+                 f"/{row['submit']}/W={row['workers']}")
+        require(row["failed_ops"] == 0, path, f"{label} has failed ops")
+        if row["submit"] == "batched":
+            # Every op in a batched row must have travelled the remote
+            # queues — a zero here means the batched path silently fell
+            # back to something else.
+            require(row["batched_ops"] == row["operations"], path,
+                    f"{label}: batched_ops != operations")
+        else:
+            require(row["batched_ops"] == 0, path,
+                    f"{label}: non-batched row reports batched_ops")
 
 
 def check_durability(data, path):
