@@ -224,7 +224,7 @@ bool RunFuzz(bool smoke, std::vector<FuzzRow>* rows,
               "last-checkpointed state byte-for-byte):\n");
   bench::Table table({"scenario", "algorithm", "facade", "K", "points",
                       "boundary", "torn", "mid-batch", "ckpts", "records",
-                      "objects verified"});
+                      "migrations", "objects verified"});
   const std::vector<std::string> scenarios = {"steady-churn", "ramp-collapse",
                                               "bimodal-churn"};
   bool ok = true;
@@ -255,6 +255,36 @@ bool RunFuzz(bool smoke, std::vector<FuzzRow>* rows,
     row.options.seed = 3;
     rows->push_back(row);
   }
+  // Migration-active cells: the rebalancer drains victims across shards
+  // during the drive, so crash points cut logs with migration records
+  // (source-side Delete, destination-side Place) in flight.
+  for (const std::string algorithm : {"checkpointed", "deamortized"}) {
+    FuzzRow row;
+    row.mode = "sharded";
+    row.options.scenario = "zipf-churn";
+    row.options.algorithm = algorithm;
+    row.options.shard_count = 4;
+    row.options.rebalance = true;
+    row.options.seed = 3;
+    if (!smoke) {
+      row.options.operations = 600;
+      row.options.boundary_points_per_shard = 60;
+      row.options.torn_points_per_shard = 50;
+      row.options.mid_batch_points_per_shard = 50;
+    }
+    rows->push_back(row);
+  }
+  {
+    FuzzRow row;
+    row.mode = "concurrent";
+    row.options.scenario = "zipf-churn";
+    row.options.algorithm = "checkpointed";
+    row.options.shard_count = 4;
+    row.options.concurrent = true;
+    row.options.rebalance = true;
+    row.options.seed = 3;
+    rows->push_back(row);
+  }
   for (FuzzRow& row : *rows) {
     const Status status = RunCrashFuzz(row.options, &row.report);
     if (!status.ok()) {
@@ -266,6 +296,16 @@ bool RunFuzz(bool smoke, std::vector<FuzzRow>* rows,
       continue;
     }
     *total_points += row.report.crash_points;
+    // The synchronous migration-active cells must actually migrate, or
+    // their crash points degenerate into the plain sharded cells.
+    if (row.options.rebalance && !row.options.concurrent &&
+        row.report.migrations == 0) {
+      std::printf("FUZZ FAILURE %s/%s/%s K=%u: rebalance cell ran with "
+                  "zero migrations\n",
+                  row.options.scenario.c_str(), row.options.algorithm.c_str(),
+                  row.mode.c_str(), row.options.shard_count);
+      ok = false;
+    }
     table.AddRow({row.options.scenario, row.options.algorithm, row.mode,
                   std::to_string(row.options.shard_count),
                   std::to_string(row.report.crash_points),
@@ -274,6 +314,7 @@ bool RunFuzz(bool smoke, std::vector<FuzzRow>* rows,
                   std::to_string(row.report.mid_batch_points),
                   std::to_string(row.report.checkpoints),
                   std::to_string(row.report.log_records),
+                  std::to_string(row.report.migrations),
                   std::to_string(row.report.objects_verified)});
   }
   table.Print();
@@ -293,7 +334,7 @@ void WriteJson(const std::vector<OverheadRow>& overhead,
     return;
   }
   std::fprintf(json,
-               "{\n  \"schema_version\": 1,\n  \"smoke\": %s,\n"
+               "{\n  \"schema_version\": 2,\n  \"smoke\": %s,\n"
                "  \"total_crash_points\": %zu,\n  \"rows\": [\n",
                smoke ? "true" : "false", total_points);
   bool first = true;
@@ -332,18 +373,21 @@ void WriteJson(const std::vector<OverheadRow>& overhead,
         json,
         "%s    {\"section\": \"fuzz\", \"scenario\": \"%s\", "
         "\"algorithm\": \"%s\", \"facade\": \"%s\", \"shards\": %u, "
-        "\"crash_points\": %zu, \"boundary_points\": %zu, "
+        "\"rebalance\": %s, \"crash_points\": %zu, \"boundary_points\": %zu, "
         "\"torn_points\": %zu, \"mid_batch_points\": %zu, "
         "\"checkpoints\": %zu, \"log_records\": %llu, \"log_bytes\": %llu, "
-        "\"recovered_records\": %llu, \"objects_verified\": %zu}",
+        "\"recovered_records\": %llu, \"migrations\": %llu, "
+        "\"objects_verified\": %zu}",
         first ? "" : ",\n", row.options.scenario.c_str(),
         row.options.algorithm.c_str(), row.mode.c_str(),
-        row.options.shard_count, row.report.crash_points,
+        row.options.shard_count, row.options.rebalance ? "true" : "false",
+        row.report.crash_points,
         row.report.boundary_points, row.report.torn_points,
         row.report.mid_batch_points, row.report.checkpoints,
         static_cast<unsigned long long>(row.report.log_records),
         static_cast<unsigned long long>(row.report.log_bytes),
         static_cast<unsigned long long>(row.report.recovered_records),
+        static_cast<unsigned long long>(row.report.migrations),
         row.report.objects_verified);
     first = false;
   }

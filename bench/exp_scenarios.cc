@@ -48,7 +48,7 @@ struct Cell {
   bool sharded = false;
 
   std::string RoutingLabel() const {
-    return sharded ? ShardRoutingName(spec.routing) : "-";
+    return sharded ? RoutingPolicyName(spec.routing) : "-";
   }
 
   std::string Label() const {
@@ -104,7 +104,7 @@ std::vector<Cell> MakeCells() {
     Cell cell;
     cell.spec.algorithm = "cost-oblivious";
     cell.spec.shard_count = shards;
-    cell.spec.routing = ShardRouting::kHashId;
+    cell.spec.routing = RoutingPolicy::kHashId;
     cell.policy = "-";
     cell.discipline = "-";
     cell.sharded = true;
@@ -114,7 +114,7 @@ std::vector<Cell> MakeCells() {
     Cell cell;
     cell.spec.algorithm = "cost-oblivious";
     cell.spec.shard_count = 4;
-    cell.spec.routing = ShardRouting::kSizeClass;
+    cell.spec.routing = RoutingPolicy::kSizeClass;
     cell.policy = "-";
     cell.discipline = "-";
     cell.sharded = true;

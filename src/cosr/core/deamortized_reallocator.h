@@ -50,6 +50,10 @@ class DeamortizedReallocator : public SizeClassLayout {
   /// Runs the in-progress flush (and log drain) to completion.
   void Quiesce() override;
 
+  /// Deletes issued while a flush is draining are logged, not applied: the
+  /// object stays placed until the log replays.
+  bool DeletesDetachImmediately() const override { return !active_; }
+
   std::uint64_t reserved_footprint() const override;
 
   bool flush_in_progress() const { return active_; }

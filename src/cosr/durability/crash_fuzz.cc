@@ -13,6 +13,7 @@
 #include "cosr/durability/recovery_manager.h"
 #include "cosr/realloc/factory.h"
 #include "cosr/service/concurrent_sharded_reallocator.h"
+#include "cosr/service/shard_rebalancer.h"
 #include "cosr/service/sharded_reallocator.h"
 #include "cosr/storage/address_space.h"
 #include "cosr/storage/simulated_disk.h"
@@ -149,6 +150,19 @@ Status FuzzShardLog(const CrashFuzzOptions& options, std::uint32_t shard,
   return Status::Ok();
 }
 
+/// Rebalancer thresholds scaled to the smoke-size fuzz traces (per-shard
+/// volumes of a few hundred bytes), so migration records actually land in
+/// the logs the crash points cut.
+RebalanceOptions AggressiveRebalance() {
+  RebalanceOptions options;
+  options.hot_footprint_ratio = 1.05;
+  options.min_shard_footprint = 64;
+  options.max_batch_objects = 8;
+  options.max_batch_bytes = 1u << 12;
+  options.check_interval = 1;
+  return options;
+}
+
 Status FindTrace(const std::string& name, Trace* out) {
   ScenarioBatteryOptions battery_options = ScenarioBatteryOptions::Smoke();
   for (const Scenario& scenario : MakeScenarioBattery(battery_options)) {
@@ -201,8 +215,9 @@ Status RunCrashFuzz(const CrashFuzzOptions& options, CrashFuzzReport* report) {
   if (!options.concurrent) {
     ShardedReallocator::Options facade_options;
     facade_options.shard_count = options.shard_count;
-    facade_options.routing = ShardRouting::kHashId;
+    facade_options.routing = RoutingPolicy::kHashId;
     facade_options.subrange_span = options.subrange_span;
+    facade_options.allow_migration = options.rebalance;
     COSR_RETURN_IF_ERROR(
         ShardedReallocator::Make(spec, facade_options, &parent, &sharded));
     for (std::uint32_t i = 0; i < options.shard_count; ++i) {
@@ -218,8 +233,10 @@ Status RunCrashFuzz(const CrashFuzzOptions& options, CrashFuzzReport* report) {
     ConcurrentShardedReallocator::Options facade_options;
     facade_options.shard_count = options.shard_count;
     facade_options.worker_threads = options.worker_threads;
-    facade_options.routing = ShardRouting::kHashId;
+    facade_options.routing = RoutingPolicy::kHashId;
     facade_options.subrange_span = options.subrange_span;
+    facade_options.rebalance = options.rebalance;
+    facade_options.rebalance_options = AggressiveRebalance();
     COSR_RETURN_IF_ERROR(
         ConcurrentShardedReallocator::Make(spec, facade_options, &concurrent));
     ConcurrentShardedReallocator* raw = concurrent.get();
@@ -267,6 +284,14 @@ Status RunCrashFuzz(const CrashFuzzOptions& options, CrashFuzzReport* report) {
       }
     }
   } else {
+    // Synchronous rebalancing: step the rebalancer every few requests so
+    // migration records interleave with ordinary churn in the logs.
+    std::unique_ptr<ShardRebalancer> rebalancer;
+    if (options.rebalance && sharded != nullptr) {
+      rebalancer =
+          std::make_unique<ShardRebalancer>(sharded.get(),
+                                            AggressiveRebalance());
+    }
     for (std::size_t r = 0; r < operations; ++r) {
       const Request& request = trace.requests()[r];
       const Status status =
@@ -278,6 +303,10 @@ Status RunCrashFuzz(const CrashFuzzOptions& options, CrashFuzzReport* report) {
                                 " failed during the drive phase: " +
                                 status.ToString());
       }
+      if (rebalancer != nullptr && (r + 1) % 25 == 0) rebalancer->Step();
+    }
+    if (rebalancer != nullptr) {
+      report->migrations = rebalancer->total_migrations();
     }
   }
   facade->Quiesce();
@@ -287,6 +316,9 @@ Status RunCrashFuzz(const CrashFuzzOptions& options, CrashFuzzReport* report) {
     sharded->CheckpointAll();
   } else {
     concurrent->CheckpointAll();
+    if (options.rebalance) {
+      report->migrations = concurrent->Stats().migrations;
+    }
   }
 
   for (std::uint32_t i = 0; i < options.shard_count; ++i) {

@@ -34,6 +34,14 @@ struct CrashFuzzOptions {
   /// durability wiring is fuzzed under the batched submission path too
   /// (statuses are then checked via failed_ops after the drain).
   bool batched_submission = false;
+  /// Drive the trace with the cross-shard rebalancer active, so crash
+  /// points land while migrations (a Delete journaled on the source
+  /// shard's log + a Place journaled on the destination's) are in flight.
+  /// Synchronous mode steps a ShardRebalancer every few requests;
+  /// concurrent mode enables the facade's background rebalancing with an
+  /// aggressive trigger. Thresholds are scaled down so the smoke-size
+  /// traces actually migrate.
+  bool rebalance = false;
   /// Trace prefix length to drive (a prefix of a valid trace is valid).
   std::size_t operations = 300;
   /// Keep spans small: every crash point rebuilds a SimulatedDisk sized by
@@ -58,6 +66,7 @@ struct CrashFuzzReport {
   std::uint64_t log_bytes = 0;
   std::uint64_t recovered_records = 0;  // records replayed across all points
   std::size_t objects_verified = 0;     // VerifyObject passes, all points
+  std::uint64_t migrations = 0;         // cross-shard moves during the drive
 };
 
 /// Runs one fuzz configuration. Ok means every injected crash point

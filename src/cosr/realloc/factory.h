@@ -36,7 +36,7 @@ struct ReallocatorSpec {
   /// CheckpointManager — managed shards scope their own). shard_count == 1
   /// builds the plain single-instance algorithm.
   std::uint32_t shard_count = 1;
-  ShardRouting routing = ShardRouting::kHashId;
+  RoutingPolicy routing = RoutingPolicy::kHashId;
   /// Service layer, concurrent mode: with worker_threads >= 1 the facade
   /// runs shard_count shards on that many worker threads. Concurrent
   /// facades own their per-shard spaces, so they are built through

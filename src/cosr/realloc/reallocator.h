@@ -40,6 +40,14 @@ class Reallocator {
   /// variant to quiesce; a no-op elsewhere).
   virtual void Quiesce() {}
 
+  /// True when a Delete issued right now would physically release the
+  /// object's extent before returning. The deamortized variant defers
+  /// deletes while an incremental flush is draining (the object stays
+  /// placed until the log replays), so cross-shard migration on a shared
+  /// parent — which must re-place the same id elsewhere immediately after
+  /// the source delete — has to wait for the flush to finish.
+  virtual bool DeletesDetachImmediately() const { return true; }
+
   /// Stable display name for reports.
   virtual const char* name() const = 0;
 };

@@ -31,15 +31,18 @@ Status ConcurrentShardedReallocator::Make(
   if (options.queue_capacity == 0) {
     return Status::InvalidArgument("queue_capacity must be >= 1");
   }
-  if (options.routing == ShardRouting::kSizeClass &&
-      AlgorithmInsertCanFailOnFreshId(inner_spec.algorithm)) {
-    // The size-class routing map marks an id live at submit time; an
-    // inner algorithm that can then reject the insert on the shard would
-    // leave the map permanently claiming a ghost object.
+  const bool needs_map =
+      RoutingNeedsPlacementMap(options.routing) || options.rebalance;
+  if (needs_map && AlgorithmInsertCanFailOnFreshId(inner_spec.algorithm)) {
+    // The placement map marks an id live at submit time; an inner
+    // algorithm that can then reject the insert on the shard would leave
+    // the map permanently claiming a ghost object — and a migration's
+    // destination insert has no submit-time rejection path at all.
     return Status::FailedPrecondition(
         inner_spec.algorithm +
-        " inserts can fail on the shard, which size-class routing's "
-        "submit-time id map cannot represent; use hash routing");
+        " inserts can fail on the shard, which the submit-time id "
+        "placement map (map-keeping routing or rebalance) cannot "
+        "represent; use hash routing without rebalance");
   }
 
   DurabilityHub* durability = inner_spec.durability;
@@ -63,10 +66,14 @@ Status ConcurrentShardedReallocator::Make(
 
   auto facade = std::unique_ptr<ConcurrentShardedReallocator>(
       new ConcurrentShardedReallocator(options));
-  facade->needs_routing_map_ = options.routing == ShardRouting::kSizeClass;
+  facade->needs_routing_map_ = needs_map;
   facade->shards_.reserve(options.shard_count);
   facade->counters_ = std::vector<ShardCounters>(options.shard_count);
   facade->dropped_ops_.assign(options.shard_count, 0);
+  if (needs_map) facade->stamped_requests_.assign(options.shard_count, 0);
+  if (options.routing == RoutingPolicy::kLeastLoaded) {
+    facade->predicted_volume_.assign(options.shard_count, 0);
+  }
   for (std::uint32_t i = 0; i < options.shard_count; ++i) {
     Shard shard;
     // A private root per shard: the view is still based at i * span, so
@@ -96,13 +103,14 @@ Status ConcurrentShardedReallocator::Make(
   }
   facade->name_ =
       "concurrent-sharded[" + std::to_string(options.shard_count) + "x" +
-      std::to_string(workers) + "," + ShardRoutingName(options.routing) +
+      std::to_string(workers) + "," + RoutingPolicyName(options.routing) +
       (options.submit_path == SubmitPath::kMutexQueue ? ",mutex-queue" : "") +
-      "]/" + spec.algorithm;
+      (options.rebalance ? ",rebalance" : "") + "]/" + spec.algorithm;
 
   facade->workers_.reserve(workers);
   for (std::uint32_t w = 0; w < workers; ++w) {
     facade->workers_.push_back(std::make_unique<Worker>());
+    facade->workers_.back()->last_ops.assign(options.shard_count, 0);
   }
   for (std::uint32_t i = 0; i < options.shard_count; ++i) {
     facade->workers_[facade->shards_[i].worker]->owned_shards.push_back(i);
@@ -145,15 +153,17 @@ Status ConcurrentShardedReallocator::SubmitOp(const Request& op,
     return Enqueue(item.shard, std::move(item), /*ticketed=*/false, 0);
   }
 
-  // Size-class routing cannot re-derive a delete's shard from the id, so
-  // the facade keeps an id -> shard map, maintained at submit time. The
-  // map update no longer holds routing_mu_ across the enqueue: it stamps
-  // the op with the target shard's next admission ticket instead, and
-  // Enqueue admits ticketed items in ticket order (see the routing_mu_
-  // field comment for the order proof). Ticketed items never drop, so the
-  // map is still a faithful prediction of execution: an op that reaches
-  // its shard always succeeds (Make rejects inner algorithms whose
-  // inserts can fail on a fresh id, see AlgorithmInsertCanFailOnFreshId).
+  // Map-keeping modes cannot re-derive an op's shard from the id alone
+  // (size-class deletes carry no size; least-loaded decisions depended on
+  // load; migrated ids' hashes are stale), so the facade keeps an
+  // id -> shard map, maintained at submit time. The map update no longer
+  // holds routing_mu_ across the enqueue: it stamps the op with the
+  // target shard's next admission ticket instead, and Enqueue admits
+  // ticketed items in ticket order (see the routing_mu_ field comment for
+  // the order proof). Ticketed items never drop, so the map is still a
+  // faithful prediction of execution: an op that reaches its shard always
+  // succeeds (Make rejects inner algorithms whose inserts can fail on a
+  // fresh id, see AlgorithmInsertCanFailOnFreshId).
   if (op.type == Request::Type::kInsert && op.size == 0) {
     return Status::InvalidArgument("size must be positive");
   }
@@ -161,23 +171,33 @@ Status ConcurrentShardedReallocator::SubmitOp(const Request& op,
   {
     std::lock_guard<std::mutex> lock(routing_mu_);
     if (op.type == Request::Type::kInsert) {
-      const std::uint32_t target = shard_for(op.id, op.size);
-      if (!routing_map_.emplace(op.id, target).second) {
-        return Status::AlreadyExists("object " + std::to_string(op.id) +
-                                     " is live on shard " +
-                                     std::to_string(routing_map_[op.id]));
+      const std::uint32_t target = RouteInsertLocked(op.id, op.size);
+      if (!placement_.TryAssign(op.id, target)) {
+        return Status::AlreadyExists(
+            "object " + std::to_string(op.id) + " is live on shard " +
+            std::to_string(placement_.Lookup(op.id, shard_count())));
+      }
+      if (!predicted_volume_.empty()) {
+        predicted_volume_[target] += op.size;
+        sizes_.emplace(op.id, op.size);
       }
       item.shard = target;
     } else {
-      auto it = routing_map_.find(op.id);
-      if (it == routing_map_.end()) {
+      const std::uint32_t holder = placement_.Lookup(op.id, shard_count());
+      if (holder == shard_count()) {
         return Status::NotFound("object " + std::to_string(op.id) +
                                 " is not live on any shard");
       }
-      item.shard = it->second;
-      routing_map_.erase(it);
+      placement_.Erase(op.id);
+      if (!predicted_volume_.empty()) {
+        auto it = sizes_.find(op.id);
+        predicted_volume_[holder] -= it->second;
+        sizes_.erase(it);
+      }
+      item.shard = holder;
     }
     ticket = shards_[item.shard].tickets_issued++;
+    ++stamped_requests_[item.shard];
   }
   const std::uint32_t shard = item.shard;
   return Enqueue(shard, std::move(item), /*ticketed=*/true, ticket);
@@ -413,7 +433,7 @@ Status ConcurrentShardedReallocator::SubmitBatch(
     return first_error;
   }
 
-  // Size-class routing: the batch amortizes routing_mu_ to ONE critical
+  // Map-keeping routing: the batch amortizes routing_mu_ to ONE critical
   // section for all its map updates and ticket grabs, then enqueues
   // outside the lock on the ticketed mutex path (ticket order == map
   // order, and ticketed items never drop, so the map stays exact).
@@ -432,23 +452,34 @@ Status ConcurrentShardedReallocator::SubmitBatch(
         if (ops[i].size == 0) {
           rejected = Status::InvalidArgument("size must be positive");
         } else {
-          const std::uint32_t target = shard_for(ops[i].id, ops[i].size);
-          if (!routing_map_.emplace(ops[i].id, target).second) {
+          const std::uint32_t target = RouteInsertLocked(ops[i].id,
+                                                         ops[i].size);
+          if (!placement_.TryAssign(ops[i].id, target)) {
             rejected = Status::AlreadyExists(
                 "object " + std::to_string(ops[i].id) + " is live on shard " +
-                std::to_string(routing_map_[ops[i].id]));
+                std::to_string(placement_.Lookup(ops[i].id, shard_count())));
           } else {
+            if (!predicted_volume_.empty()) {
+              predicted_volume_[target] += ops[i].size;
+              sizes_.emplace(ops[i].id, ops[i].size);
+            }
             item.shard = target;
           }
         }
       } else {
-        auto it = routing_map_.find(ops[i].id);
-        if (it == routing_map_.end()) {
+        const std::uint32_t holder =
+            placement_.Lookup(ops[i].id, shard_count());
+        if (holder == shard_count()) {
           rejected = Status::NotFound("object " + std::to_string(ops[i].id) +
                                       " is not live on any shard");
         } else {
-          item.shard = it->second;
-          routing_map_.erase(it);
+          placement_.Erase(ops[i].id);
+          if (!predicted_volume_.empty()) {
+            auto it = sizes_.find(ops[i].id);
+            predicted_volume_[holder] -= it->second;
+            sizes_.erase(it);
+          }
+          item.shard = holder;
         }
       }
       if (!rejected.ok()) {
@@ -458,6 +489,7 @@ Status ConcurrentShardedReallocator::SubmitBatch(
         continue;
       }
       const std::uint64_t ticket = shards_[item.shard].tickets_issued++;
+      ++stamped_requests_[item.shard];
       staged.push_back(Staged{std::move(item), ticket});
     }
   }
@@ -581,9 +613,12 @@ ShardStats ConcurrentShardedReallocator::Stats() {
     stats.volume += per.volume;
     stats.sum_reserved_footprint += per.reserved_footprint;
     stats.sum_subrange_footprint += per.space_footprint;
+    stats.max_shard_end = std::max(stats.max_shard_end, per.space_footprint);
     // Private roots hold based (global) coordinates, so the max of their
     // footprints is the shared parent's literal footprint.
     stats.global_max_end = std::max(stats.global_max_end, max_end[i]);
+    stats.migrations += per.migrations;
+    stats.migrated_bytes += per.migrated_bytes;
     stats.shards.push_back(per);
   }
   return stats;
@@ -598,6 +633,107 @@ void ConcurrentShardedReallocator::AddShardListener(std::uint32_t index,
   shards_[index].space->AddListener(listener);
 }
 
+std::uint32_t ConcurrentShardedReallocator::RouteInsertLocked(
+    ObjectId id, std::uint64_t size) const {
+  if (!predicted_volume_.empty()) {
+    // Least-loaded: lowest predicted volume wins (lowest index breaking
+    // ties). Predicted — not the execution-side frontier gauge — so the
+    // decision is a pure function of the submission history, reproducible
+    // regardless of worker timing.
+    return LeastLoadedShard(predicted_volume_);
+  }
+  return shard_for(id, size);
+}
+
+void ConcurrentShardedReallocator::MaybeRebalance(Worker& worker) {
+  // Plan over the relaxed footprint gauges: exact for this worker's own
+  // shards (it wrote them), at-most-one-op stale for the rest — fine for
+  // a heuristic that re-runs every check_interval cycles.
+  std::vector<ShardLoad> loads(shard_count());
+  for (std::uint32_t i = 0; i < shard_count(); ++i) {
+    loads[i].footprint =
+        counters_[i].reserved_footprint.load(std::memory_order_relaxed);
+    const std::uint64_t ops =
+        counters_[i].ops.load(std::memory_order_relaxed);
+    loads[i].ops = ops - worker.last_ops[i];
+    worker.last_ops[i] = ops;
+  }
+  const RebalancePlan plan = PlanRebalance(loads, options_.rebalance_options);
+  if (!plan.has_move) return;
+  // Only the hot shard's owner drains it: the source-side deletes touch
+  // the shard's inner state, which belongs to exactly one worker.
+  if (std::find(worker.owned_shards.begin(), worker.owned_shards.end(),
+                plan.hot) == worker.owned_shards.end()) {
+    return;
+  }
+  Shard& hot = shards_[plan.hot];
+  // A source that would defer the physical remove (deamortized mid-flush)
+  // would leave the object placed on its private root while the
+  // destination re-places the same id — and would journal the remove
+  // after the destination's place, breaking the remove-before-place
+  // ordering the crash-consistency argument leans on. Wait it out.
+  if (!hot.inner->DeletesDetachImmediately()) return;
+  // The snapshot reads the hot shard's applied state — safe lock-free
+  // because this thread is the only one that ever applies ops to it.
+  const std::vector<std::pair<ObjectId, Extent>> victims =
+      SelectRebalanceVictims(hot.view->Snapshot(), options_.rebalance_options,
+                             hot.inner->reserved_footprint(),
+                             loads[plan.cold].footprint,
+                             plan.target_footprint);
+  if (victims.empty()) return;
+
+  std::lock_guard<std::mutex> lock(routing_mu_);
+  // Safety gate: migrate only when the hot shard has no stamped-but-
+  // unexecuted ops. Then the placement map and the applied state agree
+  // for every id on the shard — in particular no victim has a pending
+  // delete/reinsert that an out-of-band source delete would corrupt — and
+  // holding routing_mu_ keeps it that way (every submission stamps under
+  // this lock). stamped_requests_ is read under the lock; the executed-op
+  // counter was written by this very thread, so its relaxed read is
+  // exact. When the gate fails, the next scan simply retries.
+  if (stamped_requests_[plan.hot] !=
+      counters_[plan.hot].ops.load(std::memory_order_relaxed)) {
+    return;
+  }
+  Worker& dest_worker = *workers_[shards_[plan.cold].worker];
+  for (const std::pair<ObjectId, Extent>& victim : victims) {
+    const ObjectId id = victim.first;
+    const std::uint64_t size = victim.second.length;
+    // Re-checked per victim: the previous victim's delete may itself have
+    // started a deferred flush.
+    if (!hot.inner->DeletesDetachImmediately()) break;
+    // Source side, executed inline on the owner: the remove journals on
+    // the hot shard's durability log like any other delete.
+    COSR_CHECK_OK(hot.inner->Delete(id));
+    counters_[plan.hot].RecordMigrateOut(size, hot.inner->volume(),
+                                         hot.inner->reserved_footprint());
+    placement_.Reassign(id, plan.hot, plan.cold);
+    if (!predicted_volume_.empty()) {
+      predicted_volume_[plan.hot] -= size;
+      predicted_volume_[plan.cold] += size;
+    }
+    // Destination side: a kMigrateIn pushed straight into the owning
+    // worker's queue under its mu — capacity-exempt (a worker must never
+    // park on a producer-side backpressure wait) and unticketed, but
+    // ordered before any later-submitted op for this id because such an
+    // op can only be stamped under the routing_mu_ we hold, and will
+    // land behind us in the same FIFO. Lock order routing_mu_ ->
+    // worker.mu matches the submit path, and the push never blocks, so
+    // two workers rebalancing toward each other cannot deadlock.
+    Item item;
+    item.kind = OpKind::kMigrateIn;
+    item.shard = plan.cold;
+    item.id = id;
+    item.size = size;
+    {
+      std::lock_guard<std::mutex> dest_lock(dest_worker.mu);
+      dest_worker.queue.push_back(std::move(item));
+      dest_worker.enqueued.fetch_add(1, std::memory_order_relaxed);
+    }
+    dest_worker.cv_ready.notify_one();
+  }
+}
+
 void ConcurrentShardedReallocator::WorkerLoop(Worker& worker) {
   std::vector<Item> batch;
   const auto remote_pending = [&] {
@@ -608,6 +744,7 @@ void ConcurrentShardedReallocator::WorkerLoop(Worker& worker) {
   };
   for (;;) {
     bool took_mutex_batch = false;
+    bool stopping = false;
     {
       std::unique_lock<std::mutex> lock(worker.mu);
       worker.cv_ready.wait(lock, [&] {
@@ -616,6 +753,7 @@ void ConcurrentShardedReallocator::WorkerLoop(Worker& worker) {
       // Stop only once BOTH paths are drained: the mutex queue and every
       // owned shard's remote queue.
       if (worker.queue.empty() && !remote_pending()) break;
+      stopping = worker.stop;
       if (!worker.queue.empty()) {
         batch.assign(std::make_move_iterator(worker.queue.begin()),
                      std::make_move_iterator(worker.queue.end()));
@@ -656,6 +794,14 @@ void ConcurrentShardedReallocator::WorkerLoop(Worker& worker) {
     // Completions also free in-flight room for the batched producers'
     // soft capacity gate, not just mutex-queue slots.
     worker.cv_space.notify_all();
+    // Background rebalancing rides the drain cadence: a scan every
+    // check_interval cycles, skipped once shutdown has begun (a migration
+    // must never land in a queue whose worker already exited).
+    if (options_.rebalance && !stopping &&
+        ++worker.drain_cycles >= options_.rebalance_options.check_interval) {
+      worker.drain_cycles = 0;
+      MaybeRebalance(worker);
+    }
   }
 }
 
@@ -685,6 +831,16 @@ void ConcurrentShardedReallocator::ExecuteItem(const Item& item) {
       // On the owning worker, like every other touch of the shard's state.
       shard.view->Checkpoint();
       break;
+    case OpKind::kMigrateIn:
+      // The destination half of a migration; the source's owner already
+      // deleted the object and repointed the map. The insert cannot fail:
+      // Make rejects inner algorithms whose inserts can fail on a fresh
+      // id whenever rebalancing is enabled. The place journals on this
+      // shard's durability log like any other insert.
+      COSR_CHECK_OK(shard.inner->Insert(item.id, item.size));
+      counters.RecordMigrateIn(shard.inner->volume(),
+                               shard.inner->reserved_footprint());
+      break;
     case OpKind::kSnapshot: {
       const ShardCountersSnapshot snapshot = ReadShardCounters(counters);
       ShardStats::PerShard& per = *item.snapshot_out;
@@ -700,6 +856,9 @@ void ConcurrentShardedReallocator::ExecuteItem(const Item& item) {
       per.peak_reserved_footprint = snapshot.peak_reserved_footprint;
       per.remote_batches = snapshot.remote_batches;
       per.batched_ops = snapshot.batched_ops;
+      per.migrations = snapshot.migrations;
+      per.migrated_bytes = snapshot.migrated_bytes;
+      per.migrations_in = snapshot.migrations_in;
       *item.max_end_out = shard.space->footprint();
       break;
     }

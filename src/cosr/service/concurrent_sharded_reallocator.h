@@ -17,8 +17,10 @@
 #include "cosr/common/status.h"
 #include "cosr/common/types.h"
 #include "cosr/realloc/reallocator.h"
+#include "cosr/service/id_placement_map.h"
 #include "cosr/service/remote_queue.h"
 #include "cosr/service/routing.h"
+#include "cosr/service/shard_rebalancer.h"
 #include "cosr/service/shard_stats.h"
 #include "cosr/service/sub_space_view.h"
 #include "cosr/storage/address_space.h"
@@ -121,7 +123,7 @@ class ConcurrentShardedReallocator final : public Reallocator {
     /// Worker threads W (<= shard_count; shard i is pinned to worker
     /// i % W). 0 means one worker per shard.
     std::uint32_t worker_threads = 0;
-    ShardRouting routing = ShardRouting::kHashId;
+    RoutingPolicy routing = RoutingPolicy::kHashId;
     /// Width of each shard's sub-range (same default as the single-threaded
     /// facade, so layouts are comparable across modes).
     std::uint64_t subrange_span = 1ull << 44;
@@ -147,8 +149,23 @@ class ConcurrentShardedReallocator final : public Reallocator {
     std::chrono::microseconds submit_retry_backoff{50};
     /// Which delivery mechanism SubmitMany uses (per-op Submit always
     /// rides the mutex queue). kRemoteBatched is the production default;
-    /// kMutexQueue is the PR 5 differential oracle.
+    /// kMutexQueue is the PR 5 differential oracle. Map-keeping
+    /// configurations (size-class or least-loaded routing, or rebalance
+    /// enabled) always deliver batches over the ticketed mutex path —
+    /// the placement map's order proof lives there.
     SubmitPath submit_path = SubmitPath::kRemoteBatched;
+    /// Enables background rebalancing: every
+    /// rebalance_options.check_interval drain cycles, each worker scans
+    /// the facade's load and — when it owns the hottest shard — drains a
+    /// bounded batch of that shard's frontier objects to the coldest
+    /// shard (kMigrateIn ops delivered straight to the destination's
+    /// owner). Forces the id placement map (a migrated id's hash no
+    /// longer names its shard), which in turn forces pure backpressure
+    /// and the ticketed mutex batch path. Rejected for inner algorithms
+    /// whose inserts can fail on a fresh id (the destination insert of a
+    /// migration must not fail).
+    bool rebalance = false;
+    RebalanceOptions rebalance_options;
   };
 
   /// Builds K private shards, each an inner `inner_spec` reallocator (its
@@ -238,10 +255,13 @@ class ConcurrentShardedReallocator final : public Reallocator {
   std::uint32_t worker_threads() const {
     return static_cast<std::uint32_t>(workers_.size());
   }
-  ShardRouting routing() const { return options_.routing; }
+  RoutingPolicy routing() const { return options_.routing; }
   SubmitPath submit_path() const { return options_.submit_path; }
 
-  /// The routing decision for an (id, size) insert.
+  /// The static routing prediction for an (id, size) insert. For
+  /// kLeastLoaded this is only the hash fallback: the live decision
+  /// happens under routing_mu_ at submit time, over the shards'
+  /// predicted volumes (see RouteInsertLocked).
   std::uint32_t shard_for(ObjectId id, std::uint64_t size) const {
     return RouteToShard(options_.routing, shard_count(), id, size);
   }
@@ -275,6 +295,12 @@ class ConcurrentShardedReallocator final : public Reallocator {
     kQuiesce,
     kCheckpoint,
     kSnapshot,
+    /// A migrated object arriving on its destination shard. Pushed by the
+    /// SOURCE shard's owner straight into the destination worker's queue
+    /// (capacity-exempt, unticketed) under routing_mu_, so it is ordered
+    /// before any later-submitted op for the same id (which must route
+    /// through the already-repointed map).
+    kMigrateIn,
   };
 
   struct Item {
@@ -329,6 +355,11 @@ class ConcurrentShardedReallocator final : public Reallocator {
     bool stop = false;
     std::vector<std::uint32_t> owned_shards;
     std::thread thread;
+    /// Rebalance pacing (worker thread only): drain cycles since the last
+    /// scan, and each shard's op total at the previous scan (op-rate
+    /// deltas for RebalanceOptions::hot_op_ratio).
+    std::uint64_t drain_cycles = 0;
+    std::vector<std::uint64_t> last_ops;
   };
 
   ConcurrentShardedReallocator(const Options& options) : options_(options) {}
@@ -361,27 +392,51 @@ class ConcurrentShardedReallocator final : public Reallocator {
                   const Status& status);
   void WorkerLoop(Worker& worker);
   void ExecuteItem(const Item& item);
+  /// The live routing decision for a map-kept insert; routing_mu_ held.
+  /// kLeastLoaded routes to the shard with the lowest predicted volume
+  /// (deterministic in submission order — independent of worker timing);
+  /// every other policy defers to shard_for.
+  std::uint32_t RouteInsertLocked(ObjectId id, std::uint64_t size) const;
+  /// One background rebalance scan (worker thread): plan over the relaxed
+  /// footprint gauges, and when `worker` owns the hot shard, migrate a
+  /// bounded victim batch to the cold shard. See the .cc for the safety
+  /// argument (the pending-ops gate under routing_mu_).
+  void MaybeRebalance(Worker& worker);
 
   Options options_;
   std::vector<Shard> shards_;
   std::vector<ShardCounters> counters_;  // parallel to shards_
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  /// kSizeClass only: id -> shard, maintained at submit time (deletes do
-  /// not carry the size). routing_mu_ — the one producer-side
-  /// serialization point, and only for this routing mode — covers just
-  /// the map update plus the per-shard ticket grab (tens of ns), NOT the
-  /// enqueue: the ticket carries the map order to the queue, so a
-  /// backpressure stall on one shard no longer serializes every other
-  /// shard's size-class routing behind it. Order proof: routing_mu_
-  /// totally orders map updates and stamps each with the target shard's
-  /// next ticket; Enqueue admits a shard's ticketed items into the
-  /// worker's FIFO queue strictly in ticket order; the worker executes
-  /// FIFO. Hence per-shard execution order == ticket order == map-update
-  /// order, which is the invariant that makes the map exact.
+  /// Map-keeping modes only (size-class or least-loaded routing, or
+  /// rebalance enabled): id -> shard, maintained at submit time (deletes
+  /// cannot re-derive their shard; migrated ids' hashes are stale).
+  /// routing_mu_ — the one producer-side serialization point, and only
+  /// for these modes — covers just the map update plus the per-shard
+  /// ticket grab (tens of ns), NOT the enqueue: the ticket carries the
+  /// map order to the queue, so a backpressure stall on one shard no
+  /// longer serializes every other shard's routing behind it. Order
+  /// proof: routing_mu_ totally orders map updates and stamps each with
+  /// the target shard's next ticket; Enqueue admits a shard's ticketed
+  /// items into the worker's FIFO queue strictly in ticket order; the
+  /// worker executes FIFO. Hence per-shard execution order == ticket
+  /// order == map-update order, which is the invariant that makes the
+  /// map exact.
   std::mutex routing_mu_;
-  std::unordered_map<ObjectId, std::uint32_t> routing_map_;
+  IdPlacementMap placement_;
   bool needs_routing_map_ = false;
+  /// kLeastLoaded only, guarded by routing_mu_: each shard's predicted
+  /// live volume (sum of the sizes routed there minus the sizes deleted/
+  /// migrated away) — the submit-time load signal RouteInsertLocked
+  /// minimizes — plus the live objects' sizes (deletes must give their
+  /// volume back).
+  std::vector<std::uint64_t> predicted_volume_;
+  std::unordered_map<ObjectId, std::uint64_t> sizes_;
+  /// Map-keeping modes only, guarded by routing_mu_: per-shard count of
+  /// stamped insert/delete submissions. A shard's owner compares it
+  /// against its executed-op counter to detect in-flight ops (the
+  /// rebalancer's safety gate).
+  std::vector<std::uint64_t> stamped_requests_;
 
   /// Count of real (insert/delete) submissions — the AddShardListener
   /// gate; internal quiesce/snapshot markers do not count.

@@ -19,14 +19,25 @@ std::uint64_t Mix(std::uint64_t x) {
 
 }  // namespace
 
-const char* ShardRoutingName(ShardRouting routing) {
+const char* RoutingPolicyName(RoutingPolicy routing) {
   switch (routing) {
-    case ShardRouting::kHashId:
+    case RoutingPolicy::kHashId:
       return "hash";
-    case ShardRouting::kSizeClass:
+    case RoutingPolicy::kSizeClass:
       return "size-class";
+    case RoutingPolicy::kLeastLoaded:
+      return "least-loaded";
   }
   return "?";
+}
+
+std::uint32_t LeastLoadedShard(const std::vector<std::uint64_t>& loads) {
+  COSR_CHECK(!loads.empty());
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < loads.size(); ++i) {
+    if (loads[i] < loads[best]) best = i;
+  }
+  return best;
 }
 
 const char* SubmitPathName(SubmitPath path) {
@@ -39,14 +50,15 @@ const char* SubmitPathName(SubmitPath path) {
   return "?";
 }
 
-std::uint32_t RouteToShard(ShardRouting routing, std::uint32_t shard_count,
+std::uint32_t RouteToShard(RoutingPolicy routing, std::uint32_t shard_count,
                            ObjectId id, std::uint64_t size) {
   COSR_CHECK(shard_count > 0);
   if (shard_count == 1) return 0;
   switch (routing) {
-    case ShardRouting::kHashId:
+    case RoutingPolicy::kHashId:
+    case RoutingPolicy::kLeastLoaded:  // static fallback; see routing.h
       return static_cast<std::uint32_t>(Mix(id) % shard_count);
-    case ShardRouting::kSizeClass:
+    case RoutingPolicy::kSizeClass:
       // Class i holds sizes 2^(i-1) <= w < 2^i (size_class.h); striping
       // classes round-robin keeps neighbors apart, so the heavy tail never
       // shares a shard with the small-churn classes next to it.

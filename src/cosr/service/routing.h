@@ -1,14 +1,16 @@
 #ifndef COSR_SERVICE_ROUTING_H_
 #define COSR_SERVICE_ROUTING_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "cosr/common/types.h"
 
 namespace cosr {
 
 /// How a ShardedReallocator assigns an incoming object to a shard.
-enum class ShardRouting {
+enum class RoutingPolicy {
   /// Uniform spray: shard = mix(id) mod K. Balances object count and (for
   /// size-independent workloads) volume; every shard sees the full size
   /// distribution.
@@ -19,10 +21,29 @@ enum class ShardRouting {
   /// Sheffield 2024; Jin 2026): per-size-class sub-problems whose costs
   /// add.
   kSizeClass,
+  /// Load-aware: route each insert to the shard with the lowest current
+  /// load score (frontier / reserved footprint, plus a queue-depth penalty
+  /// on the concurrent facade). Not a pure function of (id, size) — the
+  /// facades consult live ShardStats and keep an id -> shard placement map
+  /// so deletes still resolve. This is what keeps skewed (multi-tenant,
+  /// Zipf) workloads from concentrating footprint on one hot shard.
+  kLeastLoaded,
 };
 
-/// Display name: "hash" / "size-class".
-const char* ShardRoutingName(ShardRouting routing);
+/// Display name: "hash" / "size-class" / "least-loaded".
+const char* RoutingPolicyName(RoutingPolicy routing);
+
+/// Whether a policy's routing decision can be re-derived from the id alone
+/// (deletes carry no size). Policies for which this is false force the
+/// facade to maintain an IdPlacementMap.
+inline bool RoutingNeedsPlacementMap(RoutingPolicy routing) {
+  return routing != RoutingPolicy::kHashId;
+}
+
+/// The kLeastLoaded argmin, shared by both facades and their tests: the
+/// index of the smallest load score, lowest index winning ties (so the
+/// choice is deterministic given the scores). `loads` must be non-empty.
+std::uint32_t LeastLoadedShard(const std::vector<std::uint64_t>& loads);
 
 /// How ConcurrentShardedReallocator::SubmitMany delivers a batch to the
 /// shards' workers.
@@ -41,10 +62,12 @@ enum class SubmitPath {
 /// Display name: "batched" / "mutex-queue".
 const char* SubmitPathName(SubmitPath path);
 
-/// The routing function itself, shared by the facades and their tests:
+/// The static routing function, shared by the facades and their tests:
 /// which of `shard_count` shards an (id, size) insert goes to.
-/// Thread-safe: pure function of its arguments.
-std::uint32_t RouteToShard(ShardRouting routing, std::uint32_t shard_count,
+/// Thread-safe: pure function of its arguments. kLeastLoaded falls back to
+/// the hash spray here — its real decision needs live load scores, which
+/// only the owning facade has (it calls LeastLoadedShard instead).
+std::uint32_t RouteToShard(RoutingPolicy routing, std::uint32_t shard_count,
                            ObjectId id, std::uint64_t size);
 
 }  // namespace cosr

@@ -1,0 +1,157 @@
+#include "cosr/service/shard_rebalancer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cosr/common/check.h"
+
+namespace cosr {
+
+RebalancePlan PlanRebalance(const std::vector<ShardLoad>& loads,
+                            const RebalanceOptions& options) {
+  RebalancePlan plan;
+  const std::uint32_t shard_count =
+      static_cast<std::uint32_t>(loads.size());
+  if (shard_count < 2) return plan;
+
+  std::uint64_t sum_footprint = 0;
+  std::uint64_t sum_ops = 0;
+  for (const ShardLoad& load : loads) {
+    sum_footprint += load.footprint;
+    sum_ops += load.ops;
+  }
+  const double mean_footprint =
+      static_cast<double>(sum_footprint) / shard_count;
+  const double mean_ops = static_cast<double>(sum_ops) / shard_count;
+
+  // Hottest eligible shard: the highest frontier among shards big enough to
+  // matter. Op-rate detection widens eligibility (a request-hot shard above
+  // the mean is draining-worthy even before it crosses the footprint
+  // ratio), never the victim choice — the frontier argmax is always the
+  // shard whose drain lowers footprint most.
+  std::uint32_t hot = shard_count;
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    if (loads[i].footprint < options.min_shard_footprint) continue;
+    const bool footprint_hot =
+        static_cast<double>(loads[i].footprint) >
+        options.hot_footprint_ratio * mean_footprint;
+    const bool op_hot =
+        options.hot_op_ratio > 0.0 && mean_ops > 0.0 &&
+        static_cast<double>(loads[i].ops) > options.hot_op_ratio * mean_ops &&
+        static_cast<double>(loads[i].footprint) > mean_footprint;
+    if (!footprint_hot && !op_hot) continue;
+    if (hot == shard_count || loads[i].footprint > loads[hot].footprint) {
+      hot = i;
+    }
+  }
+  if (hot == shard_count) return plan;
+
+  // Destination: the lowest frontier (lowest index breaking ties).
+  std::uint32_t cold = 0;
+  for (std::uint32_t i = 1; i < shard_count; ++i) {
+    if (loads[i].footprint < loads[cold].footprint) cold = i;
+  }
+  if (cold == hot || loads[cold].footprint >= loads[hot].footprint) {
+    return plan;
+  }
+
+  plan.has_move = true;
+  plan.hot = hot;
+  plan.cold = cold;
+  // Drain toward the mean; never below the cold shard's current frontier
+  // (once the pair meets in the middle there is nothing left to gain).
+  plan.target_footprint =
+      std::max(static_cast<std::uint64_t>(std::llround(mean_footprint)),
+               loads[cold].footprint);
+  return plan;
+}
+
+std::vector<std::pair<ObjectId, Extent>> SelectRebalanceVictims(
+    std::vector<std::pair<ObjectId, Extent>> objects,
+    const RebalanceOptions& options, std::uint64_t src_footprint,
+    std::uint64_t dst_footprint, std::uint64_t target_footprint) {
+  // Highest offset first: the frontier objects. Extents are disjoint, so
+  // after draining the top k of them the source's placed end is bounded by
+  // the next remaining object's end.
+  std::sort(objects.begin(), objects.end(),
+            [](const std::pair<ObjectId, Extent>& a,
+               const std::pair<ObjectId, Extent>& b) {
+              return a.second.offset > b.second.offset;
+            });
+
+  std::vector<std::pair<ObjectId, Extent>> victims;
+  std::uint64_t projected_src = src_footprint;
+  std::uint64_t projected_dst = dst_footprint;
+  std::uint64_t batch_bytes = 0;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (victims.size() >= options.max_batch_objects) break;
+    if (batch_bytes >= options.max_batch_bytes) break;
+    if (projected_src <= target_footprint) break;
+    const std::uint64_t length = objects[i].second.length;
+    // Anti-ping-pong: stop before the destination's projected frontier
+    // overtakes the source's — migrating further would only swap which
+    // shard is hot next scan.
+    if (projected_dst + length >= projected_src) break;
+    victims.push_back(objects[i]);
+    batch_bytes += length;
+    const std::uint64_t next_end =
+        i + 1 < objects.size() ? objects[i + 1].second.end() : 0;
+    projected_src = std::min(projected_src, next_end);
+    projected_dst += length;
+  }
+  return victims;
+}
+
+ShardRebalancer::ShardRebalancer(ShardedReallocator* facade,
+                                 const RebalanceOptions& options)
+    : facade_(facade), options_(options) {
+  COSR_CHECK(facade != nullptr);
+  // A non-migratable facade cannot resolve a migrated id again; requiring
+  // it up front turns a silent no-op rebalancer into a build error.
+  COSR_CHECK(facade->migratable());
+  last_ops_.assign(facade->shard_count(), 0);
+}
+
+RebalanceStepReport ShardRebalancer::Step() {
+  RebalanceStepReport report;
+  const std::uint32_t shard_count = facade_->shard_count();
+  if (shard_count < 2) return report;
+
+  std::vector<ShardLoad> loads(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    loads[i].footprint = facade_->shard(i).reserved_footprint();
+  }
+  if (options_.hot_op_ratio > 0.0) {
+    const ShardStats stats = facade_->Stats();
+    for (std::uint32_t i = 0; i < shard_count; ++i) {
+      const std::uint64_t total = stats.shards[i].ops;
+      loads[i].ops = total - last_ops_[i];
+      last_ops_[i] = total;
+    }
+  }
+
+  const RebalancePlan plan = PlanRebalance(loads, options_);
+  if (!plan.has_move) return report;
+  report.hot_shard = plan.hot;
+  report.cold_shard = plan.cold;
+
+  const std::vector<std::pair<ObjectId, Extent>> victims =
+      SelectRebalanceVictims(facade_->shard_view(plan.hot).Snapshot(),
+                             options_, loads[plan.hot].footprint,
+                             loads[plan.cold].footprint,
+                             plan.target_footprint);
+  for (const std::pair<ObjectId, Extent>& victim : victims) {
+    // A destination-insert failure (an algorithm whose Insert can fail on a
+    // fresh id, e.g. pma at capacity) rolls back inside MigrateObject;
+    // stop the batch and let the next scan retry with fresh loads.
+    if (!facade_->MigrateObject(victim.first, plan.cold).ok()) break;
+    ++report.migrations;
+    report.migrated_bytes += victim.second.length;
+  }
+  report.acted = report.migrations > 0;
+  total_migrations_ += report.migrations;
+  total_migrated_bytes_ += report.migrated_bytes;
+  return report;
+}
+
+}  // namespace cosr

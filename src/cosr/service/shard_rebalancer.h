@@ -1,0 +1,116 @@
+#ifndef COSR_SERVICE_SHARD_REBALANCER_H_
+#define COSR_SERVICE_SHARD_REBALANCER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cosr/common/types.h"
+#include "cosr/service/sharded_reallocator.h"
+#include "cosr/storage/extent.h"
+
+namespace cosr {
+
+/// Knobs for hot-shard detection and migration batching, shared by the
+/// synchronous rebalancer below and the concurrent facade's background
+/// (worker-driven) rebalancing.
+struct RebalanceOptions {
+  /// A shard is footprint-hot when its reserved frontier exceeds this
+  /// multiple of the mean frontier across shards.
+  double hot_footprint_ratio = 1.25;
+  /// Op-rate detection: a shard is also hot when its ops since the last
+  /// scan exceed this multiple of the mean AND its frontier is above the
+  /// mean (draining a busy-but-compact shard would not help footprint).
+  /// 0 disables op-rate detection.
+  double hot_op_ratio = 0.0;
+  /// Shards below this frontier are never declared hot (tiny structures
+  /// carry unavoidable constant-size overheads; migrating them is noise).
+  std::uint64_t min_shard_footprint = 1u << 12;
+  /// Per-step migration budget: at most this many objects / bytes move in
+  /// one Step (one background scan on the concurrent facade), bounding the
+  /// latency the rebalancer can add between queue drains.
+  std::size_t max_batch_objects = 32;
+  std::uint64_t max_batch_bytes = 1u << 16;
+  /// Concurrent facade only: a worker scans its owned shards every this
+  /// many drain cycles.
+  std::uint32_t check_interval = 16;
+};
+
+/// One shard's load summary for planning: the reserved frontier (local
+/// coordinates) plus the ops it served since the previous scan.
+struct ShardLoad {
+  std::uint64_t footprint = 0;
+  std::uint64_t ops = 0;
+};
+
+/// The planner's verdict: drain `hot` toward `cold` until `hot`'s frontier
+/// projects at or below `target_footprint` (or the batch budget runs out).
+struct RebalancePlan {
+  bool has_move = false;
+  std::uint32_t hot = 0;
+  std::uint32_t cold = 0;
+  std::uint64_t target_footprint = 0;
+};
+
+/// Pure planning over load summaries (unit-testable, no facade needed):
+/// picks the hottest eligible shard (footprint threshold first, then
+/// op-rate) and the least-loaded destination. No move when no shard
+/// crosses a threshold, K < 2, or hot == cold.
+RebalancePlan PlanRebalance(const std::vector<ShardLoad>& loads,
+                            const RebalanceOptions& options);
+
+/// Pure victim selection from a hot shard's object snapshot (local
+/// coordinates, any order): returns the objects to migrate, highest
+/// offset first — the frontier-pinning objects whose removal actually
+/// lowers the shard's reserved end. Stops at the batch budgets, when the
+/// projected source frontier reaches `target_footprint`, or when the
+/// projected destination would overtake the projected source (migrating
+/// further would only swap which shard is hot).
+std::vector<std::pair<ObjectId, Extent>> SelectRebalanceVictims(
+    std::vector<std::pair<ObjectId, Extent>> objects,
+    const RebalanceOptions& options, std::uint64_t src_footprint,
+    std::uint64_t dst_footprint, std::uint64_t target_footprint);
+
+struct RebalanceStepReport {
+  bool acted = false;
+  std::uint32_t hot_shard = 0;
+  std::uint32_t cold_shard = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t migrated_bytes = 0;
+};
+
+/// The synchronous rebalancer for the single-threaded facade: each Step()
+/// scans the shards' live frontiers, and when one is hot drains a bounded
+/// batch of its frontier objects to the coldest shard through
+/// ShardedReallocator::MigrateObject (so every migration rides the normal
+/// per-shard checkpoint/durability machinery). Call it between requests at
+/// whatever cadence suits the workload — each step is O(K) when balanced
+/// and O(batch) when not.
+///
+/// Thread-compatible, same owner thread as the facade. The facade must be
+/// migratable() (map-keeping routing or Options::allow_migration;
+/// CHECK-enforced). K=1 facades are always balanced: Step is a no-op and
+/// the zero-cost-wrapper identity is preserved.
+class ShardRebalancer {
+ public:
+  ShardRebalancer(ShardedReallocator* facade, const RebalanceOptions& options);
+
+  /// One scan-and-drain pass; see the class comment.
+  RebalanceStepReport Step();
+
+  std::uint64_t total_migrations() const { return total_migrations_; }
+  std::uint64_t total_migrated_bytes() const { return total_migrated_bytes_; }
+
+ private:
+  ShardedReallocator* facade_;
+  RebalanceOptions options_;
+  /// Per-shard op totals at the previous scan (op-rate deltas).
+  std::vector<std::uint64_t> last_ops_;
+  std::uint64_t total_migrations_ = 0;
+  std::uint64_t total_migrated_bytes_ = 0;
+};
+
+}  // namespace cosr
+
+#endif  // COSR_SERVICE_SHARD_REBALANCER_H_

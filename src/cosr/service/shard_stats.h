@@ -43,6 +43,15 @@ struct ShardStats {
     /// one-by-one through the mutex queue).
     std::uint64_t remote_batches = 0;
     std::uint64_t batched_ops = 0;
+    /// Rebalancer accounting: objects (and their bytes) the rebalancer
+    /// drained OUT of this shard, and objects it delivered INTO it.
+    /// Exact: each migrated object counts once on its source's
+    /// migrations/migrated_bytes and once on its destination's
+    /// migrations_in, so sum(migrations) == sum(migrations_in) over a
+    /// drained facade.
+    std::uint64_t migrations = 0;
+    std::uint64_t migrated_bytes = 0;
+    std::uint64_t migrations_in = 0;
   };
   std::vector<PerShard> shards;
 
@@ -57,10 +66,19 @@ struct ShardStats {
   std::uint64_t sum_reserved_footprint = 0;
   /// Sum of the shards' placed footprints (max end per sub-range).
   std::uint64_t sum_subrange_footprint = 0;
+  /// Max over shards of the shard-LOCAL placed end (base subtracted) —
+  /// the deepest any single shard's layout reaches into its own window.
+  /// This is the per-shard sizing number; unlike global_max_end it does
+  /// not carry the i * span base offsets.
+  std::uint64_t max_shard_end = 0;
   /// The parent space's literal footprint — the largest *global* end
   /// address, bases included. Dominated by the highest populated shard's
   /// base; meaningful for sizing the one shared array, not for waste.
   std::uint64_t global_max_end = 0;
+  /// Facade-wide rebalancer totals (sums of the shards' out-migration
+  /// counters).
+  std::uint64_t migrations = 0;
+  std::uint64_t migrated_bytes = 0;
 };
 
 /// One shard's hot-path accumulator block, sized and aligned to its own
@@ -87,11 +105,34 @@ struct alignas(64) ShardCounters {
   /// they carried. Owner-written like every other field.
   std::atomic<std::uint64_t> remote_batches{0};
   std::atomic<std::uint64_t> batched_ops{0};
+  /// Rebalancer accounting (see ShardStats::PerShard): out-migrations and
+  /// their bytes are written by the SOURCE shard's owner, in-migrations by
+  /// the DESTINATION shard's owner — each field still has exactly one
+  /// writer.
+  std::atomic<std::uint64_t> migrations{0};
+  std::atomic<std::uint64_t> migrated_bytes{0};
+  std::atomic<std::uint64_t> migrations_in{0};
 
   /// Owner-thread helper: account one drained remote batch of `ops` ops.
   void RecordRemoteBatch(std::uint64_t batch_ops) {
     remote_batches.fetch_add(1, std::memory_order_relaxed);
     batched_ops.fetch_add(batch_ops, std::memory_order_relaxed);
+  }
+
+  /// Source-shard owner: one object of `bytes` migrated out; refresh the
+  /// gauges with the post-delete state.
+  void RecordMigrateOut(std::uint64_t bytes, std::uint64_t new_volume,
+                        std::uint64_t new_reserved) {
+    migrations.fetch_add(1, std::memory_order_relaxed);
+    migrated_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    RefreshGauges(new_volume, new_reserved);
+  }
+
+  /// Destination-shard owner: one object arrived; refresh the gauges with
+  /// the post-insert state.
+  void RecordMigrateIn(std::uint64_t new_volume, std::uint64_t new_reserved) {
+    migrations_in.fetch_add(1, std::memory_order_relaxed);
+    RefreshGauges(new_volume, new_reserved);
   }
 
   /// Owner-thread helper: refresh the footprint/volume gauges (and the
@@ -131,6 +172,9 @@ struct ShardCountersSnapshot {
   std::uint64_t peak_reserved_footprint = 0;
   std::uint64_t remote_batches = 0;
   std::uint64_t batched_ops = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t migrated_bytes = 0;
+  std::uint64_t migrations_in = 0;
 };
 
 inline ShardCountersSnapshot ReadShardCounters(const ShardCounters& c) {
@@ -145,6 +189,9 @@ inline ShardCountersSnapshot ReadShardCounters(const ShardCounters& c) {
       c.peak_reserved_footprint.load(std::memory_order_relaxed);
   s.remote_batches = c.remote_batches.load(std::memory_order_relaxed);
   s.batched_ops = c.batched_ops.load(std::memory_order_relaxed);
+  s.migrations = c.migrations.load(std::memory_order_relaxed);
+  s.migrated_bytes = c.migrated_bytes.load(std::memory_order_relaxed);
+  s.migrations_in = c.migrations_in.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -164,6 +211,9 @@ inline ShardCountersSnapshot MergeShardCounters(
     merged.peak_reserved_footprint += s.peak_reserved_footprint;
     merged.remote_batches += s.remote_batches;
     merged.batched_ops += s.batched_ops;
+    merged.migrations += s.migrations;
+    merged.migrated_bytes += s.migrated_bytes;
+    merged.migrations_in += s.migrations_in;
   }
   return merged;
 }

@@ -1,5 +1,6 @@
 #include "cosr/service/sharded_reallocator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "cosr/common/check.h"
@@ -43,7 +44,9 @@ Status ShardedReallocator::Make(const ReallocatorSpec& inner_spec,
 
   auto sharded = std::unique_ptr<ShardedReallocator>(
       new ShardedReallocator(options, parent));
-  sharded->needs_shard_map_ = options.routing == ShardRouting::kSizeClass;
+  sharded->needs_shard_map_ =
+      RoutingNeedsPlacementMap(options.routing) || options.allow_migration;
+  sharded->counters_.assign(options.shard_count, LocalCounters{});
   sharded->shards_.reserve(options.shard_count);
   for (std::uint32_t i = 0; i < options.shard_count; ++i) {
     Shard shard;
@@ -70,7 +73,7 @@ Status ShardedReallocator::Make(const ReallocatorSpec& inner_spec,
     sharded->shards_.push_back(std::move(shard));
   }
   sharded->name_ = "sharded[" + std::to_string(options.shard_count) + "," +
-                   ShardRoutingName(options.routing) + "]/" + spec.algorithm;
+                   RoutingPolicyName(options.routing) + "]/" + spec.algorithm;
   *out = std::move(sharded);
   return Status::Ok();
 }
@@ -81,21 +84,42 @@ ShardedReallocator::~ShardedReallocator() {
   }
 }
 
+std::uint32_t ShardedReallocator::shard_for(ObjectId id,
+                                            std::uint64_t size) const {
+  if (options_.routing == RoutingPolicy::kLeastLoaded && shard_count() > 1) {
+    // Live argmin over the shards' volumes (see the header for why volume,
+    // not frontier) — no allocation, K is small.
+    std::uint32_t best = 0;
+    std::uint64_t best_load = shards_[0].inner->volume();
+    for (std::uint32_t i = 1; i < shard_count(); ++i) {
+      const std::uint64_t load = shards_[i].inner->volume();
+      if (load < best_load) {
+        best = i;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+  return RouteToShard(options_.routing, shard_count(), id, size);
+}
+
 Status ShardedReallocator::Insert(ObjectId id, std::uint64_t size) {
   owner_fence_.Assert("ShardedReallocator");
-  const std::uint32_t target = shard_for(id, size);
   if (needs_shard_map_) {
     // A live duplicate may be parked on a *different* shard (same id,
-    // different size class), which that shard's reallocator cannot detect.
-    auto it = shard_of_.find(id);
-    if (it != shard_of_.end()) {
+    // different size class or load), which that shard's reallocator cannot
+    // detect.
+    const std::uint32_t holder = placement_.Lookup(id, shard_count());
+    if (holder != shard_count()) {
       return Status::AlreadyExists("object " + std::to_string(id) +
                                    " is live on shard " +
-                                   std::to_string(it->second));
+                                   std::to_string(holder));
     }
   }
+  const std::uint32_t target = shard_for(id, size);
   Status status = shards_[target].inner->Insert(id, size);
-  if (status.ok() && needs_shard_map_) shard_of_.emplace(id, target);
+  ++counters_[target].ops;
+  if (status.ok() && needs_shard_map_) placement_.TryAssign(id, target);
   return status;
 }
 
@@ -103,18 +127,65 @@ Status ShardedReallocator::Delete(ObjectId id) {
   owner_fence_.Assert("ShardedReallocator");
   std::uint32_t target;
   if (needs_shard_map_) {
-    auto it = shard_of_.find(id);
-    if (it == shard_of_.end()) {
+    target = placement_.Lookup(id, shard_count());
+    if (target == shard_count()) {
       return Status::NotFound("object " + std::to_string(id) +
                               " is not live on any shard");
     }
-    target = it->second;
   } else {
     target = shard_for(id, /*size=*/0);
   }
   Status status = shards_[target].inner->Delete(id);
-  if (status.ok() && needs_shard_map_) shard_of_.erase(id);
+  ++counters_[target].ops;
+  if (status.ok() && needs_shard_map_) placement_.Erase(id);
   return status;
+}
+
+Status ShardedReallocator::MigrateObject(ObjectId id, std::uint32_t to) {
+  owner_fence_.Assert("ShardedReallocator");
+  if (to >= shard_count()) {
+    return Status::InvalidArgument("destination shard " + std::to_string(to) +
+                                   " out of range");
+  }
+  if (!needs_shard_map_) {
+    return Status::FailedPrecondition(
+        "facade keeps no placement map, so a migrated id's shard could "
+        "never be resolved again; build with Options::allow_migration or a "
+        "map-keeping routing policy");
+  }
+  const std::uint32_t from = placement_.Lookup(id, shard_count());
+  if (from == shard_count()) {
+    return Status::NotFound("object " + std::to_string(id) +
+                            " is not live on any shard");
+  }
+  if (from == to) return Status::Ok();
+  if (!shards_[from].inner->DeletesDetachImmediately()) {
+    // The source would defer the physical remove (deamortized mid-flush),
+    // leaving the id placed on the shared parent when the destination
+    // re-places it. Migration waits for the flush to drain.
+    return Status::FailedPrecondition(
+        "source shard " + std::to_string(from) +
+        " defers deletes while its flush drains; retry after it quiesces");
+  }
+  const std::uint64_t size = shards_[from].view->extent_of(id).length;
+  // Shared parent: the source's Delete must retire before the
+  // destination's Insert, or the parent would see the same id placed
+  // twice. Each inner call rides its own shard's view, checkpoint
+  // discipline, and durability log — remove journals on the source's log,
+  // place on the destination's.
+  COSR_RETURN_IF_ERROR(shards_[from].inner->Delete(id));
+  Status placed = shards_[to].inner->Insert(id, size);
+  if (!placed.ok()) {
+    // Restore: the source just freed at least `size`, so re-inserting
+    // there cannot fail.
+    COSR_CHECK_OK(shards_[from].inner->Insert(id, size));
+    return placed;
+  }
+  placement_.Reassign(id, from, to);
+  ++counters_[from].migrations;
+  counters_[from].migrated_bytes += size;
+  ++counters_[to].migrations_in;
+  return Status::Ok();
 }
 
 std::uint64_t ShardedReallocator::reserved_footprint() const {
@@ -143,8 +214,7 @@ void ShardedReallocator::CheckpointAll() {
 
 std::uint32_t ShardedReallocator::shard_of(ObjectId id) const {
   if (needs_shard_map_) {
-    auto it = shard_of_.find(id);
-    return it == shard_of_.end() ? shard_count() : it->second;
+    return placement_.Lookup(id, shard_count());
   }
   const std::uint32_t target = shard_for(id, /*size=*/0);
   return shards_[target].view->contains(id) ? target : shard_count();
@@ -153,7 +223,8 @@ std::uint32_t ShardedReallocator::shard_of(ObjectId id) const {
 ShardStats ShardedReallocator::Stats() const {
   ShardStats stats;
   stats.shards.reserve(shards_.size());
-  for (const Shard& shard : shards_) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = shards_[i];
     ShardStats::PerShard per;
     per.base = shard.view->base();
     per.objects = shard.view->object_count();
@@ -162,9 +233,16 @@ ShardStats ShardedReallocator::Stats() const {
     per.space_footprint = shard.view->footprint();
     per.checkpoints =
         shard.manager != nullptr ? shard.manager->checkpoint_count() : 0;
+    per.ops = counters_[i].ops;
+    per.migrations = counters_[i].migrations;
+    per.migrated_bytes = counters_[i].migrated_bytes;
+    per.migrations_in = counters_[i].migrations_in;
     stats.volume += per.volume;
     stats.sum_reserved_footprint += per.reserved_footprint;
     stats.sum_subrange_footprint += per.space_footprint;
+    stats.max_shard_end = std::max(stats.max_shard_end, per.space_footprint);
+    stats.migrations += per.migrations;
+    stats.migrated_bytes += per.migrated_bytes;
     stats.shards.push_back(per);
   }
   stats.global_max_end = parent_->footprint();

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cosr/common/owner_fence.h"
@@ -13,6 +12,7 @@
 #include "cosr/durability/move_log.h"
 #include "cosr/realloc/factory.h"
 #include "cosr/realloc/reallocator.h"
+#include "cosr/service/id_placement_map.h"
 #include "cosr/service/routing.h"
 #include "cosr/service/shard_stats.h"
 #include "cosr/service/sub_space_view.h"
@@ -45,11 +45,17 @@ class ShardedReallocator final : public Reallocator {
  public:
   struct Options {
     std::uint32_t shard_count = 4;
-    ShardRouting routing = ShardRouting::kHashId;
+    RoutingPolicy routing = RoutingPolicy::kHashId;
     /// Width of each shard's sub-range. The default leaves each shard 16
     /// TiB-of-units of headroom — far beyond any in-process workload —
     /// while keeping K=16 facades well inside the 64-bit space.
     std::uint64_t subrange_span = 1ull << 44;
+    /// Enables MigrateObject (and thus a ShardRebalancer) on this facade.
+    /// Forces the id placement map even under hash routing: a migrated
+    /// id's hash no longer names its shard, so deletes must resolve
+    /// through the map. Map-keeping routing policies (size-class,
+    /// least-loaded) are migratable without this flag.
+    bool allow_migration = false;
   };
 
   /// Builds K shards over `parent`, each with an inner reallocator made
@@ -82,15 +88,37 @@ class ShardedReallocator final : public Reallocator {
   std::uint32_t shard_count() const {
     return static_cast<std::uint32_t>(shards_.size());
   }
-  ShardRouting routing() const { return options_.routing; }
+  RoutingPolicy routing() const { return options_.routing; }
 
-  /// The routing decision for an (id, size) insert.
-  std::uint32_t shard_for(ObjectId id, std::uint64_t size) const {
-    return RouteToShard(options_.routing, shard_count(), id, size);
-  }
+  /// The routing decision for an (id, size) insert. For kLeastLoaded this
+  /// consults the shards' live volumes (lowest wins, lowest index breaking
+  /// ties — the same gauge the concurrent facade predicts at submit time).
+  /// Volume, not frontier, deliberately: an argmin over frontiers starves
+  /// gap-rich shards — a shard whose frontier is high but mostly free
+  /// would never receive another insert, so its gaps never refill, while
+  /// the low-frontier shards are ratcheted up to meet it. Balancing live
+  /// bytes routes inserts *into* the gaps (a never-move allocator fills
+  /// below its frontier first) and leaves residual frontier imbalance to
+  /// the rebalancer. The other policies are pure functions of (id, size).
+  std::uint32_t shard_for(ObjectId id, std::uint64_t size) const;
   /// The shard currently holding live object `id`, or shard_count() when
   /// the id is not live.
   std::uint32_t shard_of(ObjectId id) const;
+
+  /// Whether MigrateObject is usable: the facade keeps the id placement
+  /// map (map-keeping routing, or Options::allow_migration).
+  bool migratable() const { return needs_shard_map_; }
+
+  /// Moves live object `id` to shard `to`: Delete on its current shard,
+  /// Insert on `to` (the destination picks its own placement, so the move
+  /// rides the normal batched ApplyMoves/durability machinery of both
+  /// shards — remove on the source's log, place on the destination's), and
+  /// the placement map repoints. Migrating to the current shard is an Ok
+  /// no-op. On a destination insert failure the object is re-inserted on
+  /// its source shard and the error returned (state restored, nothing
+  /// migrated). Counted per shard in Stats() migrations / migrated_bytes /
+  /// migrations_in.
+  Status MigrateObject(ObjectId id, std::uint32_t to);
 
   const Reallocator& shard(std::uint32_t index) const {
     return *shards_[index].inner;
@@ -112,6 +140,15 @@ class ShardedReallocator final : public Reallocator {
     std::unique_ptr<Reallocator> inner;
   };
 
+  /// Plain per-shard accounting (single owner thread, no atomics): routed
+  /// requests plus the rebalancer's migration counts.
+  struct LocalCounters {
+    std::uint64_t ops = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t migrated_bytes = 0;
+    std::uint64_t migrations_in = 0;
+  };
+
   ShardedReallocator(const Options& options, Space* parent)
       : options_(options), parent_(parent) {}
 
@@ -127,10 +164,12 @@ class ShardedReallocator final : public Reallocator {
   /// behind a RangeScopedListener that keeps only its own sub-range.
   /// Removed from the parent in the destructor.
   std::vector<std::unique_ptr<RangeScopedListener>> log_scopes_;
-  /// id -> shard for routings that cannot re-derive the shard from the id
-  /// alone (kSizeClass: deletes do not carry the size).
-  std::unordered_map<ObjectId, std::uint32_t> shard_of_;
+  /// id -> shard for routing policies that cannot re-derive the shard from
+  /// the id alone (size-class, least-loaded) and for migratable facades
+  /// (hash + allow_migration: a migrated id's hash is stale).
+  IdPlacementMap placement_;
   bool needs_shard_map_ = false;
+  std::vector<LocalCounters> counters_;  // parallel to shards_
   std::string name_;
 };
 

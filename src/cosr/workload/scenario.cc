@@ -32,6 +32,10 @@ ScenarioBatteryOptions ScenarioBatteryOptions::Smoke() {
   options.db_operations = 600;
   options.db_blocks = 48;
   options.db_max_block = 1024;
+  options.tenant_operations = 600;
+  options.tenant_target_volume = 1u << 14;
+  options.tenant_heavy = 2;
+  options.tenant_light = 16;
   options.lower_bound_delta = 256;
   options.logging_killer_delta = 64;
   options.logging_killer_rounds = 4;
@@ -98,6 +102,32 @@ std::vector<Scenario> MakeScenarioBattery(
                                    .max_size = options.db_max_block,
                                    .zipf_s = 1.1,
                                    .seed = options.seed + 3}))});
+
+  {
+    // Heavy/light sizes derive from the volume so Smoke() keeps the
+    // scenario's shape: heavy blocks are ~1/32 of the live volume (a few
+    // dozen of them), light blocks two orders of magnitude smaller.
+    const std::uint64_t heavy_max = options.tenant_target_volume / 32;
+    const std::uint64_t heavy_min = heavy_max / 4;
+    const std::uint64_t light_max =
+        heavy_max / 64 < 16 ? 16 : heavy_max / 64;
+    battery.push_back(
+        {"multi-tenant-skew",
+         "few heavy tenants (large long-lived blocks, rare rewrites) over "
+         "many light tenants' small ephemeral churn",
+         MakeMultiTenantTrace(
+             {.operations = options.tenant_operations,
+              .target_live_volume = options.tenant_target_volume,
+              .heavy_tenants = options.tenant_heavy,
+              .light_tenants = options.tenant_light,
+              .heavy_volume_fraction = 0.7,
+              .heavy_min_size = heavy_min,
+              .heavy_max_size = heavy_max,
+              .light_min_size = 16,
+              .light_max_size = light_max,
+              .heavy_rewrite_p = 0.02,
+              .seed = options.seed + 4})});
+  }
 
   battery.push_back(
       {"adv-lower-bound",

@@ -35,6 +35,11 @@ struct ScenarioBatteryOptions {
   std::uint64_t db_operations = 12000;
   std::uint64_t db_blocks = 256;
   std::uint64_t db_max_block = 8192;
+  // multi-tenant-skew (heavy/light object sizes derive from the volume)
+  std::uint64_t tenant_operations = 12000;
+  std::uint64_t tenant_target_volume = 1u << 20;
+  std::uint32_t tenant_heavy = 3;
+  std::uint32_t tenant_light = 64;
   // adversaries (Bender et al. PODS 2014 traces, workload/adversary.h)
   std::uint64_t lower_bound_delta = 4096;
   std::uint64_t logging_killer_delta = 512;
@@ -51,10 +56,12 @@ struct ScenarioBatteryOptions {
 /// The standing scenario battery: steady-state churn, ramp-then-collapse,
 /// bimodal sizes, heavy-tail Zipf churn, the TokuDB-style database-block
 /// rewrite pattern (round-tripped through the Trace text serialization, so
-/// the battery also exercises trace-file I/O), and replays of the four
-/// adversarial traces from workload/adversary.h (lower-bound,
-/// logging-killer, size-class cascade, fragmentation). Every trace
-/// validates (Trace::Validate) and is deterministic given `options.seed`.
+/// the battery also exercises trace-file I/O), the multi-tenant skew
+/// workload (few heavy tenants over many light ones, tenant-correlated
+/// sizes and lifetimes), and replays of the four adversarial traces from
+/// workload/adversary.h (lower-bound, logging-killer, size-class cascade,
+/// fragmentation). Every trace validates (Trace::Validate) and is
+/// deterministic given `options.seed`.
 std::vector<Scenario> MakeScenarioBattery(
     const ScenarioBatteryOptions& options = ScenarioBatteryOptions());
 

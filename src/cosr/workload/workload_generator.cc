@@ -137,6 +137,104 @@ Trace MakeGrowShrinkTrace(const GrowShrinkOptions& options) {
   return trace;
 }
 
+Trace MakeMultiTenantTrace(const MultiTenantOptions& options) {
+  COSR_CHECK(options.heavy_tenants >= 1);
+  COSR_CHECK(options.light_tenants >= 1);
+  COSR_CHECK(options.heavy_volume_fraction > 0.0 &&
+             options.heavy_volume_fraction < 1.0);
+  Rng rng(options.seed);
+
+  // Every tenant draws one characteristic base size; its objects spread
+  // ±25% around it, so sizes stay tenant-correlated for the lifetime of
+  // the trace.
+  const auto draw_base = [&](std::uint64_t lo, std::uint64_t hi) {
+    return rng.UniformRange(lo, hi);
+  };
+  std::vector<std::uint64_t> heavy_base(options.heavy_tenants);
+  for (auto& base : heavy_base) {
+    base = draw_base(options.heavy_min_size, options.heavy_max_size);
+  }
+  std::vector<std::uint64_t> light_base(options.light_tenants);
+  for (auto& base : light_base) {
+    base = draw_base(options.light_min_size, options.light_max_size);
+  }
+  const auto sample_size = [&](std::uint64_t base) {
+    const std::uint64_t spread = base / 2;
+    const std::uint64_t size = base - base / 4 + rng.UniformU64(spread + 1);
+    return size == 0 ? std::uint64_t{1} : size;
+  };
+
+  // Heavy objects are long-lived: they die only through rewrites, so the
+  // live set carries the owning tenant (the rewrite re-inserts at the same
+  // tenant's characteristic size).
+  struct HeavyObject {
+    ObjectId id;
+    std::uint64_t size;
+    std::uint32_t tenant;
+  };
+  std::vector<HeavyObject> heavy_live;
+  std::uint64_t heavy_volume = 0;
+  LiveSet light_live;
+
+  const auto heavy_target = static_cast<std::uint64_t>(
+      options.heavy_volume_fraction *
+      static_cast<double>(options.target_live_volume));
+  const std::uint64_t light_target =
+      options.target_live_volume - heavy_target;
+
+  Trace trace;
+  ObjectId next_id = 1;
+  std::uint64_t op = 0;
+  const auto insert_heavy = [&] {
+    const auto tenant =
+        static_cast<std::uint32_t>(rng.UniformU64(options.heavy_tenants));
+    const std::uint64_t size = sample_size(heavy_base[tenant]);
+    trace.AddInsert(next_id, size);
+    heavy_live.push_back({next_id, size, tenant});
+    heavy_volume += size;
+    ++next_id;
+    ++op;
+  };
+  while (op < options.operations) {
+    if (heavy_volume < heavy_target) {
+      insert_heavy();
+      continue;
+    }
+    if (!heavy_live.empty() && rng.Bernoulli(options.heavy_rewrite_p)) {
+      // Rewrite: the tenant frees its block and allocates a fresh one.
+      const std::size_t k = rng.UniformU64(heavy_live.size());
+      const HeavyObject victim = heavy_live[k];
+      heavy_live[k] = heavy_live.back();
+      heavy_live.pop_back();
+      heavy_volume -= victim.size;
+      trace.AddDelete(victim.id);
+      ++op;
+      if (op >= options.operations) break;
+      const std::uint64_t size = sample_size(heavy_base[victim.tenant]);
+      trace.AddInsert(next_id, size);
+      heavy_live.push_back({next_id, size, victim.tenant});
+      heavy_volume += size;
+      ++next_id;
+      ++op;
+      continue;
+    }
+    // Light churn: many small, ephemeral objects hovering at the light
+    // volume target.
+    if (light_live.volume() < light_target || light_live.empty()) {
+      const auto tenant =
+          static_cast<std::uint32_t>(rng.UniformU64(options.light_tenants));
+      const std::uint64_t size = sample_size(light_base[tenant]);
+      trace.AddInsert(next_id, size);
+      light_live.Add(next_id, size);
+      ++next_id;
+    } else {
+      trace.AddDelete(light_live.RemoveRandom(rng));
+    }
+    ++op;
+  }
+  return trace;
+}
+
 Trace MakeDatabaseBlockTrace(const DatabaseBlockOptions& options) {
   Rng rng(options.seed);
   ZipfDistribution popularity(options.blocks, options.zipf_s);

@@ -60,6 +60,35 @@ struct DatabaseBlockOptions {
 };
 Trace MakeDatabaseBlockTrace(const DatabaseBlockOptions& options);
 
+/// Multi-tenant skew: a few heavy tenants holding most of the live volume
+/// in large, long-lived objects (occasionally rewritten), over many light
+/// tenants churning small, ephemeral objects. Sizes and lifetimes are
+/// tenant-correlated — every tenant draws a characteristic base size and
+/// its objects spread ±25% around it; heavy objects die only through
+/// rewrites, light objects churn constantly. The workload that separates
+/// load-aware routing from static hashing: static placement concentrates
+/// the heavy tenants' volume on whichever shards their hashes land.
+struct MultiTenantOptions {
+  std::uint64_t operations = 10000;
+  std::uint64_t target_live_volume = 1 << 20;
+  std::uint32_t heavy_tenants = 3;
+  std::uint32_t light_tenants = 64;
+  /// Fraction of the live volume the heavy tenants hold together.
+  double heavy_volume_fraction = 0.7;
+  /// Heavy tenants' base sizes are drawn from [heavy_min_size,
+  /// heavy_max_size]; light tenants' from [light_min_size,
+  /// light_max_size].
+  std::uint64_t heavy_min_size = 8192;
+  std::uint64_t heavy_max_size = 32768;
+  std::uint64_t light_min_size = 16;
+  std::uint64_t light_max_size = 512;
+  /// Per-op probability of a heavy rewrite (delete + re-insert at a fresh
+  /// id) once the heavy volume target is met.
+  double heavy_rewrite_p = 0.02;
+  std::uint64_t seed = 42;
+};
+Trace MakeMultiTenantTrace(const MultiTenantOptions& options);
+
 }  // namespace cosr
 
 #endif  // COSR_WORKLOAD_WORKLOAD_GENERATOR_H_

@@ -126,13 +126,16 @@ TEST(ScenarioBatteryTest, EveryScenarioValidatesAtBothSizes) {
   for (const bool smoke : {false, true}) {
     const std::vector<Scenario> battery = MakeScenarioBattery(
         smoke ? ScenarioBatteryOptions::Smoke() : ScenarioBatteryOptions());
-    ASSERT_EQ(battery.size(), 9u);
+    ASSERT_EQ(battery.size(), 10u);
+    bool has_multi_tenant = false;
     for (const Scenario& scenario : battery) {
       EXPECT_FALSE(scenario.name.empty());
       EXPECT_FALSE(scenario.description.empty());
       EXPECT_FALSE(scenario.trace.empty()) << scenario.name;
       EXPECT_TRUE(scenario.trace.Validate().ok()) << scenario.name;
+      if (scenario.name == "multi-tenant-skew") has_multi_tenant = true;
     }
+    EXPECT_TRUE(has_multi_tenant);
   }
 }
 

@@ -54,7 +54,7 @@ Trace TestTrace(std::uint64_t seed, std::uint64_t operations = 4000) {
 /// Replays `trace` through the single-threaded facade and returns its
 /// stats, so the concurrent run has a ground truth to match.
 ShardStats SequentialReplay(const std::string& algorithm,
-                            std::uint32_t shard_count, ShardRouting routing,
+                            std::uint32_t shard_count, RoutingPolicy routing,
                             const Trace& trace, CostMeter* meter) {
   AddressSpace parent;
   if (meter != nullptr) parent.AddListener(meter);
@@ -80,10 +80,10 @@ ShardStats SequentialReplay(const std::string& algorithm,
 void RunConcurrentDifferential(const std::string& algorithm,
                                std::uint32_t shard_count,
                                std::uint32_t worker_threads,
-                               ShardRouting routing, std::uint64_t seed) {
+                               RoutingPolicy routing, std::uint64_t seed) {
   SCOPED_TRACE(algorithm + "/K=" + std::to_string(shard_count) +
                "/W=" + std::to_string(worker_threads) + "/" +
-               ShardRoutingName(routing));
+               RoutingPolicyName(routing));
   const Trace trace = TestTrace(seed);
   const CostBattery battery = MakeDefaultBattery();
 
@@ -153,27 +153,27 @@ void RunConcurrentDifferential(const std::string& algorithm,
 }
 
 TEST(ConcurrentDifferential, CostObliviousK8W4) {
-  RunConcurrentDifferential("cost-oblivious", 8, 4, ShardRouting::kHashId, 11);
+  RunConcurrentDifferential("cost-oblivious", 8, 4, RoutingPolicy::kHashId, 11);
 }
 
 TEST(ConcurrentDifferential, CostObliviousK8W3UnevenPinning) {
-  RunConcurrentDifferential("cost-oblivious", 8, 3, ShardRouting::kHashId, 12);
+  RunConcurrentDifferential("cost-oblivious", 8, 3, RoutingPolicy::kHashId, 12);
 }
 
 TEST(ConcurrentDifferential, FirstFitK8W8) {
-  RunConcurrentDifferential("first-fit", 8, 8, ShardRouting::kHashId, 13);
+  RunConcurrentDifferential("first-fit", 8, 8, RoutingPolicy::kHashId, 13);
 }
 
 TEST(ConcurrentDifferential, CheckpointedK4W4ScopedManagers) {
-  RunConcurrentDifferential("checkpointed", 4, 4, ShardRouting::kHashId, 14);
+  RunConcurrentDifferential("checkpointed", 4, 4, RoutingPolicy::kHashId, 14);
 }
 
 TEST(ConcurrentDifferential, DeamortizedK4W2) {
-  RunConcurrentDifferential("deamortized", 4, 2, ShardRouting::kHashId, 15);
+  RunConcurrentDifferential("deamortized", 4, 2, RoutingPolicy::kHashId, 15);
 }
 
 TEST(ConcurrentDifferential, CostObliviousK4W4SizeClassRouting) {
-  RunConcurrentDifferential("cost-oblivious", 4, 4, ShardRouting::kSizeClass,
+  RunConcurrentDifferential("cost-oblivious", 4, 4, RoutingPolicy::kSizeClass,
                             16);
 }
 
@@ -342,7 +342,7 @@ TEST(ConcurrentMpsc, SizeClassRoutingSurvivesProducerRaces) {
   ConcurrentShardedReallocator::Options options;
   options.shard_count = 8;
   options.worker_threads = 4;
-  options.routing = ShardRouting::kSizeClass;
+  options.routing = RoutingPolicy::kSizeClass;
   options.queue_capacity = 32;  // frequent backpressure under routing_mu_
   std::unique_ptr<ConcurrentShardedReallocator> concurrent;
   ASSERT_TRUE(
@@ -412,7 +412,7 @@ TEST(ConcurrentMpsc, SizeClassTicketedAdmissionKeepsMapOrderUnderRaces) {
   ConcurrentShardedReallocator::Options options;
   options.shard_count = 8;
   options.worker_threads = 4;
-  options.routing = ShardRouting::kSizeClass;
+  options.routing = RoutingPolicy::kSizeClass;
   options.queue_capacity = 8;  // constant backpressure during admission
   std::unique_ptr<ConcurrentShardedReallocator> concurrent;
   ASSERT_TRUE(
@@ -576,7 +576,7 @@ TEST(ConcurrentStatus, SizeClassRoutingValidatesAtSubmit) {
   ConcurrentShardedReallocator::Options options;
   options.shard_count = 4;
   options.worker_threads = 2;
-  options.routing = ShardRouting::kSizeClass;
+  options.routing = RoutingPolicy::kSizeClass;
   std::unique_ptr<ConcurrentShardedReallocator> concurrent;
   ASSERT_TRUE(
       ConcurrentShardedReallocator::Make(spec, options, &concurrent).ok());
@@ -882,13 +882,13 @@ TEST(ConcurrentFactory, SizeClassRoutingRejectsFallibleInserts) {
   ConcurrentShardedReallocator::Options options;
   options.shard_count = 4;
   options.worker_threads = 2;
-  options.routing = ShardRouting::kSizeClass;
+  options.routing = RoutingPolicy::kSizeClass;
   std::unique_ptr<ConcurrentShardedReallocator> concurrent;
   EXPECT_EQ(ConcurrentShardedReallocator::Make(spec, options, &concurrent)
                 .code(),
             StatusCode::kFailedPrecondition);
 
-  options.routing = ShardRouting::kHashId;
+  options.routing = RoutingPolicy::kHashId;
   ASSERT_TRUE(
       ConcurrentShardedReallocator::Make(spec, options, &concurrent).ok());
   // On-shard failures surface through tokens and failed_ops as usual.

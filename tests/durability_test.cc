@@ -131,7 +131,7 @@ TEST_P(ShardedDurabilityTest, PerShardCrashLeavesSiblingsIntact) {
   spec.durability = &hub;
   ShardedReallocator::Options options;
   options.shard_count = shard_count;
-  options.routing = ShardRouting::kHashId;
+  options.routing = RoutingPolicy::kHashId;
   options.subrange_span = kSpan;
   AddressSpace parent;
   std::unique_ptr<ShardedReallocator> facade;

@@ -1,0 +1,413 @@
+// The cross-shard rebalancer, from the planning heuristics up through live
+// migrations on both facades:
+//
+//  * PlanRebalance / SelectRebalanceVictims — pure-function unit tests:
+//    hot/cold selection, thresholds, batch budgets, anti-ping-pong.
+//  * Synchronous migration correctness — after a churn drive with the
+//    rebalancer stepping, every surviving object's bytes still verify
+//    against a SimulatedDisk, the facade's live set matches a model replay
+//    (and a fresh replay of the surviving set), ids resolve through
+//    shard_of across migrations, and migration stats balance exactly
+//    (sum of out-migrations == sum of in-migrations).
+//  * K=1 — the rebalancer never acts on a one-shard facade.
+//  * Concurrent hammer — producers submit churn while the background
+//    rebalancer drains victims between queue cycles; runs under TSan in
+//    CI. Tracked tokens must keep resolving (deletes of migrated ids
+//    succeed), and the accounting must still balance after Flush.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cosr/common/random.h"
+#include "cosr/realloc/factory.h"
+#include "cosr/service/concurrent_sharded_reallocator.h"
+#include "cosr/service/shard_rebalancer.h"
+#include "cosr/service/sharded_reallocator.h"
+#include "cosr/storage/address_space.h"
+#include "cosr/storage/simulated_disk.h"
+#include "cosr/workload/trace.h"
+#include "cosr/workload/workload_generator.h"
+
+namespace cosr {
+namespace {
+
+// ----------------------------------------------------------- PlanRebalance
+
+TEST(PlanRebalanceTest, SingleShardNeverMoves) {
+  RebalanceOptions options;
+  options.min_shard_footprint = 0;
+  EXPECT_FALSE(PlanRebalance({{1000, 10}}, options).has_move);
+  EXPECT_FALSE(PlanRebalance({}, options).has_move);
+}
+
+TEST(PlanRebalanceTest, PicksHottestSourceAndColdestDestination) {
+  RebalanceOptions options;
+  options.hot_footprint_ratio = 1.25;
+  options.min_shard_footprint = 0;
+  // Mean 1000; shard 2 at 2.2x mean is hot, shard 1 is the coldest.
+  const RebalancePlan plan =
+      PlanRebalance({{900, 0}, {300, 0}, {2200, 0}, {600, 0}}, options);
+  ASSERT_TRUE(plan.has_move);
+  EXPECT_EQ(plan.hot, 2u);
+  EXPECT_EQ(plan.cold, 1u);
+  // Drain down to the mean (it exceeds the cold frontier).
+  EXPECT_EQ(plan.target_footprint, 1000u);
+}
+
+TEST(PlanRebalanceTest, BalancedLoadsProduceNoPlan) {
+  RebalanceOptions options;
+  options.hot_footprint_ratio = 1.25;
+  options.min_shard_footprint = 0;
+  EXPECT_FALSE(
+      PlanRebalance({{1000, 0}, {1100, 0}, {950, 0}, {1050, 0}}, options)
+          .has_move);
+}
+
+TEST(PlanRebalanceTest, MinFootprintSuppressesTinyShards) {
+  RebalanceOptions options;
+  options.hot_footprint_ratio = 1.25;
+  options.min_shard_footprint = 1u << 12;
+  // 2.5x the mean, but the whole facade is tiny: migration overhead would
+  // dwarf the imbalance.
+  EXPECT_FALSE(PlanRebalance({{500, 0}, {100, 0}}, options).has_move);
+}
+
+TEST(PlanRebalanceTest, OpRateDetectionNeedsAboveMeanFootprint) {
+  RebalanceOptions options;
+  options.hot_footprint_ratio = 100.0;  // footprint alone never triggers
+  options.hot_op_ratio = 2.0;
+  options.min_shard_footprint = 0;
+  // Shard 0 sees 900 of the 1300 ops (mean ~433, threshold ~867) and sits
+  // above the mean footprint: drained toward the coldest shard.
+  const RebalancePlan plan =
+      PlanRebalance({{1200, 900}, {800, 100}, {1000, 300}}, options);
+  ASSERT_TRUE(plan.has_move);
+  EXPECT_EQ(plan.hot, 0u);
+  EXPECT_EQ(plan.cold, 1u);
+  // Op-hot but below the mean footprint: moving its objects would not
+  // shrink anything worth shrinking.
+  EXPECT_FALSE(
+      PlanRebalance({{800, 900}, {1200, 100}, {1000, 300}}, options).has_move);
+}
+
+// -------------------------------------------------- SelectRebalanceVictims
+
+std::vector<std::pair<ObjectId, Extent>> Objects(
+    std::initializer_list<std::pair<std::uint64_t, std::uint64_t>>
+        offset_lengths) {
+  std::vector<std::pair<ObjectId, Extent>> objects;
+  ObjectId id = 1;
+  for (const auto& [offset, length] : offset_lengths) {
+    objects.push_back({id++, Extent{offset, length}});
+  }
+  return objects;
+}
+
+TEST(SelectVictimsTest, DrainsFromTheFrontierDown) {
+  RebalanceOptions options;
+  options.max_batch_objects = 32;
+  options.max_batch_bytes = 1u << 16;
+  // Frontier at 1000; target 600: the two highest-offset objects clear it.
+  const auto victims = SelectRebalanceVictims(
+      Objects({{0, 100}, {500, 100}, {800, 100}, {900, 100}}), options,
+      /*src_footprint=*/1000, /*dst_footprint=*/100,
+      /*target_footprint=*/600);
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_EQ(victims[0].second.offset, 900u);  // highest offset first
+  EXPECT_EQ(victims[1].second.offset, 800u);
+}
+
+TEST(SelectVictimsTest, BatchBudgetsCapTheDrain) {
+  RebalanceOptions options;
+  options.max_batch_objects = 2;
+  options.max_batch_bytes = 1u << 16;
+  const auto by_count = SelectRebalanceVictims(
+      Objects({{100, 50}, {200, 50}, {300, 50}, {400, 50}}), options,
+      /*src_footprint=*/450, /*dst_footprint=*/0, /*target_footprint=*/0);
+  EXPECT_EQ(by_count.size(), 2u);
+
+  options.max_batch_objects = 32;
+  options.max_batch_bytes = 60;  // second victim would cross the byte cap
+  const auto by_bytes = SelectRebalanceVictims(
+      Objects({{100, 50}, {200, 50}, {300, 50}, {400, 50}}), options,
+      /*src_footprint=*/450, /*dst_footprint=*/0, /*target_footprint=*/0);
+  EXPECT_EQ(by_bytes.size(), 2u);  // 50 then 100 bytes >= cap: stop after
+}
+
+TEST(SelectVictimsTest, AntiPingPongStopsBeforeInvertingTheImbalance) {
+  RebalanceOptions options;
+  options.max_batch_objects = 32;
+  options.max_batch_bytes = 1u << 16;
+  // Draining the 400-byte object would leave src at ~100 while dst grows
+  // to 500 — a worse imbalance in the other direction. Nothing moves.
+  const auto victims = SelectRebalanceVictims(
+      Objects({{0, 100}, {100, 400}}), options,
+      /*src_footprint=*/500, /*dst_footprint=*/100, /*target_footprint=*/0);
+  EXPECT_TRUE(victims.empty());
+}
+
+// --------------------------------------- synchronous migration correctness
+
+TEST(ShardRebalancerTest, RequiresAMigratableFacade) {
+  AddressSpace parent;
+  ReallocatorSpec spec;
+  spec.algorithm = "first-fit";
+  ShardedReallocator::Options options;
+  options.shard_count = 4;  // hash routing, no map: not migratable
+  std::unique_ptr<ShardedReallocator> sharded;
+  ASSERT_TRUE(ShardedReallocator::Make(spec, options, &parent, &sharded).ok());
+  EXPECT_FALSE(sharded->migratable());
+#ifdef GTEST_HAS_DEATH_TEST
+  EXPECT_DEATH(ShardRebalancer(sharded.get(), RebalanceOptions()),
+               "migratable");
+#endif
+}
+
+/// Drives a churn trace through a migratable K-shard facade with the
+/// rebalancer stepping every 64 requests, then checks the full ledger:
+/// model-exact live set, byte-exact contents, resolvable ids, balanced
+/// migration stats, and equality (as id->size sets) with a fresh replay of
+/// the surviving objects.
+void RunMigrationDifferential(const std::string& algorithm) {
+  SCOPED_TRACE(algorithm);
+  const Trace trace = MakeChurnTrace({.operations = 4000,
+                                      .target_live_volume = 1u << 16,
+                                      .min_size = 1,
+                                      .max_size = 512,
+                                      .distribution = SizeDistribution::kZipf,
+                                      .seed = 21});
+
+  AddressSpace parent;
+  SimulatedDisk disk;
+  parent.AddListener(&disk);
+  ReallocatorSpec spec;
+  spec.algorithm = algorithm;
+  ShardedReallocator::Options options;
+  options.shard_count = 4;
+  options.allow_migration = true;
+  // Keep shard bases small: the SimulatedDisk materializes bytes at
+  // absolute offsets, so the production 1<<44 span would ask for
+  // terabyte buffers.
+  options.subrange_span = 1ull << 22;
+  std::unique_ptr<ShardedReallocator> sharded;
+  ASSERT_TRUE(ShardedReallocator::Make(spec, options, &parent, &sharded).ok());
+
+  RebalanceOptions rebalance;
+  rebalance.hot_footprint_ratio = 1.10;
+  rebalance.min_shard_footprint = 1u << 10;
+  ShardRebalancer rebalancer(sharded.get(), rebalance);
+
+  std::unordered_map<ObjectId, std::uint64_t> model;
+  std::size_t op = 0;
+  for (const Request& request : trace.requests()) {
+    if (request.type == Request::Type::kInsert) {
+      ASSERT_TRUE(sharded->Insert(request.id, request.size).ok());
+      model.emplace(request.id, request.size);
+    } else {
+      ASSERT_TRUE(sharded->Delete(request.id).ok());
+      model.erase(request.id);
+    }
+    if (++op % 64 == 0) rebalancer.Step();
+  }
+  ASSERT_GT(rebalancer.total_migrations(), 0u)
+      << "churn at 1.10x trigger never migrated: the test is vacuous";
+
+  // Live set == model, contents byte-exact, ids resolve to the shard that
+  // actually holds them.
+  const auto snapshot = parent.Snapshot();
+  ASSERT_EQ(snapshot.size(), model.size());
+  for (const auto& [id, extent] : snapshot) {
+    auto it = model.find(id);
+    ASSERT_NE(it, model.end()) << "object " << id;
+    EXPECT_EQ(extent.length, it->second) << "object " << id;
+    EXPECT_TRUE(disk.VerifyObject(id, extent)) << "object " << id;
+    const std::uint32_t shard = sharded->shard_of(id);
+    const std::uint64_t base = shard * options.subrange_span;
+    EXPECT_TRUE(extent.offset >= base &&
+                extent.end() <= base + options.subrange_span)
+        << "object " << id << " resolves to shard " << shard
+        << " but lives at " << ToString(extent);
+  }
+  EXPECT_TRUE(parent.SelfCheck());
+
+  // The migration ledger balances exactly.
+  const ShardStats stats = sharded->Stats();
+  std::uint64_t out = 0, in = 0, out_bytes = 0;
+  for (const ShardStats::PerShard& shard : stats.shards) {
+    out += shard.migrations;
+    in += shard.migrations_in;
+    out_bytes += shard.migrated_bytes;
+  }
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(out, rebalancer.total_migrations());
+  EXPECT_EQ(out_bytes, rebalancer.total_migrated_bytes());
+  EXPECT_EQ(stats.migrations, out);
+  EXPECT_EQ(stats.migrated_bytes, out_bytes);
+
+  // A fresh facade replaying just the surviving set reaches the same live
+  // state (same ids, sizes, volume) — migration changed layout, not state.
+  AddressSpace fresh_parent;
+  SimulatedDisk fresh_disk;
+  fresh_parent.AddListener(&fresh_disk);
+  std::unique_ptr<ShardedReallocator> fresh;
+  ASSERT_TRUE(
+      ShardedReallocator::Make(spec, options, &fresh_parent, &fresh).ok());
+  for (const auto& [id, size] : model) {
+    ASSERT_TRUE(fresh->Insert(id, size).ok());
+  }
+  EXPECT_EQ(fresh->volume(), sharded->volume());
+  const auto fresh_snapshot = fresh_parent.Snapshot();
+  ASSERT_EQ(fresh_snapshot.size(), snapshot.size());
+  for (const auto& [id, extent] : fresh_snapshot) {
+    EXPECT_TRUE(fresh_disk.VerifyObject(id, extent)) << "object " << id;
+  }
+}
+
+TEST(ShardRebalancerTest, MigrationDifferentialFirstFit) {
+  RunMigrationDifferential("first-fit");
+}
+
+TEST(ShardRebalancerTest, MigrationDifferentialCostOblivious) {
+  RunMigrationDifferential("cost-oblivious");
+}
+
+TEST(ShardRebalancerTest, SingleShardFacadeNeverActs) {
+  AddressSpace parent;
+  ReallocatorSpec spec;
+  spec.algorithm = "first-fit";
+  ShardedReallocator::Options options;
+  options.shard_count = 1;
+  options.allow_migration = true;
+  std::unique_ptr<ShardedReallocator> sharded;
+  ASSERT_TRUE(ShardedReallocator::Make(spec, options, &parent, &sharded).ok());
+  RebalanceOptions aggressive;
+  aggressive.hot_footprint_ratio = 1.0;
+  aggressive.min_shard_footprint = 0;
+  ShardRebalancer rebalancer(sharded.get(), aggressive);
+  Rng rng(3);
+  for (ObjectId id = 1; id <= 200; ++id) {
+    ASSERT_TRUE(sharded->Insert(id, 1 + rng.UniformU64(128)).ok());
+    const RebalanceStepReport report = rebalancer.Step();
+    EXPECT_FALSE(report.acted);
+  }
+  EXPECT_EQ(rebalancer.total_migrations(), 0u);
+  EXPECT_EQ(sharded->Stats().migrations, 0u);
+}
+
+// ------------------------------------------------------- concurrent hammer
+
+/// Producers hammer churn into the facade while its workers run the
+/// background rebalancer between queue drains (aggressive trigger, scan
+/// every cycle). TSan-gated in CI: the migration path (inline source
+/// delete under the routing lock + direct destination push) must be clean
+/// against concurrent submission. Afterwards every live id must still
+/// resolve (tracked deletes succeed), and the ledger must balance.
+void RunConcurrentHammer(RoutingPolicy routing) {
+  SCOPED_TRACE(RoutingPolicyName(routing));
+  ReallocatorSpec spec;
+  spec.algorithm = "first-fit";
+  ConcurrentShardedReallocator::Options options;
+  options.shard_count = 8;
+  options.worker_threads = 4;
+  options.routing = routing;
+  options.rebalance = true;
+  options.rebalance_options.hot_footprint_ratio = 1.05;
+  options.rebalance_options.min_shard_footprint = 64;
+  options.rebalance_options.check_interval = 1;
+  std::unique_ptr<ConcurrentShardedReallocator> concurrent;
+  ASSERT_TRUE(ConcurrentShardedReallocator::Make(spec, options, &concurrent)
+                  .ok());
+
+  constexpr int kProducers = 4;
+  constexpr ObjectId kPerProducer = 600;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&concurrent, p] {
+      Rng rng(100 + p);
+      const ObjectId base = 1 + static_cast<ObjectId>(p) * kPerProducer;
+      // Insert a private id range with heavy-tail sizes, churning a third
+      // of it to keep deletes interleaved with the rebalancer's drains.
+      for (ObjectId id = base; id < base + kPerProducer; ++id) {
+        const std::uint64_t size =
+            rng.Bernoulli(0.1) ? 256 + rng.UniformU64(256)
+                               : 1 + rng.UniformU64(32);
+        EXPECT_TRUE(concurrent->Submit(Request::Insert(id, size)).ok());
+        if (id % 3 == 0) {
+          EXPECT_TRUE(concurrent->Submit(Request::Delete(id)).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  concurrent->Flush();
+
+  // Every surviving id still resolves through the placement map, wherever
+  // migration put it: a tracked delete must find it.
+  std::uint64_t resolved = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    const ObjectId base = 1 + static_cast<ObjectId>(p) * kPerProducer;
+    for (ObjectId id = base; id < base + kPerProducer; ++id) {
+      if (id % 3 == 0) continue;  // churned away above
+      ASSERT_TRUE(concurrent->SubmitTracked(Request::Delete(id))->Wait().ok())
+          << "id " << id << " unresolvable after migrations";
+      ++resolved;
+    }
+  }
+  EXPECT_GT(resolved, 0u);
+  concurrent->Flush();
+
+  const ShardStats stats = concurrent->Stats();
+  std::uint64_t out = 0, in = 0, out_bytes = 0;
+  for (const ShardStats::PerShard& shard : stats.shards) {
+    out += shard.migrations;
+    in += shard.migrations_in;
+    out_bytes += shard.migrated_bytes;
+    EXPECT_EQ(shard.failed_ops, 0u);
+  }
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(stats.migrations, out);
+  EXPECT_EQ(stats.migrated_bytes, out_bytes);
+  EXPECT_EQ(concurrent->volume(), 0u);  // everything was deleted
+  for (std::uint32_t s = 0; s < options.shard_count; ++s) {
+    EXPECT_TRUE(concurrent->shard_space(s).SelfCheck());
+  }
+}
+
+TEST(ConcurrentRebalanceHammer, HashRouting) {
+  RunConcurrentHammer(RoutingPolicy::kHashId);
+}
+
+TEST(ConcurrentRebalanceHammer, LeastLoadedRouting) {
+  RunConcurrentHammer(RoutingPolicy::kLeastLoaded);
+}
+
+TEST(ConcurrentRebalanceHammer, SingleShardNeverMigrates) {
+  ReallocatorSpec spec;
+  spec.algorithm = "first-fit";
+  ConcurrentShardedReallocator::Options options;
+  options.shard_count = 1;
+  options.rebalance = true;
+  options.rebalance_options.hot_footprint_ratio = 1.0;
+  options.rebalance_options.min_shard_footprint = 0;
+  options.rebalance_options.check_interval = 1;
+  std::unique_ptr<ConcurrentShardedReallocator> concurrent;
+  ASSERT_TRUE(ConcurrentShardedReallocator::Make(spec, options, &concurrent)
+                  .ok());
+  for (ObjectId id = 1; id <= 500; ++id) {
+    ASSERT_TRUE(concurrent->Submit(Request::Insert(id, 16)).ok());
+  }
+  concurrent->Flush();
+  const ShardStats stats = concurrent->Stats();
+  EXPECT_EQ(stats.migrations, 0u);
+  EXPECT_EQ(stats.shards[0].migrations_in, 0u);
+}
+
+}  // namespace
+}  // namespace cosr

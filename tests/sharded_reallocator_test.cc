@@ -75,8 +75,8 @@ std::string Describe(const Event& e) {
 
 // -------------------------------------------------------- K=1 differential
 
-void RunK1Differential(const std::string& algorithm, ShardRouting routing) {
-  SCOPED_TRACE(algorithm + "/" + ShardRoutingName(routing));
+void RunK1Differential(const std::string& algorithm, RoutingPolicy routing) {
+  SCOPED_TRACE(algorithm + "/" + RoutingPolicyName(routing));
   Trace trace = MakeChurnTrace({.operations = 3000,
                                 .target_live_volume = 1u << 16,
                                 .min_size = 1,
@@ -140,31 +140,31 @@ void RunK1Differential(const std::string& algorithm, ShardRouting routing) {
 }
 
 TEST(ShardedK1Differential, FirstFit) {
-  RunK1Differential("first-fit", ShardRouting::kHashId);
+  RunK1Differential("first-fit", RoutingPolicy::kHashId);
 }
 
 TEST(ShardedK1Differential, BestFit) {
-  RunK1Differential("best-fit", ShardRouting::kSizeClass);
+  RunK1Differential("best-fit", RoutingPolicy::kSizeClass);
 }
 
 TEST(ShardedK1Differential, CostOblivious) {
-  RunK1Differential("cost-oblivious", ShardRouting::kHashId);
+  RunK1Differential("cost-oblivious", RoutingPolicy::kHashId);
 }
 
 TEST(ShardedK1Differential, CostObliviousSizeClassRouting) {
-  RunK1Differential("cost-oblivious", ShardRouting::kSizeClass);
+  RunK1Differential("cost-oblivious", RoutingPolicy::kSizeClass);
 }
 
 TEST(ShardedK1Differential, LogCompact) {
-  RunK1Differential("log-compact", ShardRouting::kHashId);
+  RunK1Differential("log-compact", RoutingPolicy::kHashId);
 }
 
 TEST(ShardedK1Differential, Checkpointed) {
-  RunK1Differential("checkpointed", ShardRouting::kHashId);
+  RunK1Differential("checkpointed", RoutingPolicy::kHashId);
 }
 
 TEST(ShardedK1Differential, Deamortized) {
-  RunK1Differential("deamortized", ShardRouting::kHashId);
+  RunK1Differential("deamortized", RoutingPolicy::kHashId);
 }
 
 // ------------------------------------------------------------- K>1 fuzz
@@ -219,9 +219,9 @@ void CheckAggregates(const ShardedReallocator& sharded,
 }
 
 void RunFuzzChurn(const std::string& algorithm, std::uint32_t shard_count,
-                  ShardRouting routing, std::uint64_t seed) {
+                  RoutingPolicy routing, std::uint64_t seed) {
   SCOPED_TRACE(algorithm + "/K=" + std::to_string(shard_count) + "/" +
-               ShardRoutingName(routing));
+               RoutingPolicyName(routing));
   constexpr std::uint64_t kSpan = 1ull << 32;
 
   AddressSpace parent;
@@ -278,43 +278,43 @@ void RunFuzzChurn(const std::string& algorithm, std::uint32_t shard_count,
 }
 
 TEST(ShardedFuzz, CostObliviousK4Hash) {
-  RunFuzzChurn("cost-oblivious", 4, ShardRouting::kHashId, 101);
+  RunFuzzChurn("cost-oblivious", 4, RoutingPolicy::kHashId, 101);
 }
 
 TEST(ShardedFuzz, CostObliviousK4SizeClass) {
-  RunFuzzChurn("cost-oblivious", 4, ShardRouting::kSizeClass, 102);
+  RunFuzzChurn("cost-oblivious", 4, RoutingPolicy::kSizeClass, 102);
 }
 
 TEST(ShardedFuzz, FirstFitK16Hash) {
-  RunFuzzChurn("first-fit", 16, ShardRouting::kHashId, 103);
+  RunFuzzChurn("first-fit", 16, RoutingPolicy::kHashId, 103);
 }
 
 TEST(ShardedFuzz, CheckpointedK4Hash) {
-  RunFuzzChurn("checkpointed", 4, ShardRouting::kHashId, 104);
+  RunFuzzChurn("checkpointed", 4, RoutingPolicy::kHashId, 104);
 }
 
 // ------------------------------------------------------ routing properties
 
-TEST(ShardRoutingTest, SizeClassSegregatesClasses) {
+TEST(RoutingPolicyTest, SizeClassSegregatesClasses) {
   constexpr std::uint32_t kShards = 4;
   for (std::uint64_t size : {1ull, 2ull, 3ull, 8ull, 100ull, 4096ull,
                              65535ull, 1ull << 40}) {
     const std::uint32_t expected =
         static_cast<std::uint32_t>((FloorLog2(size) + 1) % kShards);
     for (ObjectId id : {0ull, 1ull, 999ull}) {
-      EXPECT_EQ(RouteToShard(ShardRouting::kSizeClass, kShards, id, size),
+      EXPECT_EQ(RouteToShard(RoutingPolicy::kSizeClass, kShards, id, size),
                 expected)
           << "size " << size;
     }
   }
 }
 
-TEST(ShardRoutingTest, HashSpraysRoughlyUniformly) {
+TEST(RoutingPolicyTest, HashSpraysRoughlyUniformly) {
   constexpr std::uint32_t kShards = 16;
   std::vector<int> hits(kShards, 0);
   for (ObjectId id = 0; id < 16000; ++id) {
     const std::uint32_t s =
-        RouteToShard(ShardRouting::kHashId, kShards, id, 1);
+        RouteToShard(RoutingPolicy::kHashId, kShards, id, 1);
     ASSERT_LT(s, kShards);
     ++hits[s];
   }
@@ -429,7 +429,7 @@ TEST(ShardedFactoryTest, ShardCountKnobBuildsFacade) {
   ReallocatorSpec spec;
   spec.algorithm = "cost-oblivious";
   spec.shard_count = 4;
-  spec.routing = ShardRouting::kSizeClass;
+  spec.routing = RoutingPolicy::kSizeClass;
   std::unique_ptr<Reallocator> realloc;
   ASSERT_TRUE(MakeReallocator(spec, &space, &realloc).ok());
   EXPECT_EQ(std::string(realloc->name()), "sharded[4,size-class]/cost-oblivious");

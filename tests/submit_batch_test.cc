@@ -75,7 +75,7 @@ class EventRecorder : public SpaceListener {
 
 std::unique_ptr<ConcurrentShardedReallocator> MakeFacade(
     std::uint32_t shard_count, std::uint32_t worker_threads,
-    ShardRouting routing, SubmitPath path) {
+    RoutingPolicy routing, SubmitPath path) {
   ReallocatorSpec spec;
   spec.algorithm = "cost-oblivious";
   ConcurrentShardedReallocator::Options options;
@@ -104,7 +104,7 @@ void DriveBatches(ConcurrentShardedReallocator* facade, const Trace& trace) {
 }
 
 /// The single-threaded facade's ground truth for the same trace.
-ShardStats SequentialReplay(std::uint32_t shard_count, ShardRouting routing,
+ShardStats SequentialReplay(std::uint32_t shard_count, RoutingPolicy routing,
                             const Trace& trace) {
   AddressSpace parent;
   ReallocatorSpec spec;
@@ -151,11 +151,11 @@ void ExpectShardStatsEqual(const ShardStats& actual,
 /// outcome is pinned by the stats equality above (a single producer's
 /// per-shard op order is deterministic on both paths).
 void RunBatchDifferential(std::uint32_t shard_count,
-                          std::uint32_t worker_threads, ShardRouting routing,
+                          std::uint32_t worker_threads, RoutingPolicy routing,
                           std::uint64_t seed) {
   SCOPED_TRACE("K=" + std::to_string(shard_count) +
                "/W=" + std::to_string(worker_threads) + "/" +
-               ShardRoutingName(routing));
+               RoutingPolicyName(routing));
   const Trace trace = TestTrace(seed);
   const ShardStats expected = SequentialReplay(shard_count, routing, trace);
 
@@ -204,7 +204,7 @@ void RunBatchDifferential(std::uint32_t shard_count,
   for (const ShardStats::PerShard& shard : batched_stats.shards) {
     remote_ops += shard.batched_ops;
   }
-  if (routing == ShardRouting::kHashId) {
+  if (routing == RoutingPolicy::kHashId) {
     EXPECT_EQ(remote_ops, trace.requests().size());
   } else {
     EXPECT_EQ(remote_ops, 0u);
@@ -228,27 +228,27 @@ void RunBatchDifferential(std::uint32_t shard_count,
 }
 
 TEST(SubmitBatchDifferential, K1W1Hash) {
-  RunBatchDifferential(1, 1, ShardRouting::kHashId, 31);
+  RunBatchDifferential(1, 1, RoutingPolicy::kHashId, 31);
 }
 
 TEST(SubmitBatchDifferential, K4W1Hash) {
-  RunBatchDifferential(4, 1, ShardRouting::kHashId, 32);
+  RunBatchDifferential(4, 1, RoutingPolicy::kHashId, 32);
 }
 
 TEST(SubmitBatchDifferential, K4W4Hash) {
-  RunBatchDifferential(4, 4, ShardRouting::kHashId, 33);
+  RunBatchDifferential(4, 4, RoutingPolicy::kHashId, 33);
 }
 
 TEST(SubmitBatchDifferential, K1W1SizeClass) {
-  RunBatchDifferential(1, 1, ShardRouting::kSizeClass, 34);
+  RunBatchDifferential(1, 1, RoutingPolicy::kSizeClass, 34);
 }
 
 TEST(SubmitBatchDifferential, K4W1SizeClass) {
-  RunBatchDifferential(4, 1, ShardRouting::kSizeClass, 35);
+  RunBatchDifferential(4, 1, RoutingPolicy::kSizeClass, 35);
 }
 
 TEST(SubmitBatchDifferential, K4W4SizeClass) {
-  RunBatchDifferential(4, 4, ShardRouting::kSizeClass, 36);
+  RunBatchDifferential(4, 4, RoutingPolicy::kSizeClass, 36);
 }
 
 // ------------------------------------------------ multi-producer OpBuffers
@@ -394,7 +394,7 @@ TEST(SubmitBatchStatus, TrackedTokensPositionMatchAndRejectionsSkip) {
   ConcurrentShardedReallocator::Options options;
   options.shard_count = 4;
   options.worker_threads = 2;
-  options.routing = ShardRouting::kSizeClass;
+  options.routing = RoutingPolicy::kSizeClass;
   std::unique_ptr<ConcurrentShardedReallocator> concurrent;
   ASSERT_TRUE(
       ConcurrentShardedReallocator::Make(spec, options, &concurrent).ok());

@@ -68,17 +68,43 @@ def check_scenarios(data, path):
         "linear_realloc_ratio", "wall_seconds", "ops_per_sec",
     })
     scenarios = {r["scenario"] for r in data["rows"]}
-    for expected in ("steady-churn", "zipf-churn", "database-block-replay"):
+    for expected in ("steady-churn", "zipf-churn", "database-block-replay",
+                     "multi-tenant-skew"):
         require(expected in scenarios, path, f"scenario '{expected}' missing")
 
 
 def check_sharded(data, path):
-    require(data.get("schema_version") == 1, path, "schema_version != 1")
+    # v2 adds the routing-policy/rebalancer axes (least-loaded routing,
+    # "+rb" cells with migration counts, throughput relative to same-K
+    # hash) and replaces the misleading global_max_end — absolute
+    # shard-base offsets at K>1 — with the max shard-local end.
+    require(data.get("schema_version") == 2, path, "schema_version != 2")
+    require(data.get("smoke") is False, path,
+            "committed artifact is a --smoke run; regenerate full-size")
     check_rows(data, path, {
-        "scenario", "algorithm", "shards", "routing", "facade", "operations",
-        "ops_per_sec", "max_footprint_ratio", "moves", "bytes_moved",
-        "sum_subrange_footprint", "global_max_end",
+        "scenario", "algorithm", "shards", "routing", "rebalancer", "facade",
+        "operations", "ops_per_sec", "ops_vs_hash", "max_footprint_ratio",
+        "moves", "bytes_moved", "migrations", "migrated_bytes",
+        "sum_subrange_footprint", "max_shard_end",
     })
+    scenarios = {r["scenario"] for r in data["rows"]}
+    for expected in ("steady-churn", "zipf-churn", "database-block-replay",
+                     "multi-tenant-skew"):
+        require(expected in scenarios, path, f"scenario '{expected}' missing")
+    cells = {(r["shards"], r["routing"], r["rebalancer"])
+             for r in data["rows"]}
+    for cell in ((16, "hash", False), (16, "least-loaded", False),
+                 (16, "hash", True), (16, "least-loaded", True),
+                 (1, "hash", True)):
+        require(cell in cells, path,
+                f"K={cell[0]} routing={cell[1]} rebalancer={cell[2]} "
+                "row missing")
+    for row in data["rows"]:
+        if row["shards"] == 1 or not row["rebalancer"]:
+            require(row["migrations"] == 0, path,
+                    f"row {row['scenario']}/{row['algorithm']}"
+                    f"/K={row['shards']}/{row['routing']}: migrations "
+                    "without an active rebalancer (or on one shard)")
 
 
 def check_concurrent(data, path):
@@ -125,7 +151,9 @@ def check_concurrent(data, path):
 
 
 def check_durability(data, path):
-    require(data.get("schema_version") == 1, path, "schema_version != 1")
+    # v2 adds the migration-active fuzz cells: a "rebalance" flag and the
+    # migration count per fuzz row.
+    require(data.get("schema_version") == 2, path, "schema_version != 2")
     require(data.get("smoke") is False, path,
             "committed artifact is a --smoke run; regenerate full-size")
     # The PR's acceptance bar, re-asserted on the committed artifact: at
@@ -144,10 +172,10 @@ def check_durability(data, path):
     recovery_keys = {"operations", "log_records", "log_bytes",
                      "recover_wall_seconds", "records_per_sec",
                      "checkpoint_seq"}
-    fuzz_keys = {"scenario", "algorithm", "facade", "shards", "crash_points",
-                 "boundary_points", "torn_points", "mid_batch_points",
-                 "checkpoints", "log_records", "recovered_records",
-                 "objects_verified"}
+    fuzz_keys = {"scenario", "algorithm", "facade", "shards", "rebalance",
+                 "crash_points", "boundary_points", "torn_points",
+                 "mid_batch_points", "checkpoints", "log_records",
+                 "recovered_records", "migrations", "objects_verified"}
     for section, keys in (("overhead", overhead_keys),
                           ("recovery", recovery_keys), ("fuzz", fuzz_keys)):
         rows = sections.get(section, [])
