@@ -1,20 +1,29 @@
-// E10 — durability tier: what the crash-consistent move log costs and how
-// fast recovery replays it.
+// E10 — durability tier: what the crash-consistent move log costs, what
+// the group-commit fast path buys back, and how fast recovery replays it.
 //
 //   * Log overhead — the same churn trace through a checkpoint-managed
 //     reallocator with no log, a memory-sink log, and a file-backed log
-//     (real write(2), fsync(2) at every checkpoint): throughput, log
-//     growth, and sync counts side by side.
+//     (real write(2)/fsync(2)), each logging sink swept across the
+//     group-commit policy grid: sync-every-checkpoint (the strict PR 6
+//     discipline), coalescing windows of 8 and 32 checkpoints per fsync,
+//     and coalescing + checkpoint-time log compaction.
 //   * Recovery time vs log length — recover complete logs of increasing
-//     length into a fresh space + simulated disk; records/s and MB/s.
+//     length into a fresh space + simulated disk; each length is measured
+//     uncompacted and compacted, and the compacted log must replay
+//     strictly fewer records to the same checkpoint.
 //   * Crash-recovery fuzz — the same deterministic harness the tests gate
 //     on (record-boundary cuts, torn records, mid-batch tears across
-//     scenarios x algorithms x facades), summarized per configuration.
+//     scenarios x algorithms x facades), now including group-commit
+//     policy cells whose crash surface covers unsynced checkpoint records
+//     and retired pre-compaction streams.
 //
 // Writes BENCH_durability.json (run from the repo root to refresh the
 // committed artifact). --smoke shrinks sizes and asserts via exit code
-// that every injected crash point recovered exactly and that the run
-// injected >= 1000 points in total — the CI durability gate.
+// that every injected crash point recovered exactly, that the run
+// injected >= 1000 points in total, that coalescing cells really coalesce
+// (syncs < checkpoints), that compacting cells commit rewrites and fuzz
+// the retired streams, and that compaction shrinks the replayed record
+// count — the CI durability gate.
 //
 // Usage: exp_durability [--smoke]
 
@@ -58,12 +67,18 @@ Trace BenchTrace(std::uint64_t operations) {
 
 struct OverheadRow {
   std::string algorithm;
-  std::string sink;  // "none" | "memory" | "file"
+  std::string sink;    // "none" | "memory" | "file"
+  std::string policy;  // "-" | "sync1" | "gc8" | "gc32" | "gc32+compact"
+  std::uint32_t max_unsynced = 1;
+  std::uint64_t compaction_threshold = 0;
   std::uint64_t operations = 0;
   double wall_seconds = 0;
   std::uint64_t log_records = 0;
   std::uint64_t log_bytes = 0;
   std::uint64_t log_syncs = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t log_compactions = 0;
+  double sync_wall_seconds = 0;
 };
 
 /// Replays `trace` through a single-instance managed reallocator, wired to
@@ -101,54 +116,132 @@ bool DriveSingle(const std::string& algorithm, const Trace& trace,
     row->log_records = hub->total_records();
     row->log_bytes = hub->total_bytes();
     row->log_syncs = hub->total_syncs();
+    row->checkpoints = hub->total_checkpoints();
+    row->log_compactions = hub->total_compactions();
+    row->sync_wall_seconds = hub->total_sync_wall_seconds();
   }
   return true;
 }
 
+struct PolicyCell {
+  const char* label;
+  std::uint32_t max_unsynced;
+  std::uint64_t compaction_threshold;
+};
+
 bool RunOverhead(std::uint64_t operations, std::vector<OverheadRow>* rows) {
   std::printf("\nLog overhead (one churn trace, %llu ops, final state "
-              "checkpointed):\n",
+              "checkpointed; policy = checkpoints coalesced per fsync):\n",
               static_cast<unsigned long long>(operations));
-  bench::Table table({"algorithm", "sink", "ops/s", "overhead", "records",
-                      "log bytes", "bytes/op", "syncs"});
+  bench::Table table({"algorithm", "sink", "policy", "ops/s", "overhead",
+                      "records", "log bytes", "syncs", "ckpts", "compactions",
+                      "sync ms"});
   const Trace trace = BenchTrace(operations);
+  const PolicyCell kPolicies[] = {
+      {"sync1", 1, 0},
+      {"gc8", 8, 0},
+      {"gc32", 32, 0},
+      {"gc32+compact", 32, std::uint64_t{1} << 16},
+  };
   bool ok = true;
   for (const std::string algorithm : {"checkpointed", "deamortized"}) {
     double baseline_wall = 0;
-    for (const std::string sink : {"none", "memory", "file"}) {
+    {
       OverheadRow row;
-      row.sink = sink;
-      if (sink == "none") {
-        ok &= DriveSingle(algorithm, trace, nullptr, &row);
-        baseline_wall = row.wall_seconds;
-      } else if (sink == "memory") {
-        DurabilityHub hub;
-        ok &= DriveSingle(algorithm, trace, &hub, &row);
-      } else {
+      row.sink = "none";
+      row.policy = "-";
+      ok &= DriveSingle(algorithm, trace, nullptr, &row);
+      if (!ok) return false;
+      baseline_wall = row.wall_seconds;
+      table.AddRow({row.algorithm, row.sink, row.policy,
+                    bench::Fmt(static_cast<double>(row.operations) /
+                                   row.wall_seconds / 1e6,
+                               2) +
+                        "M",
+                    "1.00x", "-", "-", "-", "-", "-", "-"});
+      rows->push_back(row);
+    }
+    for (const std::string sink : {"memory", "file"}) {
+      for (const PolicyCell& cell : kPolicies) {
+        OverheadRow row;
+        row.sink = sink;
+        row.policy = cell.label;
+        row.max_unsynced = cell.max_unsynced;
+        row.compaction_threshold = cell.compaction_threshold;
         DurabilityHub::Options hub_options;
-        hub_options.sink_kind = DurabilityHub::SinkKind::kFile;
-        hub_options.file_prefix = "exp_durability_" + algorithm + "_";
+        hub_options.group_commit.max_unsynced_checkpoints = cell.max_unsynced;
+        hub_options.group_commit.compaction_threshold_bytes =
+            cell.compaction_threshold;
+        if (sink == "file") {
+          hub_options.sink_kind = DurabilityHub::SinkKind::kFile;
+          hub_options.file_prefix =
+              "exp_durability_" + algorithm + "_" + cell.label + "_";
+        }
         DurabilityHub hub(hub_options);
         ok &= DriveSingle(algorithm, trace, &hub, &row);
-        std::remove(hub.file_path(0).c_str());
+        if (sink == "file") std::remove(hub.file_path(0).c_str());
+        if (!ok) return false;
+        // Sync accounting invariants: a sync only ever happens at a
+        // checkpoint, and the coalescing window is honored exactly (the
+        // tail of the last window legitimately stays unsynced).
+        if (row.log_syncs > row.checkpoints) {
+          std::printf("OVERHEAD FAILURE %s/%s/%s: more syncs than "
+                      "checkpoints\n",
+                      algorithm.c_str(), sink.c_str(), cell.label);
+          ok = false;
+        }
+        if (row.log_syncs != row.checkpoints / cell.max_unsynced) {
+          std::printf("OVERHEAD FAILURE %s/%s/%s: %llu syncs for %llu "
+                      "checkpoints (window %u)\n",
+                      algorithm.c_str(), sink.c_str(), cell.label,
+                      static_cast<unsigned long long>(row.log_syncs),
+                      static_cast<unsigned long long>(row.checkpoints),
+                      cell.max_unsynced);
+          ok = false;
+        }
+        if (cell.compaction_threshold > 0 && row.log_compactions == 0) {
+          std::printf("OVERHEAD FAILURE %s/%s/%s: compaction never fired\n",
+                      algorithm.c_str(), sink.c_str(), cell.label);
+          ok = false;
+        }
+        const double ops_per_sec =
+            static_cast<double>(row.operations) / row.wall_seconds;
+        const double overhead =
+            baseline_wall > 0 ? row.wall_seconds / baseline_wall : 1.0;
+        table.AddRow({row.algorithm, row.sink, row.policy,
+                      bench::Fmt(ops_per_sec / 1e6, 2) + "M",
+                      bench::Fmt(overhead, 2) + "x",
+                      std::to_string(row.log_records),
+                      std::to_string(row.log_bytes),
+                      std::to_string(row.log_syncs),
+                      std::to_string(row.checkpoints),
+                      std::to_string(row.log_compactions),
+                      bench::Fmt(row.sync_wall_seconds * 1e3, 1)});
+        rows->push_back(row);
       }
-      if (!ok) return false;
-      const double ops_per_sec =
-          static_cast<double>(row.operations) / row.wall_seconds;
-      const double overhead =
-          baseline_wall > 0 ? row.wall_seconds / baseline_wall : 1.0;
-      table.AddRow(
-          {row.algorithm, row.sink, bench::Fmt(ops_per_sec / 1e6, 2) + "M",
-           bench::Fmt(overhead, 2) + "x", std::to_string(row.log_records),
-           std::to_string(row.log_bytes),
-           bench::Fmt(static_cast<double>(row.log_bytes) /
-                          static_cast<double>(row.operations),
-                      1),
-           std::to_string(row.log_syncs)});
-      rows->push_back(row);
     }
   }
   table.Print();
+  // The headline: what coalescing buys on the file sink, where each saved
+  // sync is a real fsync(2).
+  double file_sync1 = 0;
+  double file_gc32 = 0;
+  for (const OverheadRow& row : *rows) {
+    if (row.algorithm != "checkpointed" || row.sink != "file") continue;
+    const double ops_per_sec =
+        static_cast<double>(row.operations) / row.wall_seconds;
+    if (row.policy == "sync1") file_sync1 = ops_per_sec;
+    if (row.policy == "gc32") file_gc32 = ops_per_sec;
+  }
+  if (file_sync1 > 0 && file_gc32 > 0) {
+    std::printf("file-sink group-commit speedup (checkpointed, gc32 vs "
+                "sync1): %.1fx\n",
+                file_gc32 / file_sync1);
+    if (file_gc32 < 5 * file_sync1) {
+      std::printf("OVERHEAD FAILURE: gc32 under 5x sync1 on the file sink\n");
+      ok = false;
+    }
+  }
   return ok;
 }
 
@@ -156,6 +249,7 @@ bool RunOverhead(std::uint64_t operations, std::vector<OverheadRow>* rows) {
 
 struct RecoveryRow {
   std::uint64_t operations = 0;
+  bool compacted = false;
   std::uint64_t log_records = 0;
   std::uint64_t log_bytes = 0;
   double recover_wall_seconds = 0;
@@ -165,49 +259,90 @@ struct RecoveryRow {
 bool RunRecovery(const std::vector<std::uint64_t>& op_counts,
                  std::vector<RecoveryRow>* rows) {
   std::printf("\nRecovery time vs log length (full log, fresh space + "
-              "simulated disk):\n");
-  bench::Table table({"ops", "records", "log bytes", "recover ms",
-                      "records/s", "MB/s"});
+              "simulated disk; compacted = checkpoint-time log "
+              "compaction enabled during the drive):\n");
+  bench::Table table({"ops", "compacted", "records", "log bytes",
+                      "recover ms", "records/s", "MB/s"});
+  bool ok = true;
   for (const std::uint64_t operations : op_counts) {
-    DurabilityHub hub;
-    OverheadRow drive;
-    drive.sink = "memory";
-    if (!DriveSingle("checkpointed", BenchTrace(operations), &hub, &drive)) {
-      return false;
-    }
-    const MemoryLogSink* sink = hub.memory_sink(0);
-    COSR_CHECK(sink != nullptr);
+    std::uint64_t replayed_plain = 0;
+    std::uint64_t replayed_compacted = 0;
+    std::uint64_t seq_plain = 0;
+    std::uint64_t seq_compacted = 0;
+    for (const bool compacted : {false, true}) {
+      DurabilityHub::Options hub_options;
+      if (compacted) {
+        hub_options.group_commit.compaction_threshold_bytes =
+            std::uint64_t{1} << 14;
+      }
+      DurabilityHub hub(hub_options);
+      OverheadRow drive;
+      drive.sink = "memory";
+      if (!DriveSingle("checkpointed", BenchTrace(operations), &hub,
+                       &drive)) {
+        return false;
+      }
+      if (compacted && hub.total_compactions() == 0) {
+        std::printf("RECOVERY FAILURE: compaction never fired at %llu ops\n",
+                    static_cast<unsigned long long>(operations));
+        ok = false;
+      }
+      const MemoryLogSink* sink = hub.memory_sink(0);
+      COSR_CHECK(sink != nullptr);
 
-    AddressSpace space;
-    SimulatedDisk disk;
-    space.AddListener(&disk);
-    RecoveryResult result;
-    const auto start = Clock::now();
-    const Status recovered = RecoveryManager::Recover(
-        sink->data().data(), sink->data().size(), &space, &result);
-    const double wall = Seconds(start);
-    if (!recovered.ok() || result.torn_tail || result.records_discarded != 0) {
-      std::printf("full-log recovery failed: %s\n",
-                  recovered.ToString().c_str());
-      return false;
+      AddressSpace space;
+      SimulatedDisk disk;
+      space.AddListener(&disk);
+      RecoveryResult result;
+      const auto start = Clock::now();
+      const Status recovered = RecoveryManager::Recover(
+          sink->data().data(), sink->data().size(), &space, &result);
+      const double wall = Seconds(start);
+      if (!recovered.ok() || result.torn_tail ||
+          result.records_discarded != 0) {
+        std::printf("full-log recovery failed: %s\n",
+                    recovered.ToString().c_str());
+        return false;
+      }
+      RecoveryRow row;
+      row.operations = operations;
+      row.compacted = compacted;
+      row.log_records = result.records_replayed;
+      row.log_bytes = sink->size();
+      row.recover_wall_seconds = wall;
+      row.checkpoint_seq = result.checkpoint_seq;
+      rows->push_back(row);
+      (compacted ? replayed_compacted : replayed_plain) = row.log_records;
+      (compacted ? seq_compacted : seq_plain) = row.checkpoint_seq;
+      table.AddRow(
+          {std::to_string(operations), compacted ? "yes" : "no",
+           std::to_string(row.log_records), std::to_string(row.log_bytes),
+           bench::Fmt(wall * 1e3, 2),
+           bench::Fmt(static_cast<double>(row.log_records) / wall / 1e6, 2) +
+               "M",
+           bench::Fmt(static_cast<double>(row.log_bytes) / wall / 1e6, 1)});
     }
-    RecoveryRow row;
-    row.operations = operations;
-    row.log_records = result.records_replayed;
-    row.log_bytes = sink->size();
-    row.recover_wall_seconds = wall;
-    row.checkpoint_seq = result.checkpoint_seq;
-    rows->push_back(row);
-    table.AddRow({std::to_string(operations), std::to_string(row.log_records),
-                  std::to_string(row.log_bytes), bench::Fmt(wall * 1e3, 2),
-                  bench::Fmt(static_cast<double>(row.log_records) / wall / 1e6,
-                             2) +
-                      "M",
-                  bench::Fmt(static_cast<double>(row.log_bytes) / wall / 1e6,
-                             1)});
+    // The point of compaction: the same trace, the same final checkpoint,
+    // strictly fewer records to replay.
+    if (seq_compacted != seq_plain) {
+      std::printf("RECOVERY FAILURE at %llu ops: compacted log recovered "
+                  "seq %llu, plain log seq %llu\n",
+                  static_cast<unsigned long long>(operations),
+                  static_cast<unsigned long long>(seq_compacted),
+                  static_cast<unsigned long long>(seq_plain));
+      ok = false;
+    }
+    if (replayed_compacted >= replayed_plain) {
+      std::printf("RECOVERY FAILURE at %llu ops: compaction did not shrink "
+                  "the replayed record count (%llu vs %llu)\n",
+                  static_cast<unsigned long long>(operations),
+                  static_cast<unsigned long long>(replayed_compacted),
+                  static_cast<unsigned long long>(replayed_plain));
+      ok = false;
+    }
   }
   table.Print();
-  return true;
+  return ok;
 }
 
 // ------------------------------------------------------- crash-recovery fuzz
@@ -215,15 +350,33 @@ bool RunRecovery(const std::vector<std::uint64_t>& op_counts,
 struct FuzzRow {
   CrashFuzzOptions options;
   CrashFuzzReport report;
-  std::string mode;  // "sharded" | "concurrent"
+  std::string mode;            // "sharded" | "concurrent"
+  std::string policy = "sync1";
 };
+
+void FullSizePoints(CrashFuzzOptions* options) {
+  options->operations = 600;
+  options->boundary_points_per_shard = 60;
+  options->torn_points_per_shard = 50;
+  options->mid_batch_points_per_shard = 50;
+}
+
+/// The new policy cells carry the acceptance bar of >= 1000 points each at
+/// full size, so they get a denser injection grid than the legacy cells.
+void FullSizePolicyPoints(CrashFuzzOptions* options) {
+  options->operations = 800;
+  options->boundary_points_per_shard = 120;
+  options->torn_points_per_shard = 100;
+  options->mid_batch_points_per_shard = 100;
+}
 
 bool RunFuzz(bool smoke, std::vector<FuzzRow>* rows,
              std::size_t* total_points) {
   std::printf("\nCrash-recovery fuzz (every injected point must recover the "
               "last-checkpointed state byte-for-byte):\n");
-  bench::Table table({"scenario", "algorithm", "facade", "K", "points",
-                      "boundary", "torn", "mid-batch", "ckpts", "records",
+  bench::Table table({"scenario", "algorithm", "facade", "K", "policy",
+                      "points", "boundary", "torn", "mid-batch", "pre-compact",
+                      "ckpts", "syncs", "compactions", "records",
                       "migrations", "objects verified"});
   const std::vector<std::string> scenarios = {"steady-churn", "ramp-collapse",
                                               "bimodal-churn"};
@@ -237,12 +390,7 @@ bool RunFuzz(bool smoke, std::vector<FuzzRow>* rows,
         row.options.algorithm = algorithm;
         row.options.shard_count = shards;
         row.options.seed = 3;
-        if (!smoke) {
-          row.options.operations = 600;
-          row.options.boundary_points_per_shard = 60;
-          row.options.torn_points_per_shard = 50;
-          row.options.mid_batch_points_per_shard = 50;
-        }
+        if (!smoke) FullSizePoints(&row.options);
         rows->push_back(row);
       }
     }
@@ -266,12 +414,7 @@ bool RunFuzz(bool smoke, std::vector<FuzzRow>* rows,
     row.options.shard_count = 4;
     row.options.rebalance = true;
     row.options.seed = 3;
-    if (!smoke) {
-      row.options.operations = 600;
-      row.options.boundary_points_per_shard = 60;
-      row.options.torn_points_per_shard = 50;
-      row.options.mid_batch_points_per_shard = 50;
-    }
+    if (!smoke) FullSizePoints(&row.options);
     rows->push_back(row);
   }
   {
@@ -283,6 +426,49 @@ bool RunFuzz(bool smoke, std::vector<FuzzRow>* rows,
     row.options.concurrent = true;
     row.options.rebalance = true;
     row.options.seed = 3;
+    rows->push_back(row);
+  }
+  // Group-commit policy cells: coalesced syncs put unsynced checkpoint
+  // records on the crash surface (legal landing points), and compaction
+  // adds cuts inside retired pre-compaction streams and compacted
+  // snapshot prefixes.
+  {
+    FuzzRow row;
+    row.mode = "sharded";
+    row.options.scenario = "steady-churn";
+    row.options.algorithm = "checkpointed";
+    row.options.shard_count = 4;
+    row.options.seed = 3;
+    row.options.group_commit.max_unsynced_checkpoints = 4;
+    row.policy = "gc4";
+    if (!smoke) FullSizePolicyPoints(&row.options);
+    rows->push_back(row);
+  }
+  {
+    FuzzRow row;
+    row.mode = "sharded";
+    row.options.scenario = "ramp-collapse";
+    row.options.algorithm = "deamortized";
+    row.options.shard_count = 4;
+    row.options.seed = 3;
+    row.options.group_commit.max_unsynced_checkpoints = 8;
+    row.options.group_commit.compaction_threshold_bytes = 2048;
+    row.policy = "gc8+compact";
+    if (!smoke) FullSizePolicyPoints(&row.options);
+    rows->push_back(row);
+  }
+  {
+    FuzzRow row;
+    row.mode = "concurrent";
+    row.options.scenario = "steady-churn";
+    row.options.algorithm = "checkpointed";
+    row.options.shard_count = 4;
+    row.options.concurrent = true;
+    row.options.seed = 3;
+    row.options.group_commit.max_unsynced_checkpoints = 4;
+    row.options.group_commit.compaction_threshold_bytes = 4096;
+    row.policy = "gc4+compact";
+    if (!smoke) FullSizePolicyPoints(&row.options);
     rows->push_back(row);
   }
   for (FuzzRow& row : *rows) {
@@ -306,13 +492,44 @@ bool RunFuzz(bool smoke, std::vector<FuzzRow>* rows,
                   row.mode.c_str(), row.options.shard_count);
       ok = false;
     }
+    // The policy cells must exercise what they claim: coalescing cells
+    // really coalesce, compacting cells really retire streams — and at
+    // full size each policy cell carries the >= 1000 point bar alone.
+    if (!row.options.group_commit.sync_every_checkpoint() &&
+        row.report.syncs >= row.report.checkpoints) {
+      std::printf("FUZZ FAILURE %s cell: coalescing policy never "
+                  "coalesced (%llu syncs, %zu checkpoints)\n",
+                  row.policy.c_str(),
+                  static_cast<unsigned long long>(row.report.syncs),
+                  row.report.checkpoints);
+      ok = false;
+    }
+    if (row.options.group_commit.compaction_threshold_bytes > 0 &&
+        (row.report.compactions == 0 ||
+         row.report.pre_compaction_points == 0)) {
+      std::printf("FUZZ FAILURE %s cell: compacting policy retired no "
+                  "streams (%llu compactions, %zu pre-compaction points)\n",
+                  row.policy.c_str(),
+                  static_cast<unsigned long long>(row.report.compactions),
+                  row.report.pre_compaction_points);
+      ok = false;
+    }
+    if (!smoke && row.policy != "sync1" && row.report.crash_points < 1000) {
+      std::printf("FUZZ FAILURE %s cell: %zu crash points, acceptance "
+                  "needs >= 1000 per policy cell\n",
+                  row.policy.c_str(), row.report.crash_points);
+      ok = false;
+    }
     table.AddRow({row.options.scenario, row.options.algorithm, row.mode,
-                  std::to_string(row.options.shard_count),
+                  std::to_string(row.options.shard_count), row.policy,
                   std::to_string(row.report.crash_points),
                   std::to_string(row.report.boundary_points),
                   std::to_string(row.report.torn_points),
                   std::to_string(row.report.mid_batch_points),
+                  std::to_string(row.report.pre_compaction_points),
                   std::to_string(row.report.checkpoints),
+                  std::to_string(row.report.syncs),
+                  std::to_string(row.report.compactions),
                   std::to_string(row.report.log_records),
                   std::to_string(row.report.migrations),
                   std::to_string(row.report.objects_verified)});
@@ -334,7 +551,7 @@ void WriteJson(const std::vector<OverheadRow>& overhead,
     return;
   }
   std::fprintf(json,
-               "{\n  \"schema_version\": 2,\n  \"smoke\": %s,\n"
+               "{\n  \"schema_version\": 3,\n  \"smoke\": %s,\n"
                "  \"total_crash_points\": %zu,\n  \"rows\": [\n",
                smoke ? "true" : "false", total_points);
   bool first = true;
@@ -342,25 +559,35 @@ void WriteJson(const std::vector<OverheadRow>& overhead,
     std::fprintf(
         json,
         "%s    {\"section\": \"overhead\", \"algorithm\": \"%s\", "
-        "\"sink\": \"%s\", \"operations\": %llu, \"wall_seconds\": %.6f, "
-        "\"ops_per_sec\": %.1f, \"log_records\": %llu, \"log_bytes\": %llu, "
-        "\"log_syncs\": %llu}",
+        "\"sink\": \"%s\", \"policy\": \"%s\", "
+        "\"max_unsynced_checkpoints\": %u, "
+        "\"compaction_threshold_bytes\": %llu, \"operations\": %llu, "
+        "\"wall_seconds\": %.6f, \"ops_per_sec\": %.1f, "
+        "\"log_records\": %llu, \"log_bytes\": %llu, \"log_syncs\": %llu, "
+        "\"checkpoints\": %llu, \"log_compactions\": %llu, "
+        "\"sync_wall_seconds\": %.6f}",
         first ? "" : ",\n", row.algorithm.c_str(), row.sink.c_str(),
+        row.policy.c_str(), row.max_unsynced,
+        static_cast<unsigned long long>(row.compaction_threshold),
         static_cast<unsigned long long>(row.operations), row.wall_seconds,
         static_cast<double>(row.operations) / row.wall_seconds,
         static_cast<unsigned long long>(row.log_records),
         static_cast<unsigned long long>(row.log_bytes),
-        static_cast<unsigned long long>(row.log_syncs));
+        static_cast<unsigned long long>(row.log_syncs),
+        static_cast<unsigned long long>(row.checkpoints),
+        static_cast<unsigned long long>(row.log_compactions),
+        row.sync_wall_seconds);
     first = false;
   }
   for (const RecoveryRow& row : recovery) {
     std::fprintf(
         json,
         "%s    {\"section\": \"recovery\", \"operations\": %llu, "
-        "\"log_records\": %llu, \"log_bytes\": %llu, "
+        "\"compacted\": %s, \"log_records\": %llu, \"log_bytes\": %llu, "
         "\"recover_wall_seconds\": %.6f, \"records_per_sec\": %.1f, "
         "\"checkpoint_seq\": %llu}",
         first ? "" : ",\n", static_cast<unsigned long long>(row.operations),
+        row.compacted ? "true" : "false",
         static_cast<unsigned long long>(row.log_records),
         static_cast<unsigned long long>(row.log_bytes),
         row.recover_wall_seconds,
@@ -373,17 +600,22 @@ void WriteJson(const std::vector<OverheadRow>& overhead,
         json,
         "%s    {\"section\": \"fuzz\", \"scenario\": \"%s\", "
         "\"algorithm\": \"%s\", \"facade\": \"%s\", \"shards\": %u, "
-        "\"rebalance\": %s, \"crash_points\": %zu, \"boundary_points\": %zu, "
-        "\"torn_points\": %zu, \"mid_batch_points\": %zu, "
-        "\"checkpoints\": %zu, \"log_records\": %llu, \"log_bytes\": %llu, "
+        "\"rebalance\": %s, \"policy\": \"%s\", \"crash_points\": %zu, "
+        "\"boundary_points\": %zu, \"torn_points\": %zu, "
+        "\"mid_batch_points\": %zu, \"pre_compaction_points\": %zu, "
+        "\"checkpoints\": %zu, \"syncs\": %llu, \"compactions\": %llu, "
+        "\"log_records\": %llu, \"log_bytes\": %llu, "
         "\"recovered_records\": %llu, \"migrations\": %llu, "
         "\"objects_verified\": %zu}",
         first ? "" : ",\n", row.options.scenario.c_str(),
         row.options.algorithm.c_str(), row.mode.c_str(),
         row.options.shard_count, row.options.rebalance ? "true" : "false",
-        row.report.crash_points,
+        row.policy.c_str(), row.report.crash_points,
         row.report.boundary_points, row.report.torn_points,
-        row.report.mid_batch_points, row.report.checkpoints,
+        row.report.mid_batch_points, row.report.pre_compaction_points,
+        row.report.checkpoints,
+        static_cast<unsigned long long>(row.report.syncs),
+        static_cast<unsigned long long>(row.report.compactions),
         static_cast<unsigned long long>(row.report.log_records),
         static_cast<unsigned long long>(row.report.log_bytes),
         static_cast<unsigned long long>(row.report.recovered_records),
@@ -406,9 +638,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
   cosr::bench::Banner(
-      "E10: crash-consistent move log + recovery (Section 3.1 durability)",
-      "journaling every move batch costs O(1) amortized bytes per op; any "
-      "crash recovers exactly the last-checkpointed map");
+      "E10: crash-consistent move log + group-commit fast path (Section 3.1 "
+      "durability)",
+      "journaling every move batch costs O(1) amortized bytes per op; sync "
+      "coalescing amortizes the fsync, compaction bounds replay; any crash "
+      "recovers exactly a checkpointed map");
 
   std::vector<cosr::OverheadRow> overhead;
   std::vector<cosr::RecoveryRow> recovery;
@@ -427,6 +661,7 @@ int main(int argc, char** argv) {
   cosr::bench::Verdict(
       ok,
       "every injected crash point recovered byte-for-byte (>= 1000 points); "
-      "log overhead and recovery throughput recorded");
+      "group-commit cells coalesced and compacted as configured; compaction "
+      "shrank replay; log overhead and recovery throughput recorded");
   return ok ? 0 : 1;
 }

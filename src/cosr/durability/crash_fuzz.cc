@@ -84,14 +84,14 @@ Status VerifyCrashPoint(const std::vector<std::uint8_t>& surviving,
   return Status::Ok();
 }
 
-/// Enumerates and verifies this shard's crash points: evenly spaced clean
-/// boundary cuts, seeded torn-record cuts, and seeded cuts inside
-/// move-batch payloads.
-Status FuzzShardLog(const CrashFuzzOptions& options, std::uint32_t shard,
-                    const MemoryLogSink& sink,
-                    const std::map<std::uint64_t, StateSnapshot>& expected,
-                    CrashFuzzReport* report) {
-  const FaultInjector injector(sink);
+/// Enumerates and verifies one log stream's crash points: evenly spaced
+/// clean boundary cuts, seeded torn-record cuts, and seeded cuts inside
+/// move-batch payloads. `salt` varies the torn-cut sampling per stream
+/// (live vs retired pre-compaction streams of the same shard).
+Status FuzzStream(const CrashFuzzOptions& options, std::uint32_t shard,
+                  std::uint64_t salt, const FaultInjector& injector,
+                  const std::map<std::uint64_t, StateSnapshot>& expected,
+                  CrashFuzzReport* report) {
   const std::size_t n = injector.record_count();
   if (n == 0) return Status::Ok();
 
@@ -113,7 +113,7 @@ Status FuzzShardLog(const CrashFuzzOptions& options, std::uint32_t shard,
     }
   }
 
-  Rng rng(options.seed * 1000003 + shard);
+  Rng rng(options.seed * 1000003 + shard + salt * 7919);
 
   // Torn cuts: the crash lands inside a record, anywhere in its framing.
   for (std::size_t t = 0; t < options.torn_points_per_shard; ++t) {
@@ -146,6 +146,37 @@ Status FuzzShardLog(const CrashFuzzOptions& options, std::uint32_t shard,
           injector.TornRecord(index, bytes_into), expected, report));
       ++report->mid_batch_points;
     }
+  }
+  return Status::Ok();
+}
+
+/// Fuzzes every crash surface one shard's sink carries: the live stream,
+/// plus every pre-compaction stream a committed rewrite retired — a crash
+/// before a compaction's commit point leaves exactly one of those streams
+/// on the medium, so their cuts are the mid-compaction-rename surface.
+Status FuzzShardLog(const CrashFuzzOptions& options, std::uint32_t shard,
+                    const MemoryLogSink& sink,
+                    const std::map<std::uint64_t, StateSnapshot>& expected,
+                    CrashFuzzReport* report) {
+  if (!sink.CheckIntegrity()) {
+    return Status::Internal("shard " + std::to_string(shard) +
+                            " sink failed its bookkeeping integrity check");
+  }
+  COSR_RETURN_IF_ERROR(FuzzStream(options, shard, /*salt=*/0,
+                                  FaultInjector(sink), expected, report));
+  std::uint64_t salt = 1;
+  for (const MemoryLogSink::DiscardedStream& stream :
+       sink.discarded_streams()) {
+    const std::size_t before = report->boundary_points +
+                               report->torn_points +
+                               report->mid_batch_points;
+    COSR_RETURN_IF_ERROR(
+        FuzzStream(options, shard, salt++,
+                   FaultInjector(stream.data, stream.record_ends), expected,
+                   report));
+    report->pre_compaction_points += report->boundary_points +
+                                     report->torn_points +
+                                     report->mid_batch_points - before;
   }
   return Status::Ok();
 }
@@ -192,7 +223,9 @@ Status RunCrashFuzz(const CrashFuzzOptions& options, CrashFuzzReport* report) {
   const std::size_t operations =
       std::min(options.operations, trace.requests().size());
 
-  DurabilityHub hub;
+  DurabilityHub::Options hub_options;
+  hub_options.group_commit = options.group_commit;
+  DurabilityHub hub(hub_options);
   ReallocatorSpec spec;
   spec.algorithm = options.algorithm;
   spec.epsilon = options.epsilon;
@@ -326,6 +359,8 @@ Status RunCrashFuzz(const CrashFuzzOptions& options, CrashFuzzReport* report) {
   }
   report->log_records = hub.total_records();
   report->log_bytes = hub.total_bytes();
+  report->syncs = hub.total_syncs();
+  report->compactions = hub.total_compactions();
 
   for (std::uint32_t i = 0; i < hub.log_count(); ++i) {
     const MemoryLogSink* sink = hub.memory_sink(i);

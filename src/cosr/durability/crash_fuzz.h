@@ -6,6 +6,7 @@
 #include <string>
 
 #include "cosr/common/status.h"
+#include "cosr/durability/group_commit.h"
 
 namespace cosr {
 
@@ -50,10 +51,19 @@ struct CrashFuzzOptions {
   std::uint64_t subrange_span = 1ull << 22;
   /// Seed for torn-cut sampling (crash points are deterministic given it).
   std::uint64_t seed = 1;
-  /// Injected points per shard log, by fault mode.
+  /// Injected points per shard log, by fault mode. When compaction
+  /// retires pre-compaction streams, each retired stream is fuzzed with
+  /// the same counts (reported in pre_compaction_points), so the
+  /// mid-compaction crash surface gets full coverage too.
   std::size_t boundary_points_per_shard = 40;
   std::size_t torn_points_per_shard = 30;
   std::size_t mid_batch_points_per_shard = 30;
+  /// Sync-coalescing + compaction policy for every shard's log. The
+  /// default (sync every checkpoint, no compaction) is the PR 6 contract;
+  /// coalescing policies add unsynced checkpoint records to the crash
+  /// surface, and compacting policies add cuts inside retired
+  /// pre-compaction streams and compacted snapshot streams.
+  GroupCommitPolicy group_commit;
 };
 
 struct CrashFuzzReport {
@@ -61,7 +71,12 @@ struct CrashFuzzReport {
   std::size_t boundary_points = 0;
   std::size_t torn_points = 0;
   std::size_t mid_batch_points = 0;
+  /// Of crash_points: points injected into pre-compaction streams a
+  /// committed rewrite retired (the mid-compaction crash surface).
+  std::size_t pre_compaction_points = 0;
   std::size_t checkpoints = 0;  // checkpoint snapshots captured, all shards
+  std::uint64_t syncs = 0;       // physical Sync() calls, all shards
+  std::uint64_t compactions = 0;  // committed log rewrites, all shards
   std::uint64_t log_records = 0;
   std::uint64_t log_bytes = 0;
   std::uint64_t recovered_records = 0;  // records replayed across all points

@@ -16,7 +16,8 @@ MoveLog* DurabilityHub::LogForShard(std::uint32_t shard) {
       COSR_CHECK_MSG(status.ok(), status.ToString());
       entry.sink = std::move(file);
     }
-    entry.log = std::make_unique<MoveLog>(entry.sink.get());
+    entry.log =
+        std::make_unique<MoveLog>(entry.sink.get(), options_.group_commit);
   }
   return entry.log.get();
 }
@@ -67,6 +68,22 @@ std::uint64_t DurabilityHub::total_checkpoints() const {
   std::uint64_t sum = 0;
   for (const Entry& e : entries_) {
     if (e.log != nullptr) sum += e.log->checkpoints_logged();
+  }
+  return sum;
+}
+
+std::uint64_t DurabilityHub::total_compactions() const {
+  std::uint64_t sum = 0;
+  for (const Entry& e : entries_) {
+    if (e.log != nullptr) sum += e.log->compactions();
+  }
+  return sum;
+}
+
+double DurabilityHub::total_sync_wall_seconds() const {
+  double sum = 0;
+  for (const Entry& e : entries_) {
+    if (e.sink != nullptr) sum += e.sink->sync_wall_seconds();
   }
   return sum;
 }

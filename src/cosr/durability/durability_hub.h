@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cosr/durability/group_commit.h"
 #include "cosr/durability/log_sink.h"
 #include "cosr/durability/move_log.h"
 
@@ -35,6 +36,10 @@ class DurabilityHub {
     SinkKind sink_kind = SinkKind::kMemory;
     /// kFile only: shard i's log lands at "<file_prefix><i>.cosrlog".
     std::string file_prefix;
+    /// Sync-coalescing + compaction policy applied to every shard's log
+    /// (see GroupCommitPolicy; the default is the strict
+    /// sync-every-checkpoint discipline).
+    GroupCommitPolicy group_commit;
   };
 
   DurabilityHub() = default;
@@ -66,6 +71,9 @@ class DurabilityHub {
   std::uint64_t total_bytes() const;
   std::uint64_t total_syncs() const;
   std::uint64_t total_checkpoints() const;
+  std::uint64_t total_compactions() const;
+  /// Wall seconds spent inside Sync() across every shard's sink.
+  double total_sync_wall_seconds() const;
 
  private:
   struct Entry {

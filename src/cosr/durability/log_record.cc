@@ -108,9 +108,14 @@ void EncodeCheckpointRecord(std::uint64_t seq,
   FinishRecord(start, out);
 }
 
-LogParseResult ParseLogRecord(const std::uint8_t* data, std::size_t size,
-                              std::size_t* offset, LogRecord* record) {
-  const std::size_t start = *offset;
+namespace {
+
+/// Shared frame validation for ParseLogRecord / SkimLogRecord: bounds,
+/// type range, payload length, checksum, and the per-type payload-shape
+/// rules. On kOk sets `*payload_out` (payload length) — the caller decodes
+/// (or skips) the payload at data + start + kLogRecordHeaderBytes.
+LogParseResult CheckRecordFrame(const std::uint8_t* data, std::size_t size,
+                                std::size_t start, std::uint32_t* payload_out) {
   if (start == size) return LogParseResult::kEnd;
   if (start > size || size - start < kLogRecordHeaderBytes) {
     return LogParseResult::kTruncated;
@@ -128,16 +133,11 @@ LogParseResult ParseLogRecord(const std::uint8_t* data, std::size_t size,
   if (GetU32(data + body_end) != Checksum(data + start, body_end - start)) {
     return LogParseResult::kCorrupt;
   }
-
   const std::uint8_t* p = data + start + kLogRecordHeaderBytes;
-  record->type = static_cast<LogRecordType>(type_byte);
-  record->moves.clear();
-  switch (record->type) {
+  switch (static_cast<LogRecordType>(type_byte)) {
     case LogRecordType::kPlace:
     case LogRecordType::kRemove:
       if (payload != 24) return LogParseResult::kCorrupt;
-      record->id = GetU64(p);
-      record->extent = Extent{GetU64(p + 8), GetU64(p + 16)};
       break;
     case LogRecordType::kMoveBatch: {
       if (payload < 4) return LogParseResult::kCorrupt;
@@ -145,6 +145,38 @@ LogParseResult ParseLogRecord(const std::uint8_t* data, std::size_t size,
       if (payload != 4 + std::uint64_t{count} * 32) {
         return LogParseResult::kCorrupt;
       }
+      break;
+    }
+    case LogRecordType::kCheckpoint:
+      if (payload != 8) return LogParseResult::kCorrupt;
+      break;
+  }
+  *payload_out = payload;
+  return LogParseResult::kOk;
+}
+
+}  // namespace
+
+LogParseResult ParseLogRecord(const std::uint8_t* data, std::size_t size,
+                              std::size_t* offset, LogRecord* record) {
+  const std::size_t start = *offset;
+  std::uint32_t payload = 0;
+  const LogParseResult frame = CheckRecordFrame(data, size, start, &payload);
+  if (frame != LogParseResult::kOk) return frame;
+  const std::uint8_t type_byte = data[start];
+  const std::size_t body_end = start + kLogRecordHeaderBytes + payload;
+
+  const std::uint8_t* p = data + start + kLogRecordHeaderBytes;
+  record->type = static_cast<LogRecordType>(type_byte);
+  record->moves.clear();
+  switch (record->type) {
+    case LogRecordType::kPlace:
+    case LogRecordType::kRemove:
+      record->id = GetU64(p);
+      record->extent = Extent{GetU64(p + 8), GetU64(p + 16)};
+      break;
+    case LogRecordType::kMoveBatch: {
+      const std::uint32_t count = GetU32(p);
       record->moves.reserve(count);
       const std::uint8_t* q = p + 4;
       for (std::uint32_t i = 0; i < count; ++i, q += 32) {
@@ -157,11 +189,25 @@ LogParseResult ParseLogRecord(const std::uint8_t* data, std::size_t size,
       break;
     }
     case LogRecordType::kCheckpoint:
-      if (payload != 8) return LogParseResult::kCorrupt;
       record->checkpoint_seq = GetU64(p);
       break;
   }
   *offset = body_end + 4;
+  return LogParseResult::kOk;
+}
+
+LogParseResult SkimLogRecord(const std::uint8_t* data, std::size_t size,
+                             std::size_t* offset, LogRecordType* type,
+                             std::uint64_t* checkpoint_seq) {
+  const std::size_t start = *offset;
+  std::uint32_t payload = 0;
+  const LogParseResult frame = CheckRecordFrame(data, size, start, &payload);
+  if (frame != LogParseResult::kOk) return frame;
+  *type = static_cast<LogRecordType>(data[start]);
+  if (*type == LogRecordType::kCheckpoint) {
+    *checkpoint_seq = GetU64(data + start + kLogRecordHeaderBytes);
+  }
+  *offset = start + kLogRecordHeaderBytes + payload + 4;
   return LogParseResult::kOk;
 }
 

@@ -76,6 +76,16 @@ void EncodeCheckpointRecord(std::uint64_t seq, std::vector<std::uint8_t>* out);
 LogParseResult ParseLogRecord(const std::uint8_t* data, std::size_t size,
                               std::size_t* offset, LogRecord* record);
 
+/// Validation-only parse: checks the same framing, checksum, and
+/// payload-shape rules as ParseLogRecord (the two accept and reject
+/// exactly the same streams) but extracts only the record type — and the
+/// sequence number for kCheckpoint — without materializing move payloads.
+/// This is the recovery scan's pass-1 fast path: finding the durable
+/// frontier needs types and checkpoint seqs, not decoded batches.
+LogParseResult SkimLogRecord(const std::uint8_t* data, std::size_t size,
+                             std::size_t* offset, LogRecordType* type,
+                             std::uint64_t* checkpoint_seq);
+
 }  // namespace cosr
 
 #endif  // COSR_DURABILITY_LOG_RECORD_H_

@@ -5,16 +5,94 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <utility>
 
 #include "cosr/common/check.h"
 
 namespace cosr {
 
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Writes all of [p, p+count) to fd, retrying EINTR; CHECK-fails on any
+/// other error (`what` names the file for the message).
+void WriteFully(int fd, const std::uint8_t* p, std::size_t count,
+                const std::string& what) {
+  std::size_t written = 0;
+  while (written < count) {
+    const ssize_t n = ::write(fd, p + written, count - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      COSR_CHECK_MSG(false, "write(" + what + "): " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void LogSink::Sync() {
+  COSR_CHECK_MSG(!rewriting_, "Sync() during a staged rewrite");
+  const auto start = std::chrono::steady_clock::now();
+  SyncImpl();
+  const double stall = SecondsSince(start);
+  ++sync_count_;
+  sync_wall_seconds_ += stall;
+  max_sync_stall_seconds_ = std::max(max_sync_stall_seconds_, stall);
+}
+
+void LogSink::BeginRewrite() {
+  COSR_CHECK_MSG(!rewriting_, "nested BeginRewrite()");
+  BeginRewriteImpl();
+  rewriting_ = true;
+}
+
+void LogSink::CommitRewrite() {
+  COSR_CHECK_MSG(rewriting_, "CommitRewrite() without BeginRewrite()");
+  const auto start = std::chrono::steady_clock::now();
+  CommitRewriteImpl();
+  rewriting_ = false;
+  ++rewrite_count_;
+  rewrite_wall_seconds_ += SecondsSince(start);
+}
+
 void MemoryLogSink::Append(const void* bytes, std::size_t count) {
   const std::uint8_t* p = static_cast<const std::uint8_t*>(bytes);
+  if (rewriting()) {
+    staging_data_.insert(staging_data_.end(), p, p + count);
+    staging_ends_.push_back(staging_data_.size());
+    return;
+  }
   data_.insert(data_.end(), p, p + count);
   record_ends_.push_back(data_.size());
+}
+
+void MemoryLogSink::BeginRewriteImpl() {
+  staging_data_.clear();
+  staging_ends_.clear();
+}
+
+void MemoryLogSink::CommitRewriteImpl() {
+  DiscardedStream discarded;
+  discarded.data = std::move(data_);
+  discarded.record_ends = std::move(record_ends_);
+  discarded.synced_size = synced_size_;
+  discarded_streams_.push_back(std::move(discarded));
+  data_ = std::move(staging_data_);
+  record_ends_ = std::move(staging_ends_);
+  staging_data_.clear();
+  staging_ends_.clear();
+  // The commit is the durability barrier of the rewrite: the staged
+  // stream replaces the old log as a whole, already durable.
+  synced_size_ = data_.size();
 }
 
 std::vector<std::uint8_t> MemoryLogSink::SurvivingPrefix(
@@ -22,6 +100,16 @@ std::vector<std::uint8_t> MemoryLogSink::SurvivingPrefix(
   const std::uint64_t cut =
       std::min<std::uint64_t>(data_.size(), std::max(bytes, synced_size_));
   return std::vector<std::uint8_t>(data_.begin(), data_.begin() + cut);
+}
+
+bool MemoryLogSink::CheckIntegrity() const {
+  std::uint64_t previous = 0;
+  for (const std::uint64_t end : record_ends_) {
+    if (end <= previous) return false;  // empty or overlapping record
+    previous = end;
+  }
+  if (previous != data_.size()) return false;  // bytes outside any record
+  return synced_size_ <= data_.size();
 }
 
 Status FileLogSink::Open(const std::string& path,
@@ -37,27 +125,88 @@ Status FileLogSink::Open(const std::string& path,
 }
 
 FileLogSink::~FileLogSink() {
+  // Clean shutdown keeps the logical stream on disk (no fsync — a crash
+  // from here on is outside the sink's lifetime).
+  if (fd_ >= 0 && rewrite_fd_ < 0 && !buffer_.empty()) FlushBuffer();
+  if (rewrite_fd_ >= 0) {
+    // Destroyed mid-rewrite: the staged file was never committed, so the
+    // original log stands; drop the orphan.
+    ::close(rewrite_fd_);
+    ::unlink((path_ + ".rewrite").c_str());
+  }
   if (fd_ >= 0) ::close(fd_);
 }
 
-void FileLogSink::Append(const void* bytes, std::size_t count) {
-  const std::uint8_t* p = static_cast<const std::uint8_t*>(bytes);
-  std::size_t written = 0;
-  while (written < count) {
-    const ssize_t n = ::write(fd_, p + written, count - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      COSR_CHECK_MSG(false, "write(" + path_ + "): " + std::strerror(errno));
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  size_ += count;
+void FileLogSink::FlushBuffer() {
+  if (buffer_.empty()) return;
+  WriteFully(target_fd(), buffer_.data(), buffer_.size(), path_);
+  buffer_.clear();
 }
 
-void FileLogSink::Sync() {
+void FileLogSink::Append(const void* bytes, std::size_t count) {
+  if (buffer_.size() + count > kBufferBytes) FlushBuffer();
+  if (count > kBufferBytes) {
+    // Oversized record (a huge move batch): bypass the buffer, one write.
+    WriteFully(target_fd(), static_cast<const std::uint8_t*>(bytes), count,
+               path_);
+  } else {
+    const std::uint8_t* p = static_cast<const std::uint8_t*>(bytes);
+    buffer_.insert(buffer_.end(), p, p + count);
+  }
+  if (rewriting()) {
+    staged_size_ += count;
+  } else {
+    size_ += count;
+  }
+}
+
+void FileLogSink::SyncImpl() {
+  FlushBuffer();
   COSR_CHECK_MSG(::fsync(fd_) == 0,
                  "fsync(" + path_ + "): " + std::strerror(errno));
-  ++sync_count_;
+}
+
+void FileLogSink::BeginRewriteImpl() {
+  FlushBuffer();  // pending appends belong to the stream being replaced
+  const std::string tmp = path_ + ".rewrite";
+  rewrite_fd_ =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  COSR_CHECK_MSG(rewrite_fd_ >= 0,
+                 "open(" + tmp + "): " + std::strerror(errno));
+  staged_size_ = 0;
+}
+
+void FileLogSink::CommitRewriteImpl() {
+  FlushBuffer();  // into the staged file
+  const std::string tmp = path_ + ".rewrite";
+  // Order matters: the staged bytes must be durable BEFORE the rename
+  // makes them the log, and the rename must be durable (directory fsync)
+  // before the compaction is reported complete. A crash between any two
+  // steps leaves either the old log or the complete new one.
+  COSR_CHECK_MSG(::fsync(rewrite_fd_) == 0,
+                 "fsync(" + tmp + "): " + std::strerror(errno));
+  COSR_CHECK_MSG(std::rename(tmp.c_str(), path_.c_str()) == 0,
+                 "rename(" + tmp + "): " + std::strerror(errno));
+  const std::size_t slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path_.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {  // best-effort: some filesystems refuse dir fsync
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  ::close(fd_);
+  fd_ = rewrite_fd_;
+  rewrite_fd_ = -1;
+  size_ = staged_size_;
+  staged_size_ = 0;
+}
+
+Status FileLogSink::ReadBack(std::vector<std::uint8_t>* out) {
+  COSR_CHECK_MSG(!rewriting(), "ReadBack() during a staged rewrite");
+  FlushBuffer();
+  return ReadAll(path_, out);
 }
 
 Status FileLogSink::ReadAll(const std::string& path,

@@ -1,9 +1,13 @@
 #include "cosr/durability/move_log.h"
 
+#include <algorithm>
+
 namespace cosr {
 
 void MoveLog::AppendScratch() {
   sink_->Append(scratch_.data(), scratch_.size());
+  unsynced_bytes_ += scratch_.size();
+  bytes_since_compaction_ += scratch_.size();
   scratch_.clear();
   ++records_written_;
 }
@@ -12,6 +16,7 @@ void MoveLog::OnPlace(ObjectId id, const Extent& extent) {
   EncodePlaceRecord(id, extent, &scratch_);
   AppendScratch();
   ++places_logged_;
+  if (policy_.compaction_threshold_bytes > 0) live_[id] = extent;
 }
 
 void MoveLog::OnMove(ObjectId id, const Extent& from, const Extent& to) {
@@ -27,19 +32,65 @@ void MoveLog::OnMoves(const MoveRecord* records, std::size_t count) {
   AppendScratch();
   ++batches_logged_;
   moves_logged_ += count;
+  if (policy_.compaction_threshold_bytes > 0) {
+    for (std::size_t i = 0; i < count; ++i) {
+      live_[records[i].id] = records[i].to;
+    }
+  }
 }
 
 void MoveLog::OnRemove(ObjectId id, const Extent& extent) {
   EncodeRemoveRecord(id, extent, &scratch_);
   AppendScratch();
   ++removes_logged_;
+  if (policy_.compaction_threshold_bytes > 0) live_.erase(id);
 }
 
 void MoveLog::LogCheckpoint(std::uint64_t seq) {
   EncodeCheckpointRecord(seq, &scratch_);
   AppendScratch();
-  sink_->Sync();
   ++checkpoints_logged_;
+  ++unsynced_checkpoints_;
+  const bool count_due = policy_.max_unsynced_checkpoints > 0 &&
+                         unsynced_checkpoints_ >=
+                             policy_.max_unsynced_checkpoints;
+  const bool bytes_due = policy_.max_unsynced_bytes > 0 &&
+                         unsynced_bytes_ >= policy_.max_unsynced_bytes;
+  if (!count_due && !bytes_due) return;
+  sink_->Sync();
+  unsynced_checkpoints_ = 0;
+  unsynced_bytes_ = 0;
+  // Compaction only ever follows a sync: the snapshot it writes must be
+  // the durable state, not a speculative tail.
+  if (policy_.compaction_threshold_bytes > 0 &&
+      bytes_since_compaction_ >= policy_.compaction_threshold_bytes) {
+    Compact(seq);
+  }
+}
+
+void MoveLog::Compact(std::uint64_t seq) {
+  // Deterministic snapshot order (by physical offset — live extents are
+  // disjoint, so offsets are unique) keeps compacted streams reproducible
+  // across runs and replay cache-friendly.
+  compact_scratch_.assign(live_.begin(), live_.end());
+  std::sort(compact_scratch_.begin(), compact_scratch_.end(),
+            [](const std::pair<ObjectId, Extent>& a,
+               const std::pair<ObjectId, Extent>& b) {
+              return a.second.offset < b.second.offset;
+            });
+  sink_->BeginRewrite();
+  for (const auto& entry : compact_scratch_) {
+    EncodePlaceRecord(entry.first, entry.second, &scratch_);
+    sink_->Append(scratch_.data(), scratch_.size());
+    scratch_.clear();
+  }
+  EncodeCheckpointRecord(seq, &scratch_);
+  sink_->Append(scratch_.data(), scratch_.size());
+  scratch_.clear();
+  sink_->CommitRewrite();
+  ++compactions_;
+  last_compaction_live_records_ = compact_scratch_.size();
+  bytes_since_compaction_ = 0;
 }
 
 void RangeScopedListener::OnPlace(ObjectId id, const Extent& extent) {

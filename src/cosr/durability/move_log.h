@@ -3,9 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cosr/common/types.h"
+#include "cosr/durability/group_commit.h"
 #include "cosr/durability/log_record.h"
 #include "cosr/durability/log_sink.h"
 #include "cosr/storage/checkpoint_manager.h"
@@ -23,19 +26,35 @@ namespace cosr {
 ///     one kMoveBatch record with zero changes to the algorithms;
 ///   * attached to the shard's CheckpointManager
 ///     (AttachDurabilityLog), so completing a checkpoint appends a
-///     kCheckpoint record and issues the one Sync() of the discipline —
-///     everything before the record is durable, the tail after it may be
-///     torn away by a crash.
+///     kCheckpoint record and — per the GroupCommitPolicy — issues the one
+///     Sync() of the discipline. With the default policy every checkpoint
+///     syncs; a coalescing policy defers the fsync across up to
+///     max_unsynced_checkpoints / max_unsynced_bytes checkpoints, trading
+///     a bounded durability window for one fsync per group.
+///
+/// Checkpoint-time compaction: when the policy sets
+/// compaction_threshold_bytes, a durable (just-synced) checkpoint whose log
+/// has grown past the threshold triggers Compact() — the log is atomically
+/// rewritten (LogSink::BeginRewrite/CommitRewrite) to one kPlace record per
+/// live extent plus that checkpoint record, so recovery replays bounded
+/// history instead of the full op stream. The live extents come from the
+/// log's own id -> extent map, maintained from the listener stream only
+/// when compaction is enabled (zero cost otherwise).
 ///
 /// RecoveryManager replays the resulting stream (possibly truncated) and
-/// reconstructs the exact map as of the last durable checkpoint.
+/// reconstructs the exact map as of the last checkpoint record that
+/// survived — under coalescing that is at least the last synced one.
 ///
 /// Thread-compatible: one log per shard, driven only by the shard's owning
 /// thread (the facades scope exactly this way).
 class MoveLog final : public SpaceListener, public CheckpointDurabilityLog {
  public:
-  /// `sink` must outlive the log.
-  explicit MoveLog(LogSink* sink) : sink_(sink) {}
+  /// `sink` must outlive the log. The default policy is the strict
+  /// sync-every-checkpoint discipline.
+  explicit MoveLog(LogSink* sink, GroupCommitPolicy policy = {})
+      : sink_(sink), policy_(policy) {
+    scratch_.reserve(kScratchReserveBytes);
+  }
   MoveLog(const MoveLog&) = delete;
   MoveLog& operator=(const MoveLog&) = delete;
 
@@ -46,10 +65,12 @@ class MoveLog final : public SpaceListener, public CheckpointDurabilityLog {
   void OnRemove(ObjectId id, const Extent& extent) override;
 
   // CheckpointDurabilityLog — the checkpoint boundary: append the record,
-  // then Sync. This is the only Sync of the discipline.
+  // then Sync when the policy's coalescing window closes (every call with
+  // the default policy), then compact when the threshold is crossed.
   void LogCheckpoint(std::uint64_t seq) override;
 
   LogSink* sink() const { return sink_; }
+  const GroupCommitPolicy& policy() const { return policy_; }
   std::uint64_t records_written() const { return records_written_; }
   std::uint64_t bytes_written() const { return sink_->size(); }
   std::uint64_t places_logged() const { return places_logged_; }
@@ -57,11 +78,31 @@ class MoveLog final : public SpaceListener, public CheckpointDurabilityLog {
   std::uint64_t batches_logged() const { return batches_logged_; }
   std::uint64_t moves_logged() const { return moves_logged_; }
   std::uint64_t checkpoints_logged() const { return checkpoints_logged_; }
+  /// Committed compactions, and the live-extent count snapshotted by the
+  /// most recent one.
+  std::uint64_t compactions() const { return compactions_; }
+  std::uint64_t last_compaction_live_records() const {
+    return last_compaction_live_records_;
+  }
+  /// Checkpoints logged since the last Sync() (the open coalescing
+  /// window; 0 right after a sync).
+  std::uint32_t unsynced_checkpoints() const { return unsynced_checkpoints_; }
 
  private:
+  /// Pre-sized encode scratch: covers every fixed-size record and typical
+  /// move batches without reallocation (a batch of ~7 moves fits).
+  static constexpr std::size_t kScratchReserveBytes = 256;
+
   void AppendScratch();
+  /// Rewrites the log to live-extent snapshot + checkpoint `seq`. Only
+  /// called right after the sync that made checkpoint `seq` durable, so
+  /// the snapshot IS the durable state — a crash before CommitRewrite
+  /// leaves the old (already durable through seq) log, a crash after it
+  /// leaves the compacted one, and both recover to the same map.
+  void Compact(std::uint64_t seq);
 
   LogSink* sink_;
+  GroupCommitPolicy policy_;
   std::vector<std::uint8_t> scratch_;  // reused per-record encode buffer
   std::uint64_t records_written_ = 0;
   std::uint64_t places_logged_ = 0;
@@ -69,6 +110,15 @@ class MoveLog final : public SpaceListener, public CheckpointDurabilityLog {
   std::uint64_t batches_logged_ = 0;
   std::uint64_t moves_logged_ = 0;
   std::uint64_t checkpoints_logged_ = 0;
+  std::uint32_t unsynced_checkpoints_ = 0;
+  std::uint64_t unsynced_bytes_ = 0;
+  std::uint64_t bytes_since_compaction_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t last_compaction_live_records_ = 0;
+  /// Compaction only: the live id -> extent map mirrored from the event
+  /// stream, and a reused sort buffer for snapshot encoding.
+  std::unordered_map<ObjectId, Extent> live_;
+  std::vector<std::pair<ObjectId, Extent>> compact_scratch_;
 };
 
 /// Scopes a shared parent's event stream down to one shard: forwards the

@@ -87,15 +87,22 @@ Status RecoveryManager::Recover(const std::uint8_t* data, std::size_t size,
   }
   *result = RecoveryResult{};
 
-  // Pass 1: find the durable frontier — the end offset of the last valid
-  // checkpoint record — and count what lies beyond it.
+  // Pass 1: find the recovery frontier — the end offset of the last valid
+  // checkpoint record — and count what lies beyond it. Under a coalescing
+  // GroupCommitPolicy that record may postdate the last physical sync:
+  // still a legal landing point (every checkpoint record delimits a
+  // consistent map), just one the crash was not obliged to preserve. The
+  // skim parse validates exactly like the full parse but skips payload
+  // materialization — frontier hunting needs types and seqs only.
   std::size_t offset = 0;
   std::size_t frontier = 0;
   std::size_t records_to_frontier = 0;
   std::size_t records_seen = 0;
-  LogRecord record;
+  LogRecordType type = LogRecordType::kPlace;
+  std::uint64_t seq = 0;
   for (;;) {
-    const LogParseResult parse = ParseLogRecord(data, size, &offset, &record);
+    const LogParseResult parse = SkimLogRecord(data, size, &offset, &type,
+                                               &seq);
     if (parse == LogParseResult::kEnd) break;
     if (parse == LogParseResult::kTruncated ||
         parse == LogParseResult::kCorrupt) {
@@ -105,16 +112,17 @@ Status RecoveryManager::Recover(const std::uint8_t* data, std::size_t size,
       break;
     }
     ++records_seen;
-    if (record.type == LogRecordType::kCheckpoint) {
+    if (type == LogRecordType::kCheckpoint) {
       frontier = offset;
       records_to_frontier = records_seen;
-      result->checkpoint_seq = record.checkpoint_seq;
+      result->checkpoint_seq = seq;
     }
   }
   result->records_discarded = records_seen - records_to_frontier;
   result->bytes_discarded = size - frontier;
 
   // Pass 2: replay the prefix up to the frontier.
+  LogRecord record;
   std::vector<MovePlan> plans;
   offset = 0;
   while (offset < frontier) {

@@ -12,8 +12,12 @@ namespace cosr {
 
 /// What a recovery pass found and did.
 struct RecoveryResult {
-  /// Sequence number of the last durable checkpoint (0 = none found; the
-  /// space is left empty in that case).
+  /// Sequence number of the last checkpoint record that survived in the
+  /// stream (0 = none found; the space is left empty in that case). With
+  /// the default sync-every-checkpoint policy this is the last durable
+  /// checkpoint; under a coalescing GroupCommitPolicy it is AT LEAST the
+  /// last synced one — unsynced checkpoint records that happened to
+  /// survive the crash are equally consistent landing points.
   std::uint64_t checkpoint_seq = 0;
   /// Records replayed into the space (the prefix through that checkpoint).
   std::size_t records_replayed = 0;

@@ -51,7 +51,10 @@ struct ReallocatorSpec {
   /// events and checkpoints into the hub's per-shard MoveLogs (shard i
   /// writes log i; a single-instance build writes log 0). Requires a
   /// checkpoint-managed algorithm ("checkpointed"/"deamortized") — without
-  /// checkpoint records a log has no recoverable prefix. The hub must
+  /// checkpoint records a log has no recoverable prefix. Sync coalescing
+  /// and checkpoint-time compaction are configured on the hub
+  /// (DurabilityHub::Options::group_commit), not here — the policy is a
+  /// property of the logs, applied uniformly to every shard. The hub must
   /// outlive the built reallocator and its space. Not owned.
   DurabilityHub* durability = nullptr;
 };

@@ -95,6 +95,7 @@ Status ConcurrentShardedReallocator::Make(
       // coordinates), so the log attaches directly — no range filter —
       // and fires exclusively on the shard's owning worker thread.
       MoveLog* log = durability->LogForShard(i);
+      shard.log = log;
       shard.manager->AttachDurabilityLog(log);
       shard.space->AddListener(log);
     }
@@ -619,6 +620,11 @@ ShardStats ConcurrentShardedReallocator::Stats() {
     stats.global_max_end = std::max(stats.global_max_end, max_end[i]);
     stats.migrations += per.migrations;
     stats.migrated_bytes += per.migrated_bytes;
+    stats.log_syncs += per.log_syncs;
+    stats.log_compactions += per.log_compactions;
+    stats.sync_wall_seconds += per.sync_wall_seconds;
+    stats.max_sync_stall_seconds =
+        std::max(stats.max_sync_stall_seconds, per.max_sync_stall_seconds);
     stats.shards.push_back(per);
   }
   return stats;
@@ -851,6 +857,15 @@ void ConcurrentShardedReallocator::ExecuteItem(const Item& item) {
       per.space_footprint = shard.view->footprint();
       per.checkpoints =
           shard.manager != nullptr ? shard.manager->checkpoint_count() : 0;
+      if (shard.log != nullptr) {
+        // Owning worker reading its own shard's sink — single-writer, so
+        // the sync/stall gauges are race-free here.
+        const LogSink& sink = *shard.log->sink();
+        per.log_syncs = sink.sync_count();
+        per.log_compactions = shard.log->compactions();
+        per.sync_wall_seconds = sink.sync_wall_seconds();
+        per.max_sync_stall_seconds = sink.max_sync_stall_seconds();
+      }
       per.ops = snapshot.ops;
       per.failed_ops = snapshot.failed_ops;
       per.peak_reserved_footprint = snapshot.peak_reserved_footprint;

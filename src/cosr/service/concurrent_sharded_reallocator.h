@@ -321,6 +321,10 @@ class ConcurrentShardedReallocator final : public Reallocator {
     std::unique_ptr<CheckpointManager> manager;  // managed algorithms only
     std::unique_ptr<SubSpaceView> view;
     std::unique_ptr<Reallocator> inner;
+    /// The shard's durability log (hub-owned; null without a hub). Read
+    /// only by the owning worker (the kSnapshot marker surfaces its sync
+    /// counters into Stats() race-free).
+    class MoveLog* log = nullptr;
     std::uint32_t worker = 0;
     /// The shard's lock-free remote queue: producers push op batches
     /// (SubmitMany, hash routing), only the owning worker takes. Behind a

@@ -28,6 +28,17 @@ struct ShardStats {
     /// Largest placed end within the sub-range (local coordinates).
     std::uint64_t space_footprint = 0;
     std::uint64_t checkpoints = 0;  // 0 when the shard has no manager
+    /// Durability-log sync accounting (zero when the facade carries no
+    /// DurabilityHub): physical Sync() calls on the shard's log sink —
+    /// under a coalescing GroupCommitPolicy log_syncs < checkpoints — plus
+    /// committed checkpoint-time compactions and the fsync-stall gauges
+    /// (total wall seconds inside Sync, and the worst single stall).
+    /// Single-writer like everything else here: the shard's owner reads
+    /// its own sink; merged on read into the facade aggregates.
+    std::uint64_t log_syncs = 0;
+    std::uint64_t log_compactions = 0;
+    double sync_wall_seconds = 0.0;
+    double max_sync_stall_seconds = 0.0;
     /// Request-level counters (concurrent facade only; zero elsewhere).
     std::uint64_t ops = 0;
     std::uint64_t failed_ops = 0;
@@ -79,6 +90,12 @@ struct ShardStats {
   /// counters).
   std::uint64_t migrations = 0;
   std::uint64_t migrated_bytes = 0;
+  /// Facade-wide durability-sync totals: summed log syncs / compactions /
+  /// sync wall seconds, and the worst single fsync stall across shards.
+  std::uint64_t log_syncs = 0;
+  std::uint64_t log_compactions = 0;
+  double sync_wall_seconds = 0.0;
+  double max_sync_stall_seconds = 0.0;
 };
 
 /// One shard's hot-path accumulator block, sized and aligned to its own

@@ -64,6 +64,7 @@ Status ShardedReallocator::Make(const ReallocatorSpec& inner_spec,
       // shard's own manager instead (the parent's OnCheckpoint fan-out
       // cannot attribute a checkpoint to a shard).
       MoveLog* log = durability->LogForShard(i);
+      shard.log = log;
       shard.manager->AttachDurabilityLog(log);
       const std::uint64_t base = std::uint64_t{i} * options.subrange_span;
       sharded->log_scopes_.push_back(std::make_unique<RangeScopedListener>(
@@ -233,6 +234,13 @@ ShardStats ShardedReallocator::Stats() const {
     per.space_footprint = shard.view->footprint();
     per.checkpoints =
         shard.manager != nullptr ? shard.manager->checkpoint_count() : 0;
+    if (shard.log != nullptr) {
+      const LogSink& sink = *shard.log->sink();
+      per.log_syncs = sink.sync_count();
+      per.log_compactions = shard.log->compactions();
+      per.sync_wall_seconds = sink.sync_wall_seconds();
+      per.max_sync_stall_seconds = sink.max_sync_stall_seconds();
+    }
     per.ops = counters_[i].ops;
     per.migrations = counters_[i].migrations;
     per.migrated_bytes = counters_[i].migrated_bytes;
@@ -243,6 +251,11 @@ ShardStats ShardedReallocator::Stats() const {
     stats.max_shard_end = std::max(stats.max_shard_end, per.space_footprint);
     stats.migrations += per.migrations;
     stats.migrated_bytes += per.migrated_bytes;
+    stats.log_syncs += per.log_syncs;
+    stats.log_compactions += per.log_compactions;
+    stats.sync_wall_seconds += per.sync_wall_seconds;
+    stats.max_sync_stall_seconds =
+        std::max(stats.max_sync_stall_seconds, per.max_sync_stall_seconds);
     stats.shards.push_back(per);
   }
   stats.global_max_end = parent_->footprint();

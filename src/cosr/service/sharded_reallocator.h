@@ -138,6 +138,9 @@ class ShardedReallocator final : public Reallocator {
     std::unique_ptr<CheckpointManager> manager;  // managed algorithms only
     std::unique_ptr<SubSpaceView> view;
     std::unique_ptr<Reallocator> inner;
+    /// The shard's durability log (hub-owned; null without a hub) — kept
+    /// so Stats() can surface the sink's sync/stall counters per shard.
+    MoveLog* log = nullptr;
   };
 
   /// Plain per-shard accounting (single owner thread, no atomics): routed

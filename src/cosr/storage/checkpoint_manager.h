@@ -60,9 +60,12 @@ class CheckpointManager {
   bool IsWritable(const Extent& e) const { return !frozen_.Intersects(e); }
 
   /// Completes a checkpoint: all previously frozen regions become writable.
-  /// If a durability log is attached, the checkpoint record (and its Sync)
-  /// lands before the hook observes the new sequence number, so a hook that
-  /// snapshots state always snapshots a durable point.
+  /// If a durability log is attached, the checkpoint record lands (and the
+  /// log's GroupCommitPolicy decides whether it is synced right away)
+  /// before the hook observes the new sequence number. With the default
+  /// sync-every-checkpoint policy a hook that snapshots state always
+  /// snapshots a durable point; under a coalescing policy the point is a
+  /// legal recovery landing spot that becomes durable at the group's sync.
   void Checkpoint() {
     frozen_.Clear();
     ++checkpoint_count_;

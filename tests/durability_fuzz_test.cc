@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cosr/durability/crash_fuzz.h"
+#include "cosr/durability/group_commit.h"
 
 namespace cosr {
 namespace {
@@ -23,6 +24,7 @@ struct FuzzConfig {
   bool concurrent;
   bool batched = false;
   bool rebalance = false;
+  GroupCommitPolicy group_commit;
   std::string label;
 };
 
@@ -88,6 +90,43 @@ std::vector<FuzzConfig> Configs() {
   concurrent_rebalance.label =
       "zipf-churn/checkpointed/concurrent-k4-rebalance";
   configs.push_back(concurrent_rebalance);
+  // Group-commit cells: coalesced syncs leave unsynced checkpoint records
+  // on the crash surface (legal landing points), and compaction adds the
+  // mid-rewrite surface — cuts inside retired pre-compaction streams and
+  // inside compacted snapshot prefixes. One coalescing-only cell, one
+  // coalescing+compaction cell, and one concurrent coalescing cell.
+  {
+    FuzzConfig gc;
+    gc.scenario = "steady-churn";
+    gc.algorithm = "checkpointed";
+    gc.shard_count = 4;
+    gc.concurrent = false;
+    gc.group_commit.max_unsynced_checkpoints = 4;
+    gc.label = "steady-churn/checkpointed/sharded-k4-gc4";
+    configs.push_back(gc);
+  }
+  {
+    FuzzConfig gc;
+    gc.scenario = "ramp-collapse";
+    gc.algorithm = "deamortized";
+    gc.shard_count = 4;
+    gc.concurrent = false;
+    gc.group_commit.max_unsynced_checkpoints = 8;
+    gc.group_commit.compaction_threshold_bytes = 2048;
+    gc.label = "ramp-collapse/deamortized/sharded-k4-gc8-compact";
+    configs.push_back(gc);
+  }
+  {
+    FuzzConfig gc;
+    gc.scenario = "steady-churn";
+    gc.algorithm = "checkpointed";
+    gc.shard_count = 4;
+    gc.concurrent = true;
+    gc.group_commit.max_unsynced_checkpoints = 4;
+    gc.group_commit.compaction_threshold_bytes = 4096;
+    gc.label = "steady-churn/checkpointed/concurrent-k4-gc4-compact";
+    configs.push_back(gc);
+  }
   return configs;
 }
 
@@ -103,6 +142,7 @@ TEST(DurabilityFuzzTest, ThousandsOfCrashPointsAllRecoverByteForByte) {
     options.concurrent = config.concurrent;
     options.batched_submission = config.batched;
     options.rebalance = config.rebalance;
+    options.group_commit = config.group_commit;
     options.seed = 7;
     CrashFuzzReport report;
     const Status status = RunCrashFuzz(options, &report);
@@ -110,6 +150,16 @@ TEST(DurabilityFuzzTest, ThousandsOfCrashPointsAllRecoverByteForByte) {
     EXPECT_GT(report.crash_points, 0u) << config.label;
     EXPECT_GT(report.checkpoints, 0u) << config.label;
     EXPECT_GT(report.log_records, 0u) << config.label;
+    // Policy cells must exercise what they claim: coalescing cells really
+    // coalesce (fewer syncs than checkpoints), compacting cells really
+    // commit rewrites and fuzz the retired pre-compaction streams.
+    if (!config.group_commit.sync_every_checkpoint()) {
+      EXPECT_LT(report.syncs, report.checkpoints) << config.label;
+    }
+    if (config.group_commit.compaction_threshold_bytes > 0) {
+      EXPECT_GT(report.compactions, 0u) << config.label;
+      EXPECT_GT(report.pre_compaction_points, 0u) << config.label;
+    }
     // The synchronous migration cells must actually migrate, or the
     // "crash-consistent under migration" claim is vacuous (the concurrent
     // cell's migration count depends on worker timing, so it is reported

@@ -1,0 +1,340 @@
+// End-to-end coverage for the group-commit durability fast path: sync
+// coalescing and checkpoint-time compaction observed through the real
+// facades (sharded + concurrent), the file sink's recovery round-trip
+// (including a torn tail and the no-orphan-tmp property of the atomic
+// rewrite), and the compaction differential — the same trace through a
+// compacting and a non-compacting hub must recover to identical state
+// while the compacted log replays strictly fewer records.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cosr/common/random.h"
+#include "cosr/durability/durability_hub.h"
+#include "cosr/durability/recovery_manager.h"
+#include "cosr/realloc/factory.h"
+#include "cosr/service/concurrent_sharded_reallocator.h"
+#include "cosr/service/sharded_reallocator.h"
+#include "cosr/storage/address_space.h"
+#include "cosr/storage/simulated_disk.h"
+
+namespace cosr {
+namespace {
+
+constexpr std::uint64_t kSpan = 1ull << 22;
+
+using StateSnapshot = std::vector<std::pair<ObjectId, Extent>>;
+
+StateSnapshot FilterRange(const StateSnapshot& all, std::uint64_t lo,
+                          std::uint64_t hi) {
+  StateSnapshot out;
+  for (const auto& entry : all) {
+    if (entry.second.offset >= lo && entry.second.end() <= hi) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+struct ShardedRun {
+  AddressSpace parent;
+  std::unique_ptr<ShardedReallocator> facade;
+  // Per shard: checkpoint seq -> that shard's sub-range snapshot.
+  std::vector<std::map<std::uint64_t, StateSnapshot>> snapshots;
+};
+
+void MakeShardedRun(DurabilityHub* hub, std::uint32_t shard_count,
+                    ShardedRun* run) {
+  ReallocatorSpec spec;
+  spec.algorithm = "checkpointed";
+  spec.durability = hub;
+  ShardedReallocator::Options options;
+  options.shard_count = shard_count;
+  options.routing = RoutingPolicy::kHashId;
+  options.subrange_span = kSpan;
+  ASSERT_TRUE(
+      ShardedReallocator::Make(spec, options, &run->parent, &run->facade)
+          .ok());
+  run->snapshots.assign(shard_count, {});
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    const std::uint64_t base = std::uint64_t{i} * kSpan;
+    run->facade->shard_manager(i)->SetCheckpointHook(
+        [run, i, base](std::uint64_t seq) {
+          run->snapshots[i][seq] =
+              FilterRange(run->parent.Snapshot(), base, base + kSpan);
+        });
+  }
+}
+
+// The same deterministic churn trace every test drives: checkpoints are
+// forced on a fixed cadence so runs through different hubs stay
+// op-for-op identical.
+void DriveChurn(ShardedReallocator* facade, int ops, std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint64_t next_id = 1;
+  std::vector<ObjectId> live;
+  for (int op = 0; op < ops; ++op) {
+    if (rng.UniformDouble() < 0.6 || live.size() < 8) {
+      const ObjectId id = next_id++;
+      ASSERT_TRUE(facade->Insert(id, rng.UniformRange(1, 200)).ok());
+      live.push_back(id);
+    } else {
+      const std::size_t pick = rng.UniformU64(live.size());
+      ASSERT_TRUE(facade->Delete(live[pick]).ok());
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    if (op % 61 == 60) facade->CheckpointAll();
+  }
+  facade->Quiesce();
+  facade->CheckpointAll();
+}
+
+// Recovers `data` into a fresh space + disk and returns the snapshot,
+// asserting every recovered object's bytes verify.
+void RecoverAndVerify(const std::uint8_t* data, std::size_t size,
+                      StateSnapshot* out, RecoveryResult* result) {
+  AddressSpace space;
+  SimulatedDisk disk;
+  space.AddListener(&disk);
+  ASSERT_TRUE(RecoveryManager::Recover(data, size, &space, result).ok());
+  *out = space.Snapshot();
+  for (const auto& entry : *out) {
+    ASSERT_TRUE(disk.VerifyObject(entry.first, entry.second))
+        << "object " << entry.first;
+  }
+}
+
+// --- Sync coalescing through the sharded facade's stats ------------------
+
+TEST(GroupCommitEndToEnd, ShardedStatsShowExactCoalescingRatio) {
+  DurabilityHub::Options hub_options;
+  hub_options.group_commit.max_unsynced_checkpoints = 4;
+  DurabilityHub hub(std::move(hub_options));
+  ShardedRun run;
+  MakeShardedRun(&hub, /*shard_count=*/2, &run);
+  DriveChurn(run.facade.get(), 500, /*seed=*/5);
+
+  const ShardStats stats = run.facade->Stats();
+  ASSERT_EQ(stats.shards.size(), 2u);
+  std::uint64_t total_checkpoints = 0;
+  for (const ShardStats::PerShard& per : stats.shards) {
+    ASSERT_GT(per.checkpoints, 4u);
+    // Every 4th checkpoint record syncs; the ratio is exact, not a bound.
+    EXPECT_EQ(per.log_syncs, per.checkpoints / 4);
+    EXPECT_EQ(per.log_compactions, 0u);
+    total_checkpoints += per.checkpoints;
+  }
+  EXPECT_LT(stats.log_syncs, total_checkpoints);
+  EXPECT_EQ(stats.log_syncs, hub.total_syncs());
+  EXPECT_GE(stats.sync_wall_seconds, 0.0);
+  EXPECT_GE(stats.sync_wall_seconds, stats.max_sync_stall_seconds);
+}
+
+TEST(GroupCommitEndToEnd, DefaultPolicySyncsEveryCheckpoint) {
+  DurabilityHub hub;  // default: the strict PR 6 discipline
+  ShardedRun run;
+  MakeShardedRun(&hub, /*shard_count=*/2, &run);
+  DriveChurn(run.facade.get(), 500, /*seed=*/5);
+
+  const ShardStats stats = run.facade->Stats();
+  for (const ShardStats::PerShard& per : stats.shards) {
+    EXPECT_EQ(per.log_syncs, per.checkpoints);
+    EXPECT_EQ(per.log_compactions, 0u);
+  }
+}
+
+// --- Sync coalescing through the concurrent facade's stats ---------------
+
+TEST(GroupCommitEndToEnd, ConcurrentStatsShowCoalescingOnOwningWorkers) {
+  DurabilityHub::Options hub_options;
+  hub_options.group_commit.max_unsynced_checkpoints = 4;
+  DurabilityHub hub(std::move(hub_options));
+
+  ReallocatorSpec spec;
+  spec.algorithm = "checkpointed";
+  spec.durability = &hub;
+  ConcurrentShardedReallocator::Options options;
+  options.shard_count = 4;
+  options.worker_threads = 2;
+  options.subrange_span = kSpan;
+  std::unique_ptr<ConcurrentShardedReallocator> facade;
+  ASSERT_TRUE(ConcurrentShardedReallocator::Make(spec, options, &facade).ok());
+
+  Rng rng(9);
+  std::uint64_t next_id = 1;
+  std::vector<ObjectId> live;
+  for (int op = 0; op < 400; ++op) {
+    if (rng.UniformDouble() < 0.6 || live.size() < 8) {
+      const ObjectId id = next_id++;
+      ASSERT_TRUE(facade->Insert(id, rng.UniformRange(1, 200)).ok());
+      live.push_back(id);
+    } else {
+      const std::size_t pick = rng.UniformU64(live.size());
+      ASSERT_TRUE(facade->Delete(live[pick]).ok());
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    if (op % 61 == 60) facade->CheckpointAll();
+  }
+  facade->Quiesce();
+  facade->CheckpointAll();
+
+  ShardStats stats = facade->Stats();
+  ASSERT_EQ(stats.shards.size(), 4u);
+  std::uint64_t total_checkpoints = 0;
+  for (const ShardStats::PerShard& per : stats.shards) {
+    ASSERT_GT(per.checkpoints, 4u);
+    EXPECT_EQ(per.log_syncs, per.checkpoints / 4);
+    total_checkpoints += per.checkpoints;
+  }
+  EXPECT_LT(stats.log_syncs, total_checkpoints);
+  EXPECT_EQ(stats.log_syncs, hub.total_syncs());
+}
+
+// --- File sink: recovery round-trip + torn tail --------------------------
+
+TEST(GroupCommitEndToEnd, FileSinkRecoversRoundTripAndTornTail) {
+  DurabilityHub::Options hub_options;
+  hub_options.sink_kind = DurabilityHub::SinkKind::kFile;
+  hub_options.file_prefix = ::testing::TempDir() + "gc_roundtrip_";
+  DurabilityHub hub(std::move(hub_options));
+  ShardedRun run;
+  MakeShardedRun(&hub, /*shard_count=*/2, &run);
+  DriveChurn(run.facade.get(), 400, /*seed=*/7);
+
+  ASSERT_EQ(hub.log_count(), 2u);
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    ASSERT_FALSE(run.snapshots[i].empty()) << "shard " << i;
+    // ReadBack must agree with what recovery reads off the file itself.
+    std::vector<std::uint8_t> bytes;
+    static_cast<FileLogSink*>(hub.sink(i))->ReadBack(&bytes);
+    StateSnapshot from_memory;
+    RecoveryResult memory_result;
+    RecoverAndVerify(bytes.data(), bytes.size(), &from_memory,
+                     &memory_result);
+
+    AddressSpace space;
+    SimulatedDisk disk;
+    space.AddListener(&disk);
+    RecoveryResult result;
+    ASSERT_TRUE(
+        RecoveryManager::RecoverFile(hub.file_path(i), &space, &result).ok());
+    EXPECT_EQ(result.checkpoint_seq, memory_result.checkpoint_seq);
+    EXPECT_EQ(result.checkpoint_seq, run.snapshots[i].rbegin()->first);
+    EXPECT_FALSE(result.torn_tail);
+    EXPECT_TRUE(space.Snapshot() == run.snapshots[i].rbegin()->second)
+        << "shard " << i;
+    EXPECT_TRUE(space.Snapshot() == from_memory) << "shard " << i;
+    for (const auto& entry : space.Snapshot()) {
+      EXPECT_TRUE(disk.VerifyObject(entry.first, entry.second));
+    }
+  }
+
+  // Tear the final record of shard 0's file (a crash mid-write of the
+  // closing checkpoint): recovery must land on an earlier checkpoint and
+  // report the torn tail.
+  const std::string path = hub.file_path(0);
+  struct stat st;
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  ASSERT_GT(st.st_size, 3);
+  ASSERT_EQ(::truncate(path.c_str(), st.st_size - 3), 0);
+
+  AddressSpace space;
+  RecoveryResult result;
+  ASSERT_TRUE(RecoveryManager::RecoverFile(path, &space, &result).ok());
+  EXPECT_TRUE(result.torn_tail);
+  EXPECT_LT(result.checkpoint_seq, run.snapshots[0].rbegin()->first);
+  const auto it = run.snapshots[0].find(result.checkpoint_seq);
+  ASSERT_NE(it, run.snapshots[0].end());
+  EXPECT_TRUE(space.Snapshot() == it->second);
+}
+
+// --- File sink: compaction commits atomically, leaves no orphan ----------
+
+TEST(GroupCommitEndToEnd, FileSinkCompactionRecoversAndLeavesNoOrphan) {
+  DurabilityHub::Options hub_options;
+  hub_options.sink_kind = DurabilityHub::SinkKind::kFile;
+  hub_options.file_prefix = ::testing::TempDir() + "gc_compact_";
+  hub_options.group_commit.compaction_threshold_bytes = 2048;
+  DurabilityHub hub(std::move(hub_options));
+  ShardedRun run;
+  MakeShardedRun(&hub, /*shard_count=*/1, &run);
+  DriveChurn(run.facade.get(), 500, /*seed=*/11);
+
+  ASSERT_GT(hub.total_compactions(), 0u);
+  struct stat st;
+  EXPECT_NE(::stat((hub.file_path(0) + ".rewrite").c_str(), &st), 0)
+      << "committed rewrite left its temp file behind";
+
+  AddressSpace space;
+  SimulatedDisk disk;
+  space.AddListener(&disk);
+  RecoveryResult result;
+  ASSERT_TRUE(
+      RecoveryManager::RecoverFile(hub.file_path(0), &space, &result).ok());
+  EXPECT_EQ(result.checkpoint_seq, run.snapshots[0].rbegin()->first);
+  EXPECT_TRUE(space.Snapshot() == run.snapshots[0].rbegin()->second);
+  for (const auto& entry : space.Snapshot()) {
+    EXPECT_TRUE(disk.VerifyObject(entry.first, entry.second));
+  }
+}
+
+// --- Compaction differential: same trace, identical recovery, fewer
+// --- replayed records ----------------------------------------------------
+
+TEST(GroupCommitEndToEnd, CompactionDifferentialIsByteIdenticalState) {
+  DurabilityHub::Options compacting;
+  compacting.group_commit.compaction_threshold_bytes = 2048;
+  DurabilityHub hub_compact(std::move(compacting));
+  DurabilityHub hub_plain;
+
+  ShardedRun run_compact;
+  ShardedRun run_plain;
+  MakeShardedRun(&hub_compact, /*shard_count=*/2, &run_compact);
+  MakeShardedRun(&hub_plain, /*shard_count=*/2, &run_plain);
+  DriveChurn(run_compact.facade.get(), 600, /*seed=*/13);
+  DriveChurn(run_plain.facade.get(), 600, /*seed=*/13);
+
+  ASSERT_GT(hub_compact.total_compactions(), 0u);
+  ASSERT_EQ(hub_plain.total_compactions(), 0u);
+
+  std::size_t replayed_compact = 0;
+  std::size_t replayed_plain = 0;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const MemoryLogSink& compact_sink = *hub_compact.memory_sink(i);
+    const MemoryLogSink& plain_sink = *hub_plain.memory_sink(i);
+    StateSnapshot got_compact;
+    StateSnapshot got_plain;
+    RecoveryResult result_compact;
+    RecoveryResult result_plain;
+    RecoverAndVerify(compact_sink.data().data(), compact_sink.data().size(),
+                     &got_compact, &result_compact);
+    RecoverAndVerify(plain_sink.data().data(), plain_sink.data().size(),
+                     &got_plain, &result_plain);
+    // Identical traces checkpoint at identical sequence numbers; the
+    // compacted log must recover the exact same logical state.
+    EXPECT_EQ(result_compact.checkpoint_seq, result_plain.checkpoint_seq)
+        << "shard " << i;
+    EXPECT_TRUE(got_compact == got_plain) << "shard " << i;
+    EXPECT_TRUE(got_plain == run_plain.snapshots[i].rbegin()->second)
+        << "shard " << i;
+    replayed_compact += result_compact.records_replayed;
+    replayed_plain += result_plain.records_replayed;
+  }
+  // The point of compaction: recovery replays the live snapshot + tail,
+  // not the full history.
+  EXPECT_LT(replayed_compact, replayed_plain);
+}
+
+}  // namespace
+}  // namespace cosr

@@ -185,6 +185,220 @@ TEST(MoveLogTest, JournalsEveryListenerEventAndSyncsAtCheckpoints) {
   EXPECT_EQ(log.records_written(), 6u);
 }
 
+TEST(LogRecordTest, SkimMatchesParseOnValidAndDamagedStreams) {
+  std::vector<std::uint8_t> log;
+  EncodePlaceRecord(7, Extent{100, 40}, &log);
+  std::vector<MoveRecord> moves = {
+      MoveRecord{1, Extent{0, 16}, Extent{64, 16}},
+  };
+  EncodeMoveBatchRecord(moves.data(), moves.size(), &log);
+  EncodeCheckpointRecord(42, &log);
+
+  // Every prefix of the stream: the skim and the full parse must agree on
+  // every record's outcome, advanced offset, and checkpoint seq.
+  for (std::size_t cut = 0; cut <= log.size(); ++cut) {
+    std::size_t parse_offset = 0;
+    std::size_t skim_offset = 0;
+    for (;;) {
+      LogRecord record;
+      LogRecordType type = LogRecordType::kPlace;
+      std::uint64_t seq = 0;
+      const LogParseResult parsed =
+          ParseLogRecord(log.data(), cut, &parse_offset, &record);
+      const LogParseResult skimmed =
+          SkimLogRecord(log.data(), cut, &skim_offset, &type, &seq);
+      ASSERT_EQ(parsed, skimmed) << "cut " << cut;
+      ASSERT_EQ(parse_offset, skim_offset) << "cut " << cut;
+      if (parsed != LogParseResult::kOk) break;
+      EXPECT_EQ(type, record.type);
+      if (type == LogRecordType::kCheckpoint) {
+        EXPECT_EQ(seq, record.checkpoint_seq);
+      }
+    }
+  }
+
+  // Corruption: both reject a flipped payload bit identically.
+  log[kLogRecordHeaderBytes] ^= 0x10;
+  std::size_t offset = 0;
+  LogRecordType type = LogRecordType::kPlace;
+  std::uint64_t seq = 0;
+  EXPECT_EQ(SkimLogRecord(log.data(), log.size(), &offset, &type, &seq),
+            LogParseResult::kCorrupt);
+  EXPECT_EQ(offset, 0u);
+}
+
+TEST(MoveLogTest, GroupCommitCoalescesSyncsExactly) {
+  MemoryLogSink sink;
+  GroupCommitPolicy policy;
+  policy.max_unsynced_checkpoints = 4;
+  MoveLog log(&sink, policy);
+
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    log.OnPlace(seq, Extent{seq * 16, 8});
+    log.LogCheckpoint(seq);
+  }
+  // 10 checkpoints / window of 4 -> syncs at seq 4 and 8; 2 checkpoints
+  // remain in the open window.
+  EXPECT_EQ(log.checkpoints_logged(), 10u);
+  EXPECT_EQ(sink.sync_count(), 2u);
+  EXPECT_EQ(log.unsynced_checkpoints(), 2u);
+  EXPECT_LT(sink.synced_size(), sink.size());
+}
+
+TEST(MoveLogTest, GroupCommitByteTriggerForcesEarlySync) {
+  MemoryLogSink sink;
+  GroupCommitPolicy policy;
+  policy.max_unsynced_checkpoints = 1000;  // count trigger effectively off
+  policy.max_unsynced_bytes = 1;           // any appended byte forces sync
+  MoveLog log(&sink, policy);
+
+  log.OnPlace(1, Extent{0, 8});
+  EXPECT_EQ(sink.sync_count(), 0u);  // data records never sync directly
+  log.LogCheckpoint(1);
+  EXPECT_EQ(sink.sync_count(), 1u);  // byte trigger fired at the boundary
+  EXPECT_EQ(sink.synced_size(), sink.size());
+}
+
+TEST(MoveLogTest, DefaultPolicyIsByteIdenticalToExplicitOne) {
+  MemoryLogSink default_sink;
+  MemoryLogSink explicit_sink;
+  MoveLog default_log(&default_sink);
+  GroupCommitPolicy strict;
+  strict.max_unsynced_checkpoints = 1;
+  MoveLog explicit_log(&explicit_sink, strict);
+
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    for (MoveLog* log : {&default_log, &explicit_log}) {
+      log->OnPlace(seq, Extent{seq * 16, 8});
+      log->OnRemove(seq, Extent{seq * 16, 8});
+      log->LogCheckpoint(seq);
+    }
+  }
+  EXPECT_EQ(default_sink.data(), explicit_sink.data());
+  EXPECT_EQ(default_sink.sync_count(), explicit_sink.sync_count());
+  EXPECT_EQ(default_sink.sync_count(), 5u);  // every checkpoint synced
+  EXPECT_EQ(default_sink.synced_size(), default_sink.size());
+}
+
+TEST(MoveLogTest, CompactionRewritesToLiveSnapshotPlusCheckpoint) {
+  MemoryLogSink sink;
+  GroupCommitPolicy policy;
+  policy.compaction_threshold_bytes = 1;  // compact at every checkpoint
+  MoveLog log(&sink, policy);
+
+  log.OnPlace(1, Extent{0, 8});
+  log.OnPlace(2, Extent{8, 8});
+  log.OnMove(1, Extent{0, 8}, Extent{16, 8});
+  log.OnRemove(2, Extent{8, 8});
+  const std::uint64_t uncompacted_bytes = sink.size();
+  log.LogCheckpoint(1);
+
+  EXPECT_EQ(log.compactions(), 1u);
+  EXPECT_EQ(log.last_compaction_live_records(), 1u);
+  EXPECT_LT(sink.size(), uncompacted_bytes);
+  EXPECT_TRUE(sink.CheckIntegrity());
+  // record_ends_ was reset by the rewrite: snapshot place + checkpoint.
+  ASSERT_EQ(sink.record_ends().size(), 2u);
+  EXPECT_EQ(sink.record_ends().back(), sink.data().size());
+  // The replaced stream is retained for fault injection, syncs intact.
+  ASSERT_EQ(sink.discarded_streams().size(), 1u);
+  EXPECT_EQ(sink.discarded_streams()[0].record_ends.size(), 5u);
+  EXPECT_EQ(sink.discarded_streams()[0].synced_size,
+            sink.discarded_streams()[0].data.size());
+
+  // The compacted stream is exactly: place(1 at 16) + checkpoint(1).
+  LogParseResult final_result;
+  const std::vector<LogRecord> records =
+      ParseAll(sink.data(), &final_result);
+  EXPECT_EQ(final_result, LogParseResult::kEnd);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].type, LogRecordType::kPlace);
+  EXPECT_EQ(records[0].id, 1u);
+  EXPECT_EQ(records[0].extent, (Extent{16, 8}));
+  EXPECT_EQ(records[1].type, LogRecordType::kCheckpoint);
+  EXPECT_EQ(records[1].checkpoint_seq, 1u);
+  // Rewrites are their own barrier, not checkpoint syncs.
+  EXPECT_EQ(sink.sync_count(), 1u);
+  EXPECT_EQ(sink.rewrite_count(), 1u);
+  EXPECT_EQ(sink.synced_size(), sink.size());
+}
+
+TEST(MemoryLogSinkTest, CheckIntegrityCatchesBrokenBookkeeping) {
+  MemoryLogSink sink;
+  EXPECT_TRUE(sink.CheckIntegrity());  // empty is consistent
+  const std::uint8_t bytes[4] = {1, 2, 3, 4};
+  sink.Append(bytes, sizeof(bytes));
+  sink.Append(bytes, 2);
+  sink.Sync();
+  EXPECT_TRUE(sink.CheckIntegrity());
+}
+
+TEST(FileLogSinkTest, BufferedAppendsFlushAtSyncAndReadBack) {
+  const std::string path =
+      ::testing::TempDir() + "/cosr_buffered_sink_test.log";
+  std::unique_ptr<FileLogSink> sink;
+  ASSERT_TRUE(FileLogSink::Open(path, &sink).ok());
+
+  std::vector<std::uint8_t> expected;
+  EncodePlaceRecord(3, Extent{0, 10}, &expected);
+  sink->Append(expected.data(), expected.size());
+  EXPECT_EQ(sink->size(), expected.size());
+
+  // The record sits in the user-space buffer: nothing on disk yet.
+  std::vector<std::uint8_t> on_disk;
+  ASSERT_TRUE(FileLogSink::ReadAll(path, &on_disk).ok());
+  EXPECT_TRUE(on_disk.empty());
+
+  // ReadBack flushes (one write) without issuing a durability barrier.
+  std::vector<std::uint8_t> read_back;
+  ASSERT_TRUE(sink->ReadBack(&read_back).ok());
+  EXPECT_EQ(read_back, expected);
+  EXPECT_EQ(sink->sync_count(), 0u);
+
+  // Sync flushes any further appends and fsyncs.
+  EncodeCheckpointRecord(1, &expected);
+  sink->Append(expected.data() + read_back.size(),
+               expected.size() - read_back.size());
+  sink->Sync();
+  EXPECT_EQ(sink->sync_count(), 1u);
+  ASSERT_TRUE(FileLogSink::ReadAll(path, &on_disk).ok());
+  EXPECT_EQ(on_disk, expected);
+}
+
+TEST(FileLogSinkTest, RewriteCommitsAtomicallyUnderTheSamePath) {
+  const std::string path =
+      ::testing::TempDir() + "/cosr_rewrite_sink_test.log";
+  std::unique_ptr<FileLogSink> sink;
+  ASSERT_TRUE(FileLogSink::Open(path, &sink).ok());
+
+  std::vector<std::uint8_t> old_stream;
+  EncodePlaceRecord(1, Extent{0, 8}, &old_stream);
+  EncodeCheckpointRecord(1, &old_stream);
+  sink->Append(old_stream.data(), old_stream.size());
+  sink->Sync();
+
+  std::vector<std::uint8_t> compacted;
+  EncodePlaceRecord(1, Extent{64, 8}, &compacted);
+  EncodeCheckpointRecord(2, &compacted);
+  sink->BeginRewrite();
+  sink->Append(compacted.data(), compacted.size());
+  sink->CommitRewrite();
+
+  EXPECT_EQ(sink->size(), compacted.size());
+  EXPECT_EQ(sink->rewrite_count(), 1u);
+  std::vector<std::uint8_t> on_disk;
+  ASSERT_TRUE(FileLogSink::ReadAll(path, &on_disk).ok());
+  EXPECT_EQ(on_disk, compacted);
+
+  // Appends keep working on the committed file.
+  std::vector<std::uint8_t> tail;
+  EncodeCheckpointRecord(3, &tail);
+  sink->Append(tail.data(), tail.size());
+  sink->Sync();
+  ASSERT_TRUE(FileLogSink::ReadAll(path, &on_disk).ok());
+  EXPECT_EQ(on_disk.size(), compacted.size() + tail.size());
+}
+
 TEST(RangeScopedListenerTest, ForwardsOnlyItsSubRange) {
   MemoryLogSink sink;
   MoveLog log(&sink);

@@ -151,9 +151,12 @@ def check_concurrent(data, path):
 
 
 def check_durability(data, path):
-    # v2 adds the migration-active fuzz cells: a "rebalance" flag and the
-    # migration count per fuzz row.
-    require(data.get("schema_version") == 2, path, "schema_version != 2")
+    # v3 adds the group-commit fast path: overhead rows sweep a sync-policy
+    # grid (policy/max_unsynced_checkpoints/compaction columns + sync wall
+    # time), recovery rows carry a "compacted" flag whose replayed record
+    # count must shrink, and fuzz rows gain policy cells with sync /
+    # compaction / pre-compaction-point accounting.
+    require(data.get("schema_version") == 3, path, "schema_version != 3")
     require(data.get("smoke") is False, path,
             "committed artifact is a --smoke run; regenerate full-size")
     # The PR's acceptance bar, re-asserted on the committed artifact: at
@@ -167,15 +170,20 @@ def check_durability(data, path):
     sections = {}
     for row in data["rows"]:
         sections.setdefault(row["section"], []).append(row)
-    overhead_keys = {"algorithm", "sink", "operations", "wall_seconds",
-                     "ops_per_sec", "log_records", "log_bytes", "log_syncs"}
-    recovery_keys = {"operations", "log_records", "log_bytes",
+    overhead_keys = {"algorithm", "sink", "policy",
+                     "max_unsynced_checkpoints",
+                     "compaction_threshold_bytes", "operations",
+                     "wall_seconds", "ops_per_sec", "log_records",
+                     "log_bytes", "log_syncs", "checkpoints",
+                     "log_compactions", "sync_wall_seconds"}
+    recovery_keys = {"operations", "compacted", "log_records", "log_bytes",
                      "recover_wall_seconds", "records_per_sec",
                      "checkpoint_seq"}
     fuzz_keys = {"scenario", "algorithm", "facade", "shards", "rebalance",
-                 "crash_points", "boundary_points", "torn_points",
-                 "mid_batch_points", "checkpoints", "log_records",
-                 "recovered_records", "migrations", "objects_verified"}
+                 "policy", "crash_points", "boundary_points", "torn_points",
+                 "mid_batch_points", "pre_compaction_points", "checkpoints",
+                 "syncs", "compactions", "log_records", "recovered_records",
+                 "migrations", "objects_verified"}
     for section, keys in (("overhead", overhead_keys),
                           ("recovery", recovery_keys), ("fuzz", fuzz_keys)):
         rows = sections.get(section, [])
@@ -187,11 +195,79 @@ def check_durability(data, path):
     sinks = {r["sink"] for r in sections["overhead"]}
     for sink in ("none", "memory", "file"):
         require(sink in sinks, path, f"overhead sink '{sink}' missing")
+    # The policy grid: every logging sink is swept across the strict
+    # discipline, two coalescing windows, and a compacting cell; a sync
+    # only ever happens at a checkpoint (the bench counts log rewrites
+    # separately), and compacting cells must actually compact.
+    for sink in ("memory", "file"):
+        policies = {r["policy"] for r in sections["overhead"]
+                    if r["sink"] == sink}
+        for policy in ("sync1", "gc8", "gc32", "gc32+compact"):
+            require(policy in policies, path,
+                    f"overhead {sink} policy '{policy}' missing")
+    for row in sections["overhead"]:
+        if row["sink"] == "none":
+            continue
+        label = f"overhead {row['algorithm']}/{row['sink']}/{row['policy']}"
+        require(row["log_syncs"] <= row["checkpoints"], path,
+                f"{label}: more syncs than checkpoints")
+        window = row["max_unsynced_checkpoints"]
+        require(row["log_syncs"] == row["checkpoints"] // window, path,
+                f"{label}: sync count does not match coalescing window")
+        if row["compaction_threshold_bytes"] > 0:
+            require(row["log_compactions"] > 0, path,
+                    f"{label}: compaction cell never compacted")
+        else:
+            require(row["log_compactions"] == 0, path,
+                    f"{label}: compactions without a threshold")
+    # The headline claim on the committed artifact: coalescing 32
+    # checkpoints per fsync buys >= 5x on the file sink, where every saved
+    # sync is a real fsync(2).
+    file_rows = {r["policy"]: r for r in sections["overhead"]
+                 if r["algorithm"] == "checkpointed" and r["sink"] == "file"}
+    require(file_rows["gc32"]["ops_per_sec"] >=
+            5 * file_rows["sync1"]["ops_per_sec"], path,
+            "file-sink gc32 is not >= 5x sync1 (group-commit headline)")
+    # Compaction differential: same trace, same final checkpoint, strictly
+    # fewer records to replay.
+    by_ops = {}
+    for row in sections["recovery"]:
+        by_ops.setdefault(row["operations"], {})[row["compacted"]] = row
+    for operations, pair in by_ops.items():
+        require(set(pair) == {True, False}, path,
+                f"recovery at {operations} ops missing a compacted or "
+                "uncompacted row")
+        require(pair[True]["checkpoint_seq"] == pair[False]["checkpoint_seq"],
+                path, f"recovery at {operations} ops: compacted log landed "
+                "on a different checkpoint")
+        require(pair[True]["log_records"] < pair[False]["log_records"], path,
+                f"recovery at {operations} ops: compaction did not shrink "
+                "the replayed record count")
     facades = {(r["facade"], r["shards"]) for r in sections["fuzz"]}
     require(("sharded", 1) in facades, path, "fuzz sharded K=1 row missing")
     require(("sharded", 4) in facades, path, "fuzz sharded K=4 row missing")
     require(("concurrent", 4) in facades, path,
             "fuzz concurrent K=4 row missing")
+    policy_cells = [r for r in sections["fuzz"] if r["policy"] != "sync1"]
+    require(policy_cells, path, "no group-commit policy fuzz cells")
+    require(any(r["facade"] == "concurrent" for r in policy_cells), path,
+            "no concurrent group-commit fuzz cell")
+    for row in policy_cells:
+        label = f"fuzz policy cell '{row['policy']}'"
+        require(row["crash_points"] >= 1000, path,
+                f"{label}: needs >= 1000 crash points")
+        require(row["syncs"] < row["checkpoints"], path,
+                f"{label}: coalescing cell never coalesced")
+        if "compact" in row["policy"]:
+            require(row["compactions"] > 0, path,
+                    f"{label}: compacting cell never compacted")
+            require(row["pre_compaction_points"] > 0, path,
+                    f"{label}: no cuts landed in retired pre-compaction "
+                    "streams")
+    for row in sections["fuzz"]:
+        require(row["syncs"] <= row["checkpoints"], path,
+                f"fuzz {row['scenario']}/{row['policy']}: more syncs than "
+                "checkpoints")
     points = sum(r["crash_points"] for r in sections["fuzz"])
     require(points == data["total_crash_points"], path,
             "total_crash_points disagrees with the fuzz rows")
