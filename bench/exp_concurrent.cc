@@ -1,7 +1,8 @@
-// EXP-CONCURRENT — thread-scaling of the concurrent service facade: items/s
-// of ConcurrentShardedReallocator at W ∈ {1, 2, 4, 8} worker threads over
-// K = 8 shards, against the single-threaded ShardedReallocator facade on
-// the same shard layout.
+// EXP-CONCURRENT — thread-scaling and tail latency of the concurrent
+// service facade: items/s of ConcurrentShardedReallocator at
+// W ∈ {1, 2, 4, 8} worker threads over K = 8 shards, against the
+// single-threaded ShardedReallocator facade on the same shard layout, plus
+// an open-loop burst grid that ramps the offered rate past saturation.
 //
 // The shards' sub-problems are disjoint (private per-shard roots, views
 // based at i * span), so worker threads share no mutable storage state and
@@ -10,12 +11,25 @@
 // the single-threaded facade: same moves, same bytes, same per-shard
 // footprints — that identity is this experiment's CI guard.
 //
+// Every cell also reports per-op wall-clock latency percentiles from the
+// service layer's own histograms (ShardStats.latency_*): total
+// (submit -> completion), queue-wait (submit -> execution start), and
+// service (the inner reallocator call alone). The burst grid drives the
+// facade open-loop — timed arrivals at a fraction of the measured
+// closed-loop capacity, bounded queues, bounded-retry drops — and is where
+// the deamortization story becomes a latency claim: the checkpointed
+// (amortized) inner algorithm takes its rebuild spikes on the serving
+// path, the deamortized one spreads them, and the service-time p999/p50
+// ratio is the measurable difference.
+//
 // Writes BENCH_concurrent.json (run from the repo root to refresh the
 // committed artifact; `hardware_threads` records the host, since thread
 // scaling is only meaningful with >= W cores). --smoke shrinks the traces
 // ~20x and turns the run into the CI gate: the exit code asserts the W=1
 // concurrent mode matches the single-threaded facade's footprint/move/byte
-// counts exactly and that no op failed in any cell.
+// counts exactly, that no op failed in any closed-loop cell, and that
+// every cell's latency accounting is exact (tracked-op histogram counts ==
+// executed operations).
 //
 // Usage: exp_concurrent [--smoke]
 
@@ -34,6 +48,7 @@
 #include "cosr/common/check.h"
 #include "cosr/cost/cost_battery.h"
 #include "cosr/metrics/cost_meter.h"
+#include "cosr/metrics/latency_histogram.h"
 #include "cosr/realloc/factory.h"
 #include "cosr/service/concurrent_sharded_reallocator.h"
 #include "cosr/service/op_buffer.h"
@@ -48,6 +63,18 @@ using Clock = std::chrono::steady_clock;
 
 constexpr std::uint32_t kShards = 8;
 constexpr std::uint32_t kWorkerCounts[] = {1, 2, 4, 8};
+// The burst grid's fixed shape: the mid-grid worker count, a queue bound
+// small enough for overload to bite within a smoke-size trace, bounded
+// backpressure (two backoff rounds) before a drop, and offered rates
+// straddling the measured closed-loop capacity.
+constexpr std::uint32_t kBurstWorkers = 4;
+constexpr std::size_t kBurstQueueCapacity = 1024;
+constexpr std::size_t kBurstSubmitRetries = 2;
+constexpr std::size_t kBurstBatch = 32;
+constexpr double kBurstRatios[] = {0.5, 0.9, 1.2, 2.0};
+// The algorithms whose latency distributions the burst grid contrasts:
+// same structure, opposite tail behavior (amortized rebuilds vs spread).
+const char* const kBurstAlgorithms[] = {"checkpointed", "deamortized"};
 
 struct Row {
   std::string scenario;
@@ -56,6 +83,11 @@ struct Row {
   /// Concurrent rows only: per-op Submit (the mutex queue hop per op) vs
   /// OpBuffer/SubmitMany over the lock-free remote queues.
   bool batched = false;
+  /// Open-loop burst rows: paced arrivals at offered_ratio x capacity.
+  bool burst = false;
+  double offered_ratio = 0;
+  double offered_ops_per_sec = 0;  // the pacing target (burst rows only)
+  double submit_seconds = 0;       // producer-side wall (burst rows only)
   std::uint64_t operations = 0;
   double wall_seconds = 0;
   double ops_per_sec = 0;
@@ -68,14 +100,33 @@ struct Row {
   std::uint64_t global_max_end = 0;
   std::uint64_t failed_ops = 0;
   std::uint64_t batched_ops = 0;  // ops that arrived via remote queues
+  std::uint64_t dropped_ops = 0;  // bounded-retry drops (burst rows only)
   std::vector<std::uint64_t> per_shard_reserved;
   std::vector<std::uint64_t> per_shard_peak;
+  /// Wall-clock latency of executed insert/delete ops, merged over shards.
+  LatencyHistogramSnapshot lat_total;
+  LatencyHistogramSnapshot lat_queue;
+  LatencyHistogramSnapshot lat_service;
+
+  std::uint64_t executed() const { return operations - dropped_ops; }
 
   std::string Label() const {
+    if (burst) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "burst %.1fx%s", offered_ratio,
+                    batched ? " batched" : "");
+      return buf;
+    }
     if (workers == 0) return "facade/1-thread";
     return "W=" + std::to_string(workers) + (batched ? " batched" : "");
   }
 };
+
+void FillLatency(Row* row, const ShardStats& stats) {
+  row->lat_total = stats.latency_total;
+  row->lat_queue = stats.latency_queue_wait;
+  row->lat_service = stats.latency_service;
+}
 
 /// The single-threaded facade baseline, driven with the same per-op gauge
 /// sampling the concurrent workers do (only the routed shard is read), so
@@ -125,6 +176,7 @@ Row RunFacade(const Scenario& scenario, const std::string& algorithm,
   row.volume_final = stats.volume;
   row.sum_reserved_final = stats.sum_reserved_footprint;
   row.global_max_end = stats.global_max_end;
+  FillLatency(&row, stats);
   for (std::uint32_t s = 0; s < kShards; ++s) {
     row.per_shard_reserved.push_back(stats.shards[s].reserved_footprint);
     row.per_shard_peak.push_back(peak[s]);
@@ -190,6 +242,7 @@ Row RunConcurrent(const Scenario& scenario, const std::string& algorithm,
   row.volume_final = stats.volume;
   row.sum_reserved_final = stats.sum_reserved_footprint;
   row.global_max_end = stats.global_max_end;
+  FillLatency(&row, stats);
   for (std::uint32_t s = 0; s < kShards; ++s) {
     row.per_shard_reserved.push_back(stats.shards[s].reserved_footprint);
     row.per_shard_peak.push_back(stats.shards[s].peak_reserved_footprint);
@@ -200,12 +253,113 @@ Row RunConcurrent(const Scenario& scenario, const std::string& algorithm,
   return row;
 }
 
+/// One open-loop burst cell: arrivals paced at `offered_ratio` x the
+/// measured closed-loop capacity against bounded queues with a
+/// bounded-retry drop policy. The producer never waits for completions —
+/// past saturation the queues fill, Submit burns its backoff budget, and
+/// the overflow is dropped (counted, never silent). Dropped inserts make
+/// some later deletes of the same id fail; burst rows therefore tolerate
+/// failed ops where the closed-loop grid forbids them.
+Row RunBurst(const Scenario& scenario, const std::string& algorithm,
+             bool batched, double offered_ratio, double capacity_ops_per_sec,
+             const CostBattery& battery) {
+  ReallocatorSpec spec;
+  spec.algorithm = algorithm;
+  ConcurrentShardedReallocator::Options options;
+  options.shard_count = kShards;
+  options.worker_threads = kBurstWorkers;
+  options.queue_capacity = kBurstQueueCapacity;
+  options.submit_max_retries = kBurstSubmitRetries;
+  std::unique_ptr<ConcurrentShardedReallocator> facade;
+  COSR_CHECK_OK(ConcurrentShardedReallocator::Make(spec, options, &facade));
+
+  std::vector<std::unique_ptr<CostMeter>> meters;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    meters.push_back(std::make_unique<CostMeter>(&battery));
+    facade->AddShardListener(s, meters[s].get());
+  }
+
+  const double offered = offered_ratio * capacity_ops_per_sec;
+  const double interval_ns = 1e9 / offered;
+  const auto& requests = scenario.trace.requests();
+  const auto pace = [&](std::size_t i, const Clock::time_point& start) {
+    // Deadlines are absolute (start + i * interval), so a late submission
+    // doesn't stretch the whole schedule: an open-loop producer falls
+    // behind and catches up, it does not silently lower the offered rate.
+    const auto deadline =
+        start + std::chrono::nanoseconds(
+                    static_cast<std::int64_t>(interval_ns * i));
+    while (Clock::now() < deadline) std::this_thread::yield();
+  };
+
+  const auto start = Clock::now();
+  if (batched) {
+    std::vector<Request> chunk;
+    chunk.reserve(kBurstBatch);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      chunk.push_back(requests[i]);
+      if (chunk.size() == kBurstBatch || i + 1 == requests.size()) {
+        // A batched producer releases each chunk when its LAST op's
+        // arrival time comes due — the batch is the submission event.
+        pace(i, start);
+        facade->SubmitMany(chunk);  // drops are counted in Stats()
+        chunk.clear();
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      pace(i, start);
+      facade->Submit(requests[i]);  // non-ok = counted drop; keep going
+    }
+  }
+  const double submit_wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  facade->Quiesce();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  Row row;
+  row.scenario = scenario.name;
+  row.algorithm = algorithm;
+  row.workers = kBurstWorkers;
+  row.batched = batched;
+  row.burst = true;
+  row.offered_ratio = offered_ratio;
+  row.offered_ops_per_sec = offered;
+  row.submit_seconds = submit_wall;
+  row.operations = requests.size();
+  row.wall_seconds = wall;
+  CostMeter merged(&battery);
+  for (const auto& meter : meters) merged.MergeFrom(*meter);
+  row.moves = merged.moves();
+  row.bytes_moved = merged.bytes_moved();
+  row.bytes_placed = merged.bytes_placed();
+  const ShardStats stats = facade->Stats();
+  row.volume_final = stats.volume;
+  row.sum_reserved_final = stats.sum_reserved_footprint;
+  row.global_max_end = stats.global_max_end;
+  row.dropped_ops = stats.dropped_ops;
+  FillLatency(&row, stats);
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    row.per_shard_reserved.push_back(stats.shards[s].reserved_footprint);
+    row.per_shard_peak.push_back(stats.shards[s].peak_reserved_footprint);
+    row.sum_peak_reserved += stats.shards[s].peak_reserved_footprint;
+    row.failed_ops += stats.shards[s].failed_ops;
+    row.batched_ops += stats.shards[s].batched_ops;
+  }
+  // Achieved throughput = ops that actually executed over the full wall
+  // (submission window plus drain) — the number that stops tracking the
+  // offered rate at the collapse knee.
+  row.ops_per_sec = static_cast<double>(row.executed()) / wall;
+  return row;
+}
+
 const Row* Find(const std::vector<Row>& rows, const std::string& scenario,
                 const std::string& algorithm, std::uint32_t workers,
                 bool batched = false) {
   for (const Row& row : rows) {
     if (row.scenario == scenario && row.algorithm == algorithm &&
-        row.workers == workers && row.batched == batched) {
+        row.workers == workers && row.batched == batched && !row.burst) {
       return &row;
     }
   }
@@ -219,10 +373,12 @@ void WriteJson(const std::vector<Row>& rows, bool smoke) {
     return;
   }
   std::fprintf(json,
-               "{\n  \"schema_version\": 2,\n  \"smoke\": %s,\n"
-               "  \"shard_count\": %u,\n  \"hardware_threads\": %u,\n",
+               "{\n  \"schema_version\": 3,\n  \"smoke\": %s,\n"
+               "  \"shard_count\": %u,\n  \"hardware_threads\": %u,\n"
+               "  \"burst_workers\": %u,\n  \"burst_queue_capacity\": %zu,\n",
                smoke ? "true" : "false", kShards,
-               std::thread::hardware_concurrency());
+               std::thread::hardware_concurrency(), kBurstWorkers,
+               kBurstQueueCapacity);
   std::fprintf(json, "  \"rows\": [\n");
   // On a single-core host every wall-clock ratio is scheduler noise, so
   // the speedup column is recorded as 0.0 (the same "not applicable"
@@ -237,10 +393,15 @@ void WriteJson(const std::vector<Row>& rows, bool smoke) {
     // batched-vs-per-op ratio is the two paths' ops_per_sec at equal W).
     const Row* w1 = Find(rows, row.scenario, row.algorithm, 1, row.batched);
     const double speedup_vs_w1 =
-        (scaling_meaningful && row.workers != 0 && w1 != nullptr &&
-         w1->ops_per_sec > 0)
+        (scaling_meaningful && !row.burst && row.workers != 0 &&
+         w1 != nullptr && w1->ops_per_sec > 0)
             ? row.ops_per_sec / w1->ops_per_sec
             : 0.0;
+    const char* mode =
+        row.burst ? (row.batched ? "burst-batched" : "burst")
+                  : (row.workers == 0
+                         ? "facade"
+                         : (row.batched ? "concurrent-batched" : "concurrent"));
     std::fprintf(
         json,
         "    {\"scenario\": \"%s\", \"algorithm\": \"%s\", "
@@ -251,10 +412,19 @@ void WriteJson(const std::vector<Row>& rows, bool smoke) {
         "\"moves\": %llu, \"bytes_moved\": %llu, \"bytes_placed\": %llu, "
         "\"volume_final\": %llu, \"sum_reserved_final\": %llu, "
         "\"sum_peak_reserved\": %llu, \"global_max_end\": %llu, "
-        "\"failed_ops\": %llu, \"batched_ops\": %llu}%s\n",
-        row.scenario.c_str(), row.algorithm.c_str(),
-        row.workers == 0 ? "facade"
-                         : (row.batched ? "concurrent-batched" : "concurrent"),
+        "\"failed_ops\": %llu, \"batched_ops\": %llu, "
+        "\"offered_ratio\": %.2f, \"offered_ops_per_sec\": %.0f, "
+        "\"submit_seconds\": %.6f, \"dropped_ops\": %llu, "
+        "\"lat_ops\": %llu, "
+        "\"lat_total_p50_ns\": %llu, \"lat_total_p90_ns\": %llu, "
+        "\"lat_total_p99_ns\": %llu, \"lat_total_p999_ns\": %llu, "
+        "\"lat_total_max_ns\": %llu, \"lat_total_mean_ns\": %.0f, "
+        "\"lat_queue_p50_ns\": %llu, \"lat_queue_p99_ns\": %llu, "
+        "\"lat_queue_p999_ns\": %llu, "
+        "\"lat_service_p50_ns\": %llu, \"lat_service_p90_ns\": %llu, "
+        "\"lat_service_p99_ns\": %llu, \"lat_service_p999_ns\": %llu, "
+        "\"lat_service_max_ns\": %llu}%s\n",
+        row.scenario.c_str(), row.algorithm.c_str(), mode,
         row.workers == 0 ? "sync" : (row.batched ? "batched" : "per-op"),
         row.workers == 0 ? 1 : row.workers, kShards,
         static_cast<unsigned long long>(row.operations), row.wall_seconds,
@@ -267,7 +437,24 @@ void WriteJson(const std::vector<Row>& rows, bool smoke) {
         static_cast<unsigned long long>(row.sum_peak_reserved),
         static_cast<unsigned long long>(row.global_max_end),
         static_cast<unsigned long long>(row.failed_ops),
-        static_cast<unsigned long long>(row.batched_ops),
+        static_cast<unsigned long long>(row.batched_ops), row.offered_ratio,
+        row.offered_ops_per_sec, row.submit_seconds,
+        static_cast<unsigned long long>(row.dropped_ops),
+        static_cast<unsigned long long>(row.lat_total.count),
+        static_cast<unsigned long long>(row.lat_total.Percentile(0.50)),
+        static_cast<unsigned long long>(row.lat_total.Percentile(0.90)),
+        static_cast<unsigned long long>(row.lat_total.Percentile(0.99)),
+        static_cast<unsigned long long>(row.lat_total.Percentile(0.999)),
+        static_cast<unsigned long long>(row.lat_total.max()),
+        row.lat_total.mean(),
+        static_cast<unsigned long long>(row.lat_queue.Percentile(0.50)),
+        static_cast<unsigned long long>(row.lat_queue.Percentile(0.99)),
+        static_cast<unsigned long long>(row.lat_queue.Percentile(0.999)),
+        static_cast<unsigned long long>(row.lat_service.Percentile(0.50)),
+        static_cast<unsigned long long>(row.lat_service.Percentile(0.90)),
+        static_cast<unsigned long long>(row.lat_service.Percentile(0.99)),
+        static_cast<unsigned long long>(row.lat_service.Percentile(0.999)),
+        static_cast<unsigned long long>(row.lat_service.max()),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
@@ -293,6 +480,32 @@ bool CheckW1Identity(const Row& facade, const Row& w1) {
   return ok;
 }
 
+/// The latency-accounting identity, every cell: each executed insert/delete
+/// lands in all three histograms exactly once (total/service everywhere;
+/// queue-wait only where a queue exists), and the split percentiles are
+/// mutually consistent.
+bool CheckLatencyAccounting(const Row& row) {
+  const std::uint64_t executed = row.executed();
+  bool ok = true;
+  ok &= row.lat_total.count == executed;
+  ok &= row.lat_service.count == executed;
+  // The sync facade has no queue: its queue-wait histogram must be empty.
+  ok &= row.lat_queue.count == (row.workers == 0 ? 0 : executed);
+  ok &= row.lat_total.Percentile(0.999) >= row.lat_total.Percentile(0.5);
+  ok &= row.lat_total.max() >= row.lat_service.Percentile(0.5);
+  if (!ok) {
+    std::printf(
+        "  LATENCY ACCOUNTING BROKEN: %s/%s %s — executed %llu, counts "
+        "total %llu queue %llu service %llu\n",
+        row.scenario.c_str(), row.algorithm.c_str(), row.Label().c_str(),
+        static_cast<unsigned long long>(executed),
+        static_cast<unsigned long long>(row.lat_total.count),
+        static_cast<unsigned long long>(row.lat_queue.count),
+        static_cast<unsigned long long>(row.lat_service.count));
+  }
+  return ok;
+}
+
 }  // namespace
 }  // namespace cosr
 
@@ -303,10 +516,12 @@ int main(int argc, char** argv) {
   }
 
   cosr::bench::Banner(
-      "EXP-CONCURRENT — items/s vs worker threads over K=8 disjoint shards",
+      "EXP-CONCURRENT — items/s and tail latency vs worker threads over "
+      "K=8 disjoint shards",
       "per-shard sub-problems are disjoint, so K reallocators parallelize "
       "with no cross-shard locking; 1-thread mode is op-for-op identical "
-      "to the single-threaded facade");
+      "to the single-threaded facade; the burst grid ramps an open-loop "
+      "offered rate past saturation");
 
   const unsigned hardware = std::thread::hardware_concurrency();
   if (hardware < 4) {
@@ -336,7 +551,7 @@ int main(int argc, char** argv) {
     std::printf("\n-- %s (%zu requests) --\n", scenario.name.c_str(),
                 scenario.trace.size());
     cosr::bench::Table table({"algorithm", "mode", "kops/s", "vs W=1",
-                              "moves/op", "sum-peak-reserved", "failed"});
+                              "p50 us", "p99 us", "p999 us", "failed"});
     for (const std::string& algorithm : algorithms) {
       rows.push_back(cosr::RunFacade(scenario, algorithm, battery));
       for (const bool batched : {false, true}) {
@@ -358,16 +573,59 @@ int main(int argc, char** argv) {
             {algorithm, row->Label(),
              cosr::bench::Fmt(row->ops_per_sec / 1000.0, 0),
              row->workers == 0 ? "-" : cosr::bench::Fmt(vs_w1, 2),
-             cosr::bench::Fmt(static_cast<double>(row->moves) /
-                                  static_cast<double>(row->operations),
-                              2),
-             std::to_string(row->sum_peak_reserved),
+             cosr::bench::Fmt(row->lat_total.Percentile(0.5) / 1000.0, 1),
+             cosr::bench::Fmt(row->lat_total.Percentile(0.99) / 1000.0, 1),
+             cosr::bench::Fmt(row->lat_total.Percentile(0.999) / 1000.0, 1),
              std::to_string(row->failed_ops)});
         ok &= row->failed_ops == 0;
       }
     }
     table.Print();
   }
+
+  // The open-loop burst grid: steady-churn only (the trace whose offered
+  // load is stationary), checkpointed vs deamortized inner algorithms,
+  // both submit paths. Capacity is calibrated per (algorithm, path) by a
+  // closed-loop run at the same W — those calibration rows join the
+  // artifact as ordinary concurrent cells.
+  const cosr::Scenario& burst_scenario = scenarios.front();
+  COSR_CHECK_MSG(burst_scenario.name == "steady-churn",
+                 "burst grid expects steady-churn first in the battery");
+  std::printf("\n-- burst: open-loop %s, W=%u, queue=%zu, retries=%zu --\n",
+              burst_scenario.name.c_str(), cosr::kBurstWorkers,
+              cosr::kBurstQueueCapacity, cosr::kBurstSubmitRetries);
+  cosr::bench::Table burst_table({"algorithm", "mode", "offered-k/s",
+                                  "achieved-k/s", "dropped", "p50 us",
+                                  "p999 us", "svc p999/p50"});
+  for (const char* algorithm : cosr::kBurstAlgorithms) {
+    for (const bool batched : {false, true}) {
+      rows.push_back(cosr::RunConcurrent(burst_scenario, algorithm,
+                                         cosr::kBurstWorkers, batched,
+                                         battery));
+      const double capacity = rows.back().ops_per_sec;
+      for (const double ratio : cosr::kBurstRatios) {
+        rows.push_back(cosr::RunBurst(burst_scenario, algorithm, batched,
+                                      ratio, capacity, battery));
+        const cosr::Row& row = rows.back();
+        const double svc_p50 =
+            static_cast<double>(row.lat_service.Percentile(0.5));
+        const double svc_tail_ratio =
+            svc_p50 > 0
+                ? static_cast<double>(row.lat_service.Percentile(0.999)) /
+                      svc_p50
+                : 0.0;
+        burst_table.AddRow(
+            {algorithm, row.Label(),
+             cosr::bench::Fmt(row.offered_ops_per_sec / 1000.0, 0),
+             cosr::bench::Fmt(row.ops_per_sec / 1000.0, 0),
+             std::to_string(row.dropped_ops),
+             cosr::bench::Fmt(row.lat_total.Percentile(0.5) / 1000.0, 1),
+             cosr::bench::Fmt(row.lat_total.Percentile(0.999) / 1000.0, 1),
+             cosr::bench::Fmt(svc_tail_ratio, 1)});
+      }
+    }
+  }
+  burst_table.Print();
 
   // The CI guard: W=1 concurrent mode — on BOTH submit paths — is
   // op-for-op identical to the single-threaded facade, per scenario and
@@ -407,11 +665,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Latency accounting must be exact in EVERY cell, burst included: the
+  // histograms count executed ops only, so operations - dropped must match
+  // all three counts (queue-wait empty on the sync facade).
+  for (const cosr::Row& row : rows) ok &= cosr::CheckLatencyAccounting(row);
+
   cosr::WriteJson(rows, smoke);
   cosr::bench::Verdict(
       ok,
-      "all cells ran with zero failed ops; W=1 concurrent mode — per-op "
-      "and batched — matches the single-threaded facade's "
-      "footprint/move/byte counts exactly");
+      "all closed-loop cells ran with zero failed ops; W=1 concurrent mode "
+      "— per-op and batched — matches the single-threaded facade's "
+      "footprint/move/byte counts exactly; latency histogram counts match "
+      "executed ops in every cell");
   return ok ? 0 : 1;
 }

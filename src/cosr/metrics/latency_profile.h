@@ -14,8 +14,19 @@ namespace cosr {
 /// (Lemma 3.6): the amortized variant has a light body and a heavy tail;
 /// the deamortized variant flattens the tail at the same body.
 ///
+/// This is the *cost-model* latency distribution: each request's physical
+/// writes priced by a CostFunction — the unit the paper's bounds are
+/// stated in, deterministic and machine-independent, exact percentiles
+/// from the stored samples. Its wall-clock counterpart is
+/// LatencyHistogram (latency_histogram.h): nanoseconds instead of cost
+/// units, O(1) bucketed recording instead of stored samples, built for
+/// concurrent snapshotting on the service facades' hot path. Use this
+/// one to test what the lemmas claim; use the histogram to test what an
+/// SLO claims.
+///
 /// Attach to the Space, call BeginOp() before each request, then
-/// query Percentile()/max() after the run.
+/// query Percentile()/max() after the run. Thread-compatible, like every
+/// SpaceListener: one profile hears one thread's events.
 class LatencyProfile : public SpaceListener {
  public:
   /// `function` must outlive the profile.

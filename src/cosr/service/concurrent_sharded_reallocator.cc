@@ -69,6 +69,7 @@ Status ConcurrentShardedReallocator::Make(
   facade->needs_routing_map_ = needs_map;
   facade->shards_.reserve(options.shard_count);
   facade->counters_ = std::vector<ShardCounters>(options.shard_count);
+  facade->latency_ = std::vector<ShardLatencyRecorders>(options.shard_count);
   facade->dropped_ops_.assign(options.shard_count, 0);
   if (needs_map) facade->stamped_requests_.assign(options.shard_count, 0);
   if (options.routing == RoutingPolicy::kLeastLoaded) {
@@ -147,6 +148,7 @@ Status ConcurrentShardedReallocator::SubmitOp(const Request& op,
       op.type == Request::Type::kInsert ? OpKind::kInsert : OpKind::kDelete;
   item.id = op.id;
   item.size = op.size;
+  item.submit_ns = MonotonicNanos();
   item.token = std::move(token);
 
   if (!needs_routing_map_) {
@@ -376,12 +378,17 @@ Status ConcurrentShardedReallocator::SubmitBatch(
   std::size_t delivered_total = 0;
   Status first_error;
 
+  // One submit stamp for the whole batch: the batch is the submission
+  // event, and a per-op clock read would cost more than the mutex hop the
+  // batched path exists to amortize.
+  const std::uint64_t submit_ns = MonotonicNanos();
   const auto make_item = [&](std::size_t i) {
     Item item;
     item.kind = ops[i].type == Request::Type::kInsert ? OpKind::kInsert
                                                       : OpKind::kDelete;
     item.id = ops[i].id;
     item.size = ops[i].size;
+    item.submit_ns = submit_ns;
     if (tokens != nullptr) item.token = (*tokens)[i];
     return item;
   };
@@ -625,6 +632,9 @@ ShardStats ConcurrentShardedReallocator::Stats() {
     stats.sync_wall_seconds += per.sync_wall_seconds;
     stats.max_sync_stall_seconds =
         std::max(stats.max_sync_stall_seconds, per.max_sync_stall_seconds);
+    stats.latency_total.MergeFrom(per.latency_total);
+    stats.latency_queue_wait.MergeFrom(per.latency_queue_wait);
+    stats.latency_service.MergeFrom(per.latency_service);
     stats.shards.push_back(per);
   }
   return stats;
@@ -768,8 +778,11 @@ void ConcurrentShardedReallocator::WorkerLoop(Worker& worker) {
       }
     }
     if (took_mutex_batch) worker.cv_space.notify_all();
+    // One clock read per drained item, not two: each op's end timestamp is
+    // the next op's start (the worker runs them back to back).
+    std::uint64_t now = MonotonicNanos();
     for (const Item& item : batch) {
-      ExecuteItem(item);
+      now = ExecuteTimed(item, now);
       // Release pairs with Flush's acquire: once a flusher observes the
       // count, every effect of the op is visible to it.
       worker.completed.fetch_add(1, std::memory_order_release);
@@ -782,8 +795,9 @@ void ConcurrentShardedReallocator::WorkerLoop(Worker& worker) {
       auto* node = shards_[s].remote->TakeAll();
       while (node != nullptr) {
         counters_[s].RecordRemoteBatch(node->value.size());
+        now = MonotonicNanos();
         for (const Item& item : node->value) {
-          ExecuteItem(item);
+          now = ExecuteTimed(item, now);
           worker.completed.fetch_add(1, std::memory_order_release);
         }
         auto* next = node->next;
@@ -874,11 +888,36 @@ void ConcurrentShardedReallocator::ExecuteItem(const Item& item) {
       per.migrations = snapshot.migrations;
       per.migrated_bytes = snapshot.migrated_bytes;
       per.migrations_in = snapshot.migrations_in;
+      // Snapshotting on the owning worker is what makes these cross-bucket
+      // consistent with `ops` above: no tracked op can be mid-record here.
+      per.latency_total = latency_[item.shard].total.Snapshot();
+      per.latency_queue_wait = latency_[item.shard].queue_wait.Snapshot();
+      per.latency_service = latency_[item.shard].service.Snapshot();
       *item.max_end_out = shard.space->footprint();
       break;
     }
   }
   if (item.token != nullptr) item.token->Complete(std::move(status));
+}
+
+std::uint64_t ConcurrentShardedReallocator::ExecuteTimed(
+    const Item& item, std::uint64_t start_ns) {
+  // Only client-visible ops (insert/delete) feed the latency histograms:
+  // marker and migration items have no submitter waiting on them, and
+  // excluding them keeps `latency count == ops` an exact identity.
+  const bool tracked =
+      item.kind == OpKind::kInsert || item.kind == OpKind::kDelete;
+  ExecuteItem(item);
+  if (!tracked) return MonotonicNanos();
+  const std::uint64_t end_ns = MonotonicNanos();
+  ShardLatencyRecorders& lat = latency_[item.shard];
+  // queue_wait spans submit stamp -> execution start, so it includes any
+  // backpressure stall the producer ate inside Enqueue, not just the time
+  // the item sat in a queue.
+  lat.queue_wait.Record(SaturatingElapsed(start_ns, item.submit_ns));
+  lat.service.Record(SaturatingElapsed(end_ns, start_ns));
+  lat.total.Record(SaturatingElapsed(end_ns, item.submit_ns));
+  return end_ns;
 }
 
 }  // namespace cosr

@@ -308,6 +308,11 @@ class ConcurrentShardedReallocator final : public Reallocator {
     std::uint32_t shard = 0;
     ObjectId id = kInvalidObjectId;
     std::uint64_t size = 0;
+    /// Insert/delete only: MonotonicNanos() at submit time, taken BEFORE
+    /// any routing or backpressure wait, so the recorded queue-wait
+    /// includes producer-side admission stalls (SubmitMany stamps once
+    /// per batch). Zero for internal markers, which are never tracked.
+    std::uint64_t submit_ns = 0;
     std::shared_ptr<OpToken> token;  // null for fire-and-forget
     /// kSnapshot only: where the owning worker writes the shard's stats
     /// and its private root's global footprint. Must outlive the op
@@ -396,6 +401,12 @@ class ConcurrentShardedReallocator final : public Reallocator {
                   const Status& status);
   void WorkerLoop(Worker& worker);
   void ExecuteItem(const Item& item);
+  /// ExecuteItem plus latency accounting for tracked (insert/delete)
+  /// items: `start_ns` is when this item's execution began on the worker
+  /// (queue-wait = start - submit stamp; service = the inner call alone).
+  /// Returns the post-execution clock so the drain loop chains one
+  /// MonotonicNanos() call per op instead of two.
+  std::uint64_t ExecuteTimed(const Item& item, std::uint64_t start_ns);
   /// The live routing decision for a map-kept insert; routing_mu_ held.
   /// kLeastLoaded routes to the shard with the lowest predicted volume
   /// (deterministic in submission order — independent of worker timing);
@@ -410,6 +421,11 @@ class ConcurrentShardedReallocator final : public Reallocator {
   Options options_;
   std::vector<Shard> shards_;
   std::vector<ShardCounters> counters_;  // parallel to shards_
+  /// Per-shard latency histograms (parallel to shards_), written only by
+  /// the owning worker inside ExecuteTimed — the ShardCounters
+  /// single-writer discipline — and surfaced through the Stats() snapshot
+  /// marker so the merged read is race-free.
+  std::vector<ShardLatencyRecorders> latency_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
   /// Map-keeping modes only (size-class or least-loaded routing, or

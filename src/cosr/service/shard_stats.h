@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cosr/common/status.h"
+#include "cosr/metrics/latency_histogram.h"
 
 namespace cosr {
 
@@ -63,6 +64,18 @@ struct ShardStats {
     std::uint64_t migrations = 0;
     std::uint64_t migrated_bytes = 0;
     std::uint64_t migrations_in = 0;
+    /// Per-op wall-clock latency distributions for the shard's
+    /// insert/delete requests (internal markers and migrations are not
+    /// tracked). `latency_total` runs submit-stamp to completion;
+    /// `latency_queue_wait` covers submit-stamp to execution start (queue
+    /// residency plus any producer-side backpressure wait — zero-count on
+    /// the synchronous facade, which has no queue); `latency_service`
+    /// covers the inner reallocator call alone, so queueing collapse is
+    /// distinguishable from genuinely slow ops. Snapshotted on the owning
+    /// worker like every other field here.
+    LatencyHistogramSnapshot latency_total;
+    LatencyHistogramSnapshot latency_queue_wait;
+    LatencyHistogramSnapshot latency_service;
   };
   std::vector<PerShard> shards;
 
@@ -96,6 +109,21 @@ struct ShardStats {
   std::uint64_t log_compactions = 0;
   double sync_wall_seconds = 0.0;
   double max_sync_stall_seconds = 0.0;
+  /// Facade-wide latency distributions: the shards' histograms merged
+  /// (bucket counts add — merging is exact, not an approximation of the
+  /// union). Same total / queue-wait / service split as PerShard.
+  LatencyHistogramSnapshot latency_total;
+  LatencyHistogramSnapshot latency_queue_wait;
+  LatencyHistogramSnapshot latency_service;
+};
+
+/// One shard's wall-clock latency recorders, grouped so the facades can
+/// keep a vector parallel to their shards. Single-writer like
+/// ShardCounters: only the shard's owner records; any thread may snapshot.
+struct ShardLatencyRecorders {
+  LatencyHistogram total;
+  LatencyHistogram queue_wait;
+  LatencyHistogram service;
 };
 
 /// One shard's hot-path accumulator block, sized and aligned to its own

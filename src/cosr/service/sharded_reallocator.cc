@@ -47,6 +47,7 @@ Status ShardedReallocator::Make(const ReallocatorSpec& inner_spec,
   sharded->needs_shard_map_ =
       RoutingNeedsPlacementMap(options.routing) || options.allow_migration;
   sharded->counters_.assign(options.shard_count, LocalCounters{});
+  sharded->latency_ = std::vector<ShardLatencyRecorders>(options.shard_count);
   sharded->shards_.reserve(options.shard_count);
   for (std::uint32_t i = 0; i < options.shard_count; ++i) {
     Shard shard;
@@ -118,7 +119,12 @@ Status ShardedReallocator::Insert(ObjectId id, std::uint64_t size) {
     }
   }
   const std::uint32_t target = shard_for(id, size);
+  const std::uint64_t start_ns = MonotonicNanos();
   Status status = shards_[target].inner->Insert(id, size);
+  const std::uint64_t elapsed =
+      SaturatingElapsed(MonotonicNanos(), start_ns);
+  latency_[target].total.Record(elapsed);
+  latency_[target].service.Record(elapsed);
   ++counters_[target].ops;
   if (status.ok() && needs_shard_map_) placement_.TryAssign(id, target);
   return status;
@@ -136,7 +142,12 @@ Status ShardedReallocator::Delete(ObjectId id) {
   } else {
     target = shard_for(id, /*size=*/0);
   }
+  const std::uint64_t start_ns = MonotonicNanos();
   Status status = shards_[target].inner->Delete(id);
+  const std::uint64_t elapsed =
+      SaturatingElapsed(MonotonicNanos(), start_ns);
+  latency_[target].total.Record(elapsed);
+  latency_[target].service.Record(elapsed);
   ++counters_[target].ops;
   if (status.ok() && needs_shard_map_) placement_.Erase(id);
   return status;
@@ -245,6 +256,12 @@ ShardStats ShardedReallocator::Stats() const {
     per.migrations = counters_[i].migrations;
     per.migrated_bytes = counters_[i].migrated_bytes;
     per.migrations_in = counters_[i].migrations_in;
+    per.latency_total = latency_[i].total.Snapshot();
+    per.latency_queue_wait = latency_[i].queue_wait.Snapshot();
+    per.latency_service = latency_[i].service.Snapshot();
+    stats.latency_total.MergeFrom(per.latency_total);
+    stats.latency_queue_wait.MergeFrom(per.latency_queue_wait);
+    stats.latency_service.MergeFrom(per.latency_service);
     stats.volume += per.volume;
     stats.sum_reserved_footprint += per.reserved_footprint;
     stats.sum_subrange_footprint += per.space_footprint;

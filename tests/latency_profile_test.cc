@@ -43,6 +43,26 @@ TEST(LatencyProfileTest, EmptyProfileIsZero) {
   EXPECT_EQ(profile.op_count(), 0u);
 }
 
+TEST(LatencyProfileTest, PercentileEdgeCases) {
+  auto linear = MakeLinearCost();
+  LatencyProfile profile(linear.get());
+  AddressSpace space;
+  space.AddListener(&profile);
+
+  profile.BeginOp();
+  space.Place(1, Extent{0, 42});  // the only op: cost 42
+  profile.BeginOp();
+
+  ASSERT_EQ(profile.op_count(), 1u);
+  // With one sample every quantile is that sample, and out-of-range
+  // quantiles clamp into [0, 1] rather than indexing out of bounds.
+  EXPECT_DOUBLE_EQ(profile.Percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(profile.Percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(profile.Percentile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(profile.Percentile(-3.0), 42.0);
+  EXPECT_DOUBLE_EQ(profile.Percentile(7.0), 42.0);
+}
+
 TEST(LatencyProfileTest, ActivityOutsideOpsIgnored) {
   auto linear = MakeLinearCost();
   LatencyProfile profile(linear.get());

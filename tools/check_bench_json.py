@@ -108,10 +108,15 @@ def check_sharded(data, path):
 
 
 def check_concurrent(data, path):
-    # v2 adds the submit-path axis: every worker count is measured twice
+    # v2 added the submit-path axis: every worker count is measured twice
     # (per-op mutex queue vs batched lock-free remote queues), with the
-    # "submit" and "batched_ops" columns distinguishing the rows.
-    require(data.get("schema_version") == 2, path, "schema_version != 2")
+    # "submit" and "batched_ops" columns distinguishing the rows. v3 adds
+    # per-op wall-clock latency columns on every row (total / queue-wait /
+    # service split from the service layer's own histograms) and the
+    # open-loop burst grid: paced arrivals at a fraction of the measured
+    # closed-loop capacity against bounded queues with a bounded-retry
+    # drop policy, checkpointed vs deamortized inner algorithms.
+    require(data.get("schema_version") == 3, path, "schema_version != 3")
     # The committed artifact must be the full-size run; a --smoke run from
     # the repo root would silently clobber it otherwise.
     require(data.get("smoke") is False, path,
@@ -120,12 +125,22 @@ def check_concurrent(data, path):
             "missing 'hardware_threads' (scaling context)")
     require(isinstance(data.get("shard_count"), int), path,
             "missing 'shard_count'")
+    require(isinstance(data.get("burst_workers"), int), path,
+            "missing 'burst_workers'")
+    require(isinstance(data.get("burst_queue_capacity"), int), path,
+            "missing 'burst_queue_capacity'")
     check_rows(data, path, {
         "scenario", "algorithm", "mode", "submit", "workers", "shards",
         "operations", "wall_seconds", "ops_per_sec", "speedup_vs_w1",
         "moves", "bytes_moved", "bytes_placed", "volume_final",
         "sum_reserved_final", "sum_peak_reserved", "global_max_end",
-        "failed_ops", "batched_ops",
+        "failed_ops", "batched_ops", "offered_ratio", "offered_ops_per_sec",
+        "submit_seconds", "dropped_ops", "lat_ops",
+        "lat_total_p50_ns", "lat_total_p90_ns", "lat_total_p99_ns",
+        "lat_total_p999_ns", "lat_total_max_ns", "lat_total_mean_ns",
+        "lat_queue_p50_ns", "lat_queue_p99_ns", "lat_queue_p999_ns",
+        "lat_service_p50_ns", "lat_service_p90_ns", "lat_service_p99_ns",
+        "lat_service_p999_ns", "lat_service_max_ns",
     })
     cells = {(r["mode"], r["submit"], r["workers"]) for r in data["rows"]}
     require(("facade", "sync", 1) in cells, path,
@@ -135,19 +150,82 @@ def check_concurrent(data, path):
                 f"concurrent per-op W={workers} row missing")
         require(("concurrent-batched", "batched", workers) in cells, path,
                 f"concurrent batched W={workers} row missing")
+    burst_cells = {(r["algorithm"], r["submit"], r["offered_ratio"])
+                   for r in data["rows"] if r["mode"].startswith("burst")}
+    for algorithm in ("checkpointed", "deamortized"):
+        for submit in ("per-op", "batched"):
+            for ratio in (0.5, 0.9, 1.2, 2.0):
+                require((algorithm, submit, ratio) in burst_cells, path,
+                        f"burst {algorithm}/{submit}/{ratio}x row missing")
     for row in data["rows"]:
+        burst = row["mode"].startswith("burst")
         label = (f"row {row['scenario']}/{row['algorithm']}"
-                 f"/{row['submit']}/W={row['workers']}")
-        require(row["failed_ops"] == 0, path, f"{label} has failed ops")
+                 f"/{row['mode']}/{row['submit']}/W={row['workers']}")
+        executed = row["operations"] - row["dropped_ops"]
+        if burst:
+            # Burst rows may drop (bounded-retry overload policy) and a
+            # dropped insert makes a later delete of that id fail — both
+            # are the measured overload behavior, not errors. Everything
+            # that did execute must be accounted for exactly.
+            require(row["failed_ops"] <= row["dropped_ops"], path,
+                    f"{label}: more failed ops than drops can explain")
+            require(row["offered_ratio"] > 0, path,
+                    f"{label}: burst row without an offered ratio")
+        else:
+            require(row["failed_ops"] == 0, path, f"{label} has failed ops")
+            require(row["dropped_ops"] == 0, path,
+                    f"{label}: closed-loop row dropped ops")
+            require(row["offered_ratio"] == 0, path,
+                    f"{label}: non-burst row carries an offered ratio")
         if row["submit"] == "batched":
-            # Every op in a batched row must have travelled the remote
-            # queues — a zero here means the batched path silently fell
+            # Every delivered op in a batched row must have travelled the
+            # remote queues — less means the batched path silently fell
             # back to something else.
-            require(row["batched_ops"] == row["operations"], path,
-                    f"{label}: batched_ops != operations")
+            require(row["batched_ops"] == executed, path,
+                    f"{label}: batched_ops != delivered operations")
         else:
             require(row["batched_ops"] == 0, path,
                     f"{label}: non-batched row reports batched_ops")
+        # Latency accounting: every executed op is in the histograms
+        # exactly once, and each percentile family is monotone in q.
+        require(row["lat_ops"] == executed, path,
+                f"{label}: lat_ops != executed operations")
+        for family in ("lat_total", "lat_service"):
+            quantiles = [row[f"{family}_p50_ns"], row[f"{family}_p90_ns"],
+                         row[f"{family}_p99_ns"], row[f"{family}_p999_ns"],
+                         row[f"{family}_max_ns"]]
+            require(quantiles == sorted(quantiles), path,
+                    f"{label}: {family} percentiles not monotone")
+            require(quantiles[-1] > 0, path,
+                    f"{label}: {family} recorded nothing")
+        queue = [row["lat_queue_p50_ns"], row["lat_queue_p99_ns"],
+                 row["lat_queue_p999_ns"]]
+        require(queue == sorted(queue), path,
+                f"{label}: lat_queue percentiles not monotone")
+        if row["mode"] == "facade":
+            # The sync facade has no queue; its queue-wait split is empty.
+            require(queue == [0, 0, 0], path,
+                    f"{label}: sync facade reports queue wait")
+    # The deamortization headline as a latency claim: at every offered
+    # rate up to and past saturation (the 2.0x overload cells are excluded
+    # — a drop-storm's tail measures the drop policy, not the algorithm),
+    # the deamortized inner algorithm's service-time tail ratio p999/p50
+    # must not exceed the checkpointed (amortized) one's in the matched
+    # burst cell.
+    burst_rows = {(r["algorithm"], r["submit"], r["offered_ratio"]): r
+                  for r in data["rows"] if r["mode"].startswith("burst")}
+    for submit in ("per-op", "batched"):
+        for ratio in (0.5, 0.9, 1.2):
+            chk = burst_rows[("checkpointed", submit, ratio)]
+            deam = burst_rows[("deamortized", submit, ratio)]
+            chk_tail = chk["lat_service_p999_ns"] / max(
+                chk["lat_service_p50_ns"], 1)
+            deam_tail = deam["lat_service_p999_ns"] / max(
+                deam["lat_service_p50_ns"], 1)
+            require(deam_tail <= chk_tail, path,
+                    f"burst {submit}/{ratio}x: deamortized service tail "
+                    f"p999/p50 ({deam_tail:.1f}) exceeds checkpointed "
+                    f"({chk_tail:.1f})")
 
 
 def check_durability(data, path):
